@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks of the storage-engine data paths behind the
+//! four plan operators — the machinery the Figure 5 calibration measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smile_storage::delta::{DeltaBatch, DeltaEntry};
+use smile_storage::join::{join_zsets, JoinOn};
+use smile_storage::{wal, Database, ZSet};
+use smile_types::{tuple, Column, ColumnType, RelationId, Schema, Timestamp};
+
+const REL: RelationId = RelationId(0);
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("k", ColumnType::I64),
+            Column::new("v", ColumnType::I64),
+        ],
+        vec![0],
+    )
+}
+
+fn filled_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    db.create_relation(REL, schema()).unwrap();
+    let batch: DeltaBatch = (0..rows)
+        .map(|i| DeltaEntry::insert(tuple![i, i % 977], Timestamp::from_secs(1)))
+        .collect();
+    db.ingest(REL, batch).unwrap();
+    db.ensure_index(REL, &[1]).unwrap();
+    db
+}
+
+fn window(n: usize, offset: i64) -> DeltaBatch {
+    (0..n as i64)
+        .map(|i| DeltaEntry::insert(tuple![offset + i, i % 977], Timestamp::from_secs(2)))
+        .collect()
+}
+
+fn bench_delta_to_rel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_to_rel");
+    for &n in &[1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut db = filled_db(50_000);
+                    db.append_delta(REL, window(n, 50_000)).unwrap();
+                    db
+                },
+                |mut db| db.apply_pending(REL, Timestamp::from_secs(2)).unwrap(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_copy_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("copy_delta_wal");
+    for &n in &[1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        let batch = window(n, 0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
+            b.iter(|| {
+                let bytes = wal::encode(batch);
+                wal::decode(bytes).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_join_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_probe_indexed");
+    let db = filled_db(50_000);
+    for &n in &[1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        let probe = window(n, 100_000);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &probe, |b, probe| {
+            let slot = db.relation(REL).unwrap();
+            b.iter(|| {
+                let mut out = Vec::new();
+                for e in &probe.entries {
+                    let key = e.tuple.project(&[1]);
+                    if let Some(bucket) = slot.table.probe_index(&[1], &key) {
+                        for (row, &w) in bucket {
+                            out.push((e.tuple.concat(row), e.weight * w));
+                        }
+                    }
+                }
+                out
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_zset_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zset_hash_join");
+    for &n in &[1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        let left: ZSet = ZSet::from_tuples((0..n as i64).map(|i| tuple![i % 977, i]));
+        let right: ZSet = ZSet::from_tuples((0..2_000i64).map(|i| tuple![i % 977, -i]));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(left, right),
+            |b, (l, r)| {
+                b.iter(|| join_zsets(l, r, &JoinOn::on(0, 0)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_snapshot_probe(c: &mut Criterion) {
+    // The compensation read: correction window materialization.
+    let mut g = c.benchmark_group("snapshot_correction");
+    let mut db = filled_db(50_000);
+    db.ingest(REL, window(2_000, 60_000)).unwrap();
+    g.bench_function("rollback_2000", |b| {
+        b.iter(|| db.snapshot_at(REL, Timestamp::from_secs(1)).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_delta_to_rel,
+    bench_copy_delta,
+    bench_join_probe,
+    bench_zset_join,
+    bench_snapshot_probe
+);
+criterion_main!(benches);

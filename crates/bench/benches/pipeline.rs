@@ -1,0 +1,78 @@
+//! End-to-end pipeline benchmark: simulated seconds of platform time per
+//! wall-clock second, across fleet sizes — the number that bounds how fast
+//! the evaluation experiments replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smile_bench::drive;
+use smile_core::platform::{Smile, SmileConfig};
+use smile_types::{MachineId, SimDuration};
+use smile_workload::rates::RateTrace;
+use smile_workload::sharings::paper_sharings;
+use smile_workload::twitter::{standard_setup, TwitterConfig};
+
+/// Builds a ready-to-run platform with the first `n` sharings.
+fn installed(n_sharings: usize, rate: f64) -> (Smile, smile_workload::twitter::TwitterWorkload) {
+    let mut smile = Smile::new(SmileConfig::with_machines(6));
+    let mut workload = standard_setup(
+        &mut smile,
+        TwitterConfig {
+            assumed_tweet_rate: rate,
+            ..TwitterConfig::default()
+        },
+        1_000,
+    )
+    .unwrap();
+    for (pin, s) in paper_sharings(&workload.rels())
+        .into_iter()
+        .take(n_sharings)
+        .enumerate()
+    {
+        let m = MachineId::new(pin as u32 % 6);
+        smile
+            .submit_pinned(s.app, s.query, SimDuration::from_secs(45), 0.001, Some(m))
+            .unwrap();
+    }
+    smile.install().unwrap();
+    // Warm the executor with a short drive so benches measure steady state.
+    drive(
+        &mut smile,
+        &mut workload,
+        RateTrace::Constant(rate),
+        SimDuration::from_secs(5),
+    )
+    .unwrap();
+    (smile, workload)
+}
+
+fn bench_platform_seconds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_30s");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(12));
+    for &(sharings, rate) in &[(5usize, 50.0f64), (25, 50.0), (25, 200.0)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sharings}sh_{rate}tps")),
+            &(sharings, rate),
+            |b, &(sharings, rate)| {
+                b.iter_batched(
+                    || installed(sharings, rate),
+                    |(mut smile, mut workload)| {
+                        drive(
+                            &mut smile,
+                            &mut workload,
+                            RateTrace::Constant(rate),
+                            SimDuration::from_secs(30),
+                        )
+                        .unwrap();
+                        smile
+                    },
+                    criterion::BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_platform_seconds);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Agent ↔ executor messages (paper §8.1).
+//!
+//! Each machine runs an agent that periodically publishes HEARTBEAT
+//! messages with the last-modification timestamps of its vertices, and
+//! answers PUSH commands with PUSHDONE messages carrying the statistics the
+//! executor's feedback loop consumes. The messages travel over the
+//! simulated pub/sub bus ([`smile_sim::PubSub`]) with its delivery latency,
+//! so the executor's knowledge of remote timestamps lags reality exactly as
+//! it would in the deployed system.
+
+use smile_types::{MachineId, SimDuration, Timestamp, VertexId};
+
+/// Topic on which agents publish and the executor listens.
+pub const TOPIC_TO_EXECUTOR: &str = "smile/executor";
+
+/// Messages published by per-machine agents.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AgentMsg {
+    /// Periodic timestamp report for one plan vertex hosted on `machine`.
+    Heartbeat {
+        /// Reporting machine.
+        machine: MachineId,
+        /// The vertex whose timestamp is reported.
+        vertex: VertexId,
+        /// The vertex's last-modification timestamp as stamped by the
+        /// machine's (possibly skewed) clock.
+        ts: Timestamp,
+    },
+    /// A PUSH command finished executing on the agent's machine.
+    PushDone {
+        /// The vertex that was advanced.
+        vertex: VertexId,
+        /// The timestamp it was advanced to.
+        ts: Timestamp,
+        /// Wall time the operation took (queueing included) — the feedback
+        /// signal for the executor's time model.
+        took: SimDuration,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smile_sim::PubSub;
+
+    #[test]
+    fn heartbeats_flow_through_the_bus() {
+        let mut bus: PubSub<AgentMsg> = PubSub::new(SimDuration::from_millis(5));
+        let exec = bus.subscribe(TOPIC_TO_EXECUTOR);
+        let msg = AgentMsg::Heartbeat {
+            machine: MachineId::new(1),
+            vertex: VertexId::new(7),
+            ts: Timestamp::from_secs(42),
+        };
+        bus.publish(Timestamp::from_secs(1), TOPIC_TO_EXECUTOR, msg.clone());
+        // Not yet delivered.
+        assert!(bus.poll(exec, Timestamp::from_secs(1)).is_empty());
+        let got = bus.poll(exec, Timestamp::from_secs(2));
+        assert_eq!(got, vec![msg]);
+    }
+}

@@ -1,0 +1,844 @@
+//! The sharing executor (paper §8): lazy, SLA-aware push scheduling.
+//!
+//! The executor maintains every admitted sharing at or below its staleness
+//! SLA. It is *lazy by design*: it does not refresh an MV unless waiting any
+//! longer would risk missing the SLA, bunching as much work as possible into
+//! each PUSH. Per tick it:
+//!
+//! 1. drains agent messages (heartbeats with vertex timestamps, PUSHDONE
+//!    completions) from the pub/sub bus;
+//! 2. for each sharing, projects the staleness a push started *now* would
+//!    end at — `MAXTS(SRC) + CP(D_i, x) − t` — and fires the push only when
+//!    that projection approaches `l · SLA` (`l = 0.8`);
+//! 3. picks the target timestamp `t` by binary search between `TS(MV)` and
+//!    `MINTS(SRC)` (§8.2);
+//! 4. walks the sharing's subgraph in topological order issuing one PUSH
+//!    command per vertex, each executing on the simulated machines with
+//!    real data movement;
+//! 5. feeds realized push durations back into its time-cost model so the
+//!    critical-path projections track machine load (Figure 14).
+
+pub mod messages;
+pub mod push;
+pub mod seed;
+
+use crate::multi::GlobalPlan;
+use crate::plan::cost::{critical_path, Scope};
+use crate::plan::dag::VertexKind;
+use crate::plan::timecost::TimeCostModel;
+use crate::sharing::Sharing;
+use messages::{AgentMsg, TOPIC_TO_EXECUTOR};
+use smile_sim::pubsub::SubscriberId;
+use smile_sim::{Cluster, EventQueue, PubSub};
+use smile_types::{
+    MachineId, RelationId, Result, SharingId, SimDuration, SmileError, Timestamp, VertexId,
+};
+use std::collections::HashMap;
+
+/// Executor tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Scheduler tick period.
+    pub tick: SimDuration,
+    /// Heartbeat publication period.
+    pub heartbeat_period: SimDuration,
+    /// The `l` factor of §8.2: fire a push when the projected staleness at
+    /// completion reaches `l · SLA`.
+    pub l_factor: f64,
+    /// Lazy scheduling (the paper's design). `false` pushes every tick —
+    /// the eager baseline of the ablation benches.
+    pub lazy: bool,
+    /// Whether PUSHDONE durations recalibrate the time model.
+    pub feedback: bool,
+    /// How often delta logs are compacted.
+    pub compaction_period: SimDuration,
+    /// Retention margin kept below the minimum consumer timestamp.
+    pub compaction_margin: SimDuration,
+    /// Command dispatch latency (executor → agent).
+    pub command_latency: SimDuration,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            tick: SimDuration::from_secs(1),
+            heartbeat_period: SimDuration::from_secs(1),
+            l_factor: 0.8,
+            lazy: true,
+            feedback: true,
+            compaction_period: SimDuration::from_secs(30),
+            compaction_margin: SimDuration::from_secs(10),
+            command_latency: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// One completed PUSH, as recorded for the Figure 7 analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct PushRecord {
+    /// The sharing pushed.
+    pub sharing: SharingId,
+    /// When the push was issued.
+    pub issued: Timestamp,
+    /// When the MV finished applying.
+    pub completed: Timestamp,
+    /// The timestamp the MV was advanced to.
+    pub target: Timestamp,
+    /// MV staleness just before the push was issued.
+    pub staleness_before: SimDuration,
+    /// MV staleness at completion.
+    pub staleness_after: SimDuration,
+    /// How far the MV timestamp advanced.
+    pub advanced: SimDuration,
+    /// Tuples moved by this push across all its edges.
+    pub tuples: u64,
+}
+
+/// Runtime state per sharing.
+#[derive(Clone, Debug)]
+struct SharingRt {
+    id: SharingId,
+    sla: SimDuration,
+    mv: VertexId,
+    /// Base Relation vertices feeding this sharing (`SRC(S_i)`).
+    srcs: Vec<VertexId>,
+    /// Push-order (topological) list of the sharing's non-base vertices.
+    order: Vec<VertexId>,
+    in_flight: bool,
+    /// Tombstone: the slot stays (event indexes must remain stable) but the
+    /// scheduler ignores it.
+    retired: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ExecEvent {
+    /// A vertex's new timestamp becomes visible (its operation completed).
+    Commit { vertex: VertexId, ts: Timestamp },
+    /// A sharing's push fully completed.
+    PushDone {
+        idx: usize,
+        issued: Timestamp,
+        target: Timestamp,
+        predicted: SimDuration,
+        staleness_before: SimDuration,
+        tuples: u64,
+    },
+}
+
+/// The sharing executor.
+pub struct Executor {
+    /// The merged global plan being executed.
+    pub global: GlobalPlan,
+    /// The executor's calibrated time model (feedback-adjusted).
+    pub model: TimeCostModel,
+    config: ExecConfig,
+    /// Eager content timestamp per vertex (window bookkeeping).
+    data_ts: Vec<Timestamp>,
+    /// Committed timestamp per vertex (staleness accounting).
+    visible_ts: Vec<Timestamp>,
+    /// Last heartbeat-reported timestamp per base vertex.
+    heartbeats: HashMap<VertexId, Timestamp>,
+    sharings: Vec<SharingRt>,
+    events: EventQueue<ExecEvent>,
+    bus: PubSub<AgentMsg>,
+    exec_sub: SubscriberId,
+    last_heartbeat: Option<Timestamp>,
+    last_compaction: Timestamp,
+    /// Total tuples moved across all edges (snapshot-module metric).
+    pub tuples_moved: u64,
+    /// Tuples moved attributed per sharing.
+    pub tuples_per_sharing: HashMap<SharingId, u64>,
+    /// Completed pushes (Figure 7 data).
+    pub push_records: Vec<PushRecord>,
+}
+
+impl Executor {
+    fn build_rt(global: &GlobalPlan, s: &Sharing) -> Result<SharingRt> {
+        let topo = global.plan.topo_order()?;
+        let mv = global.mv_vertex(s.id)?;
+        let (anc, _) = global.plan.ancestors(mv);
+        // `SRC(S_i)`: the base *relations* feeding the sharing. A plan may
+        // reference a base only through its delta vertex (scan plans copy
+        // Δbase without touching the base table), so map every base
+        // ancestor back to its Relation twin by (signature, machine).
+        let mut src_keys: std::collections::BTreeSet<VertexId> = std::collections::BTreeSet::new();
+        for &v in &anc {
+            let vert = global.plan.vertex(v);
+            if !vert.is_base {
+                continue;
+            }
+            let rel = match vert.kind {
+                VertexKind::Relation => v,
+                VertexKind::Delta => global
+                    .plan
+                    .find_vertex(VertexKind::Relation, &vert.sig, vert.machine)
+                    .ok_or_else(|| {
+                        SmileError::Internal(format!(
+                            "base delta {v} has no Relation twin in the plan"
+                        ))
+                    })?,
+            };
+            src_keys.insert(rel);
+        }
+        let srcs: Vec<VertexId> = src_keys.into_iter().collect();
+        if srcs.is_empty() {
+            return Err(SmileError::InvalidPlan(format!(
+                "sharing {} has no base-relation sources",
+                s.id
+            )));
+        }
+        let order: Vec<VertexId> = topo
+            .iter()
+            .copied()
+            .filter(|&v| (anc.contains(&v) || v == mv) && !global.plan.vertex(v).is_base)
+            .collect();
+        Ok(SharingRt {
+            id: s.id,
+            sla: s.staleness_sla,
+            mv,
+            srcs,
+            order,
+            in_flight: false,
+            retired: false,
+        })
+    }
+
+    /// Builds an executor over an installed global plan. `sharings` must be
+    /// the admitted sharings whose plans were merged into `global`.
+    pub fn new(
+        global: GlobalPlan,
+        sharings: &[Sharing],
+        model: TimeCostModel,
+        config: ExecConfig,
+    ) -> Result<Self> {
+        let mut rts = Vec::with_capacity(sharings.len());
+        for s in sharings {
+            rts.push(Self::build_rt(&global, s)?);
+        }
+        let n = global.plan.vertex_count();
+        let mut bus = PubSub::new(config.command_latency);
+        let exec_sub = bus.subscribe(TOPIC_TO_EXECUTOR);
+        Ok(Self {
+            global,
+            model,
+            config,
+            data_ts: vec![Timestamp::ZERO; n],
+            visible_ts: vec![Timestamp::ZERO; n],
+            heartbeats: HashMap::new(),
+            sharings: rts,
+            events: EventQueue::new(),
+            bus,
+            exec_sub,
+            last_heartbeat: None,
+            last_compaction: Timestamp::ZERO,
+            tuples_moved: 0,
+            tuples_per_sharing: HashMap::new(),
+            push_records: Vec::new(),
+        })
+    }
+
+    /// Marks all derived vertices as freshly seeded at `now` (called by the
+    /// platform right after it materializes their initial contents).
+    pub fn mark_seeded(&mut self, now: Timestamp) {
+        for v in self.global.plan.vertices() {
+            if !v.is_base {
+                self.data_ts[v.id.index()] = now;
+                self.visible_ts[v.id.index()] = now;
+            }
+        }
+        self.last_compaction = now;
+    }
+
+    /// **On-the-fly addition** (paper §10 future work): merges a newly
+    /// admitted sharing's plan into the running global plan. Vertex ids are
+    /// append-only, so existing runtime state, in-flight pushes and queued
+    /// events stay valid. Returns the ids of vertices new to the plan; the
+    /// platform must materialize and seed them, then call
+    /// [`Executor::mark_vertices_seeded`].
+    pub fn add_sharing(
+        &mut self,
+        sharing: &Sharing,
+        planned: &crate::optimizer::PlannedSharing,
+    ) -> Result<Vec<VertexId>> {
+        let before = self.global.plan.vertex_count();
+        self.global.merge(sharing, planned)?;
+        let after = self.global.plan.vertex_count();
+        self.data_ts.resize(after, Timestamp::ZERO);
+        self.visible_ts.resize(after, Timestamp::ZERO);
+        let rt = Self::build_rt(&self.global, sharing)?;
+        self.sharings.push(rt);
+        Ok((before..after).map(|i| VertexId::new(i as u32)).collect())
+    }
+
+    /// Marks freshly materialized vertices as seeded at `now`.
+    pub fn mark_vertices_seeded(&mut self, vertices: &[VertexId], now: Timestamp) {
+        for &v in vertices {
+            if !self.global.plan.vertex(v).is_base {
+                self.data_ts[v.index()] = now;
+                self.visible_ts[v.index()] = now;
+            }
+        }
+    }
+
+    /// **On-the-fly removal** (paper §10 future work): retires a sharing.
+    /// Its runtime slot becomes a tombstone (indexes in queued events must
+    /// stay stable), `SHR` sets are recomputed, and the storage slots of
+    /// vertices that no longer serve anyone are returned for the platform
+    /// to drop. The inert plan vertices themselves remain until the next
+    /// full install — they cost nothing at run time.
+    pub fn remove_sharing(&mut self, id: SharingId) -> Result<Vec<(MachineId, RelationId)>> {
+        let rt = self
+            .sharings
+            .iter_mut()
+            .find(|r| r.id == id && !r.retired)
+            .ok_or(SmileError::UnknownSharing(id))?;
+        rt.retired = true;
+        self.global.sharings.retain(|m| m.id != id);
+        self.global.recompute_shr()?;
+        // Collect every slot (Relation+Delta pairs share one; half-join
+        // deltas have their own) that no longer serves any sharing. A slot
+        // is droppable only if *all* vertices mapped to it are unserved.
+        let mut still_used: std::collections::HashSet<(MachineId, RelationId)> =
+            std::collections::HashSet::new();
+        let mut candidates: std::collections::HashSet<(MachineId, RelationId)> =
+            std::collections::HashSet::new();
+        for v in self.global.plan.vertices() {
+            let Some(slot) = v.slot else { continue };
+            if v.is_base || !v.sharings.is_empty() {
+                still_used.insert((v.machine, slot));
+            } else {
+                candidates.insert((v.machine, slot));
+            }
+        }
+        Ok(candidates.difference(&still_used).copied().collect())
+    }
+
+    /// Current staleness of a sharing: base relations are current as of
+    /// `now`, so staleness is `now − TS(MV)`.
+    pub fn staleness(&self, id: SharingId, now: Timestamp) -> Result<SimDuration> {
+        let rt = self
+            .sharings
+            .iter()
+            .find(|r| r.id == id)
+            .ok_or(SmileError::UnknownSharing(id))?;
+        Ok(now - self.visible_ts[rt.mv.index()])
+    }
+
+    /// Committed MV timestamp of a sharing.
+    pub fn mv_ts(&self, id: SharingId) -> Result<Timestamp> {
+        let rt = self
+            .sharings
+            .iter()
+            .find(|r| r.id == id)
+            .ok_or(SmileError::UnknownSharing(id))?;
+        Ok(self.visible_ts[rt.mv.index()])
+    }
+
+    /// The executor's view of a sharing's SLA.
+    pub fn sla(&self, id: SharingId) -> Option<SimDuration> {
+        self.sharings.iter().find(|r| r.id == id).map(|r| r.sla)
+    }
+
+    /// One scheduler tick at simulated time `now`.
+    pub fn tick(&mut self, cluster: &mut Cluster, now: Timestamp) -> Result<()> {
+        self.drain_events(now);
+        self.heartbeat_round(cluster, now);
+        self.poll_bus(now);
+        self.schedule_pushes(cluster, now)?;
+        if now - self.last_compaction >= self.config.compaction_period {
+            self.compact(cluster, now)?;
+            self.last_compaction = now;
+        }
+        Ok(())
+    }
+
+    fn drain_events(&mut self, now: Timestamp) {
+        while self.events.peek_time().is_some_and(|t| t <= now) {
+            let (at, ev) = self.events.pop().expect("peeked");
+            match ev {
+                ExecEvent::Commit { vertex, ts } => {
+                    let slot = &mut self.visible_ts[vertex.index()];
+                    if ts > *slot {
+                        *slot = ts;
+                    }
+                }
+                ExecEvent::PushDone {
+                    idx,
+                    issued,
+                    target,
+                    predicted,
+                    staleness_before,
+                    tuples,
+                } => {
+                    self.sharings[idx].in_flight = false;
+                    let actual = at - issued;
+                    if self.config.feedback {
+                        self.model.observe(predicted, actual);
+                    }
+                    let id = self.sharings[idx].id;
+                    self.push_records.push(PushRecord {
+                        sharing: id,
+                        issued,
+                        completed: at,
+                        target,
+                        staleness_before,
+                        staleness_after: at - target,
+                        advanced: SimDuration::ZERO, // fixed up below
+                        tuples,
+                    });
+                    // `advanced` = target − previous record's target for this
+                    // sharing (or the seed time); derive from staleness
+                    // fields: issued − staleness_before is the old MV ts.
+                    let last = self.push_records.last_mut().expect("just pushed");
+                    last.advanced = target - (issued - staleness_before);
+                }
+            }
+        }
+    }
+
+    /// Agents publish heartbeats for every base relation vertex.
+    fn heartbeat_round(&mut self, cluster: &Cluster, now: Timestamp) {
+        if self
+            .last_heartbeat
+            .is_some_and(|t| now - t < self.config.heartbeat_period)
+        {
+            return;
+        }
+        self.last_heartbeat = Some(now);
+        let mut beats = Vec::new();
+        for v in self.global.plan.vertices() {
+            if v.is_base && v.kind == VertexKind::Relation {
+                // A base relation is consistent with itself as of the
+                // moment the agent reads it; report the machine clock.
+                let ts = cluster.clock.read(v.machine, now);
+                beats.push(AgentMsg::Heartbeat {
+                    machine: v.machine,
+                    vertex: v.id,
+                    ts,
+                });
+            }
+        }
+        for b in beats {
+            self.bus.publish(now, TOPIC_TO_EXECUTOR, b);
+        }
+    }
+
+    fn poll_bus(&mut self, now: Timestamp) {
+        for msg in self.bus.poll(self.exec_sub, now) {
+            if let AgentMsg::Heartbeat { vertex, ts, .. } = msg {
+                let e = self.heartbeats.entry(vertex).or_insert(ts);
+                if ts > *e {
+                    *e = ts;
+                }
+            }
+        }
+    }
+
+    /// `MINTS(SRC(S_i))` / `MAXTS(SRC(S_i))` from the heartbeat cache.
+    fn src_ts_range(&self, rt: &SharingRt) -> Option<(Timestamp, Timestamp)> {
+        if rt.srcs.is_empty() {
+            return None;
+        }
+        let mut min = Timestamp::MAX;
+        let mut max = Timestamp::ZERO;
+        for v in &rt.srcs {
+            let ts = *self.heartbeats.get(v)?;
+            min = min.min(ts);
+            max = max.max(ts);
+        }
+        Some((min, max))
+    }
+
+    fn schedule_pushes(&mut self, cluster: &mut Cluster, now: Timestamp) -> Result<()> {
+        for idx in 0..self.sharings.len() {
+            let rt = self.sharings[idx].clone();
+            if rt.in_flight || rt.retired {
+                continue;
+            }
+            let Some((min_src, _max_src)) = self.src_ts_range(&rt) else {
+                continue; // no heartbeats yet
+            };
+            let mv_data_ts = self.data_ts[rt.mv.index()];
+            if min_src <= mv_data_ts {
+                continue; // nothing new to move
+            }
+            let window_secs = (min_src - mv_data_ts).as_secs_f64();
+            let cp = critical_path(
+                &self.global.plan,
+                Scope::Sharing(rt.id),
+                window_secs,
+                &self.model,
+            );
+            let staleness_now = now - self.visible_ts[rt.mv.index()];
+            if self.config.lazy {
+                // Wait as long as possible: fire only when finishing a push
+                // started one tick later would land at l·SLA or beyond.
+                let projected = staleness_now + cp + self.config.tick;
+                if projected < rt.sla.mul_f64(self.config.l_factor) {
+                    continue;
+                }
+            }
+            // Clamp the target to local time: a skewed machine clock can
+            // heartbeat a timestamp *ahead* of true time, and pushing past
+            // `now` would permanently skip entries that arrive inside the
+            // already-consumed window.
+            let min_src = min_src.min(now);
+            if min_src <= mv_data_ts {
+                continue;
+            }
+            let target = self.choose_target(&rt, mv_data_ts, min_src, now);
+            self.start_push(cluster, idx, target, now)?;
+        }
+        Ok(())
+    }
+
+    /// Binary search (§8.2) for the latest target `t` in
+    /// `(TS(MV), MINTS(SRC)]` whose projected completion staleness fits the
+    /// SLA; falls back to `MINTS(SRC)` (best effort) when none does.
+    fn choose_target(
+        &self,
+        rt: &SharingRt,
+        mv_ts: Timestamp,
+        min_src: Timestamp,
+        now: Timestamp,
+    ) -> Timestamp {
+        let projected = |t: Timestamp| -> SimDuration {
+            let x = (t - mv_ts).as_secs_f64();
+            let cp = critical_path(&self.global.plan, Scope::Sharing(rt.id), x, &self.model);
+            // Completion at now + cp; sources will have advanced there too.
+            (now + cp) - t
+        };
+        if projected(min_src) <= rt.sla {
+            return min_src;
+        }
+        // Overloaded: the freshest target already misses. Search for the
+        // largest t that still fits; if none fits, best-effort full push.
+        let (mut lo, mut hi) = (mv_ts, min_src);
+        let mut best = None;
+        for _ in 0..20 {
+            let mid = lo.midpoint(hi);
+            if mid == lo || mid == hi {
+                break;
+            }
+            if projected(mid) <= rt.sla {
+                best = Some(mid);
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        best.unwrap_or(min_src)
+    }
+
+    /// Issues the PUSH command sequence advancing sharing `idx` to `target`.
+    pub(crate) fn start_push(
+        &mut self,
+        cluster: &mut Cluster,
+        idx: usize,
+        target: Timestamp,
+        now: Timestamp,
+    ) -> Result<Timestamp> {
+        let rt = self.sharings[idx].clone();
+        let staleness_before = now - self.visible_ts[rt.mv.index()];
+        let window_secs = (target - self.data_ts[rt.mv.index()]).as_secs_f64();
+        let predicted = critical_path(
+            &self.global.plan,
+            Scope::Sharing(rt.id),
+            window_secs,
+            &self.model,
+        );
+
+        let mut ready: HashMap<VertexId, Timestamp> = HashMap::new();
+        let mut tuples_total = 0u64;
+        let mut completion = now;
+        for &v in &rt.order {
+            if self.data_ts[v.index()] >= target {
+                // Another sharing already advanced this shared vertex.
+                ready.insert(v, now);
+                continue;
+            }
+            let edge = self
+                .global
+                .plan
+                .producer(v)
+                .ok_or_else(|| {
+                    SmileError::Internal(format!("non-base vertex {v} has no producer"))
+                })?
+                .clone();
+            let submit = edge
+                .inputs
+                .iter()
+                .filter_map(|i| ready.get(i).copied())
+                .max()
+                .unwrap_or(now)
+                .max(now + self.config.command_latency);
+            let from = self.data_ts[v.index()];
+            let run = push::run_edge(
+                cluster,
+                &self.global.plan,
+                &edge,
+                from,
+                target,
+                submit,
+                &self.model,
+                rt.id,
+            )?;
+            self.data_ts[v.index()] = target;
+            ready.insert(v, run.end);
+            tuples_total += run.tuples;
+            self.events.push(
+                run.end,
+                ExecEvent::Commit {
+                    vertex: v,
+                    ts: target,
+                },
+            );
+            if v == rt.mv {
+                completion = run.end;
+            }
+        }
+        // A fully-skipped push (everything shared and ahead) commits now.
+        completion = completion.max(now);
+        self.tuples_moved += tuples_total;
+        *self.tuples_per_sharing.entry(rt.id).or_default() += tuples_total;
+        self.events.push(
+            completion,
+            ExecEvent::PushDone {
+                idx,
+                issued: now,
+                target,
+                predicted,
+                staleness_before,
+                tuples: tuples_total,
+            },
+        );
+        self.sharings[idx].in_flight = true;
+        Ok(completion)
+    }
+
+    /// Compacts every slot's delta log below the minimum timestamp its
+    /// consumers could still request (minus the safety margin).
+    fn compact(&mut self, cluster: &mut Cluster, _now: Timestamp) -> Result<()> {
+        let mut bound: HashMap<(MachineId, RelationId), Timestamp> = HashMap::new();
+        // Seed bounds with each vertex's own data_ts (slots nobody consumes
+        // can be compacted to their own progress).
+        for v in self.global.plan.vertices() {
+            let Some(slot) = v.slot else { continue };
+            let own = if v.is_base {
+                // Base slots have no data_ts of their own; they are bounded
+                // purely by consumers below.
+                Timestamp::MAX
+            } else {
+                self.data_ts[v.id.index()]
+            };
+            let e = bound.entry((v.machine, slot)).or_insert(Timestamp::MAX);
+            *e = (*e).min(own);
+        }
+        // Every edge may re-read its inputs back to its output's data_ts.
+        for e in self.global.plan.edges() {
+            if e.inputs.is_empty() {
+                continue; // detached
+            }
+            let out_ts = self.data_ts[e.output.index()];
+            for &input in &e.inputs {
+                let iv = self.global.plan.vertex(input);
+                let Some(slot) = iv.slot else { continue };
+                let b = bound.entry((iv.machine, slot)).or_insert(Timestamp::MAX);
+                *b = (*b).min(out_ts);
+            }
+        }
+        for ((machine, slot), ts) in bound {
+            if ts == Timestamp::MAX {
+                continue;
+            }
+            let cut = ts - self.config.compaction_margin;
+            let m = cluster.machine_mut(machine)?;
+            if m.db.has_relation(slot) {
+                m.db.compact(slot, cut)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The sharings this executor maintains (retired ones excluded).
+    pub fn sharing_ids(&self) -> Vec<SharingId> {
+        self.sharings
+            .iter()
+            .filter(|r| !r.retired)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Whether a push for the sharing is currently in flight.
+    pub fn in_flight(&self, id: SharingId) -> bool {
+        self.sharings
+            .iter()
+            .find(|r| r.id == id)
+            .is_some_and(|r| r.in_flight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::BaseStats;
+    use crate::platform::{Smile, SmileConfig};
+    use smile_storage::delta::{DeltaBatch, DeltaEntry};
+    use smile_storage::join::JoinOn;
+    use smile_storage::{Predicate, SpjQuery};
+    use smile_types::{tuple, Column, ColumnType, RelationId, Schema};
+
+    fn schema(cols: &[(&str, ColumnType)], key: Vec<usize>) -> Schema {
+        Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(), key)
+    }
+
+    /// Two machines, one joined sharing, workload helper.
+    fn installed(lazy: bool, sla_secs: u64) -> (Smile, RelationId, RelationId, SharingId) {
+        let mut config = SmileConfig::with_machines(2);
+        config.exec.lazy = lazy;
+        let mut smile = Smile::new(config);
+        let a = smile
+            .register_base(
+                "a",
+                schema(&[("k", ColumnType::I64)], vec![0]),
+                smile_types::MachineId::new(0),
+                BaseStats {
+                    update_rate: 5.0,
+                    cardinality: 100.0,
+                    tuple_bytes: 16.0,
+                    distinct: vec![100.0],
+                },
+            )
+            .unwrap();
+        let b = smile
+            .register_base(
+                "b",
+                schema(&[("k", ColumnType::I64), ("v", ColumnType::I64)], vec![0]),
+                smile_types::MachineId::new(1),
+                BaseStats {
+                    update_rate: 5.0,
+                    cardinality: 100.0,
+                    tuple_bytes: 16.0,
+                    distinct: vec![100.0, 50.0],
+                },
+            )
+            .unwrap();
+        let q = SpjQuery::scan(a).join(b, JoinOn::on(0, 0), Predicate::True);
+        let id = smile
+            .submit("t", q, SimDuration::from_secs(sla_secs), 0.001)
+            .unwrap();
+        smile.install().unwrap();
+        (smile, a, b, id)
+    }
+
+    fn feed(smile: &mut Smile, a: RelationId, b: RelationId, ticks: u64) {
+        for s in 0..ticks {
+            let now = smile.now();
+            smile
+                .ingest(
+                    a,
+                    DeltaBatch {
+                        entries: vec![DeltaEntry::insert(tuple![(s % 20) as i64], now)],
+                    },
+                )
+                .unwrap();
+            smile
+                .ingest(
+                    b,
+                    DeltaBatch {
+                        entries: vec![DeltaEntry::insert(tuple![(s % 20) as i64, s as i64], now)],
+                    },
+                )
+                .unwrap();
+            smile.step().unwrap();
+        }
+    }
+
+    #[test]
+    fn lazy_pushes_far_less_often_than_eager() {
+        let (mut lazy, a, b, _) = installed(true, 20);
+        feed(&mut lazy, a, b, 90);
+        let lazy_pushes = lazy.executor.as_ref().unwrap().push_records.len();
+
+        let (mut eager, a2, b2, _) = installed(false, 20);
+        feed(&mut eager, a2, b2, 90);
+        let eager_pushes = eager.executor.as_ref().unwrap().push_records.len();
+
+        assert!(lazy_pushes >= 1);
+        assert!(
+            eager_pushes > lazy_pushes * 4,
+            "eager {eager_pushes} vs lazy {lazy_pushes}"
+        );
+    }
+
+    #[test]
+    fn pushes_never_overlap_per_sharing() {
+        let (mut smile, a, b, id) = installed(true, 15);
+        feed(&mut smile, a, b, 120);
+        let records = &smile.executor.as_ref().unwrap().push_records;
+        let mut last_completed = Timestamp::ZERO;
+        for r in records.iter().filter(|r| r.sharing == id) {
+            assert!(
+                r.issued >= last_completed,
+                "push at {} overlapped previous completion {}",
+                r.issued,
+                last_completed
+            );
+            assert!(r.completed >= r.issued);
+            last_completed = r.completed;
+        }
+    }
+
+    #[test]
+    fn push_targets_advance_monotonically() {
+        let (mut smile, a, b, id) = installed(true, 15);
+        feed(&mut smile, a, b, 120);
+        let records = &smile.executor.as_ref().unwrap().push_records;
+        let mut last_target = Timestamp::ZERO;
+        for r in records.iter().filter(|r| r.sharing == id) {
+            assert!(r.target > last_target);
+            last_target = r.target;
+        }
+    }
+
+    #[test]
+    fn compaction_keeps_delta_logs_bounded() {
+        let (mut smile, a, b, _) = installed(true, 10);
+        feed(&mut smile, a, b, 300);
+        // Base delta logs must not retain anything like the full history
+        // (300 entries each) after periodic compaction.
+        for (rel, m) in [(a, 0u32), (b, 1u32)] {
+            let len = smile
+                .cluster
+                .machine(smile_types::MachineId::new(m))
+                .unwrap()
+                .db
+                .relation(rel)
+                .unwrap()
+                .delta
+                .len();
+            assert!(
+                len < 150,
+                "delta log of {rel} grew to {len} entries despite compaction"
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_reflects_mv_lag_and_unknown_sharing_errors() {
+        let (mut smile, a, b, id) = installed(true, 20);
+        feed(&mut smile, a, b, 10);
+        let executor = smile.executor.as_ref().unwrap();
+        let s = executor.staleness(id, smile.now()).unwrap();
+        assert!(s <= SimDuration::from_secs(10));
+        assert!(executor.staleness(SharingId::new(99), smile.now()).is_err());
+        assert_eq!(executor.sla(id), Some(SimDuration::from_secs(20)));
+        assert_eq!(executor.sla(SharingId::new(99)), None);
+    }
+
+    #[test]
+    fn feedback_inflation_starts_at_unity() {
+        let (smile, _, _, _) = installed(true, 20);
+        assert_eq!(smile.executor.as_ref().unwrap().model.inflation(), 1.0);
+    }
+}

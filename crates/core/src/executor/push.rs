@@ -1,0 +1,383 @@
+//! PUSH command execution: running one plan edge against the cluster.
+//!
+//! A PUSH advances a vertex's timestamp by applying its producing edge's
+//! operator to the delta window `(from, to]` (paper §8.1). Every operation
+//! both **moves real tuples** through the storage engine and **occupies
+//! simulated resources** — the CPU FIFO of the machine it runs on, the NIC
+//! for `CopyDelta` — so queueing delays and dollar costs emerge from the
+//! same call that maintains the data.
+//!
+//! Join edges read the non-delta side at a *snapshot*. Rather than cloning
+//! the whole relation to roll it back (the naive compensation), the probe
+//! algebra is used:
+//!
+//! ```text
+//! Δ ⋈ R@at  =  Δ ⋈ R@now  −  Δ ⋈ (R@now − R@at)
+//! ```
+//!
+//! where `R@now − R@at` is the (small) consolidated delta window between
+//! the snapshot and the table's current state — so the big side is probed
+//! through its persistent secondary index and only the correction is
+//! materialized.
+
+use crate::plan::dag::{DeltaSide, Edge, EdgeOp, Plan, SnapshotSem, VertexKind};
+use crate::plan::timecost::TimeCostModel;
+use smile_sim::Cluster;
+use smile_storage::delta::{DeltaBatch, DeltaEntry};
+use smile_storage::{wal, Predicate};
+use smile_types::{Result, SharingId, SmileError, Timestamp, Tuple, VertexId};
+
+/// Outcome of executing one edge.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeRun {
+    /// Simulated completion time (queueing + service + wire).
+    pub end: Timestamp,
+    /// Tuples moved (input window for copies/applies, outputs for joins).
+    pub tuples: u64,
+}
+
+fn slot_of(plan: &Plan, v: VertexId) -> Result<smile_types::RelationId> {
+    plan.vertex(v)
+        .slot
+        .ok_or_else(|| SmileError::Internal(format!("vertex {v} has no storage slot")))
+}
+
+fn apply_filter_projection(
+    batch: DeltaBatch,
+    filter: &Predicate,
+    projection: Option<&Vec<usize>>,
+) -> DeltaBatch {
+    if *filter == Predicate::True && projection.is_none() {
+        return batch;
+    }
+    DeltaBatch {
+        entries: batch
+            .entries
+            .into_iter()
+            .filter(|e| filter.eval(&e.tuple))
+            .map(|mut e| {
+                if let Some(cols) = projection {
+                    e.tuple = e.tuple.project(cols);
+                }
+                e
+            })
+            .collect(),
+    }
+}
+
+/// Executes one edge, moving the window `(from, to]` and advancing the
+/// output's storage. `submit` is when the command reaches the agent; the
+/// returned `end` reflects machine queueing. Resources are charged to
+/// `charge_to` — the sharing whose push *triggered* the work (shared
+/// vertices are advanced once and later pushes ride along for free, which
+/// is exactly the Figure 10 subsidy effect).
+#[allow(clippy::too_many_arguments)]
+pub fn run_edge(
+    cluster: &mut Cluster,
+    plan: &Plan,
+    edge: &Edge,
+    from: Timestamp,
+    to: Timestamp,
+    submit: Timestamp,
+    model: &TimeCostModel,
+    charge_to: SharingId,
+) -> Result<EdgeRun> {
+    let sharings: Vec<SharingId> = vec![charge_to];
+    let _ = &edge.sharings;
+    match &edge.op {
+        EdgeOp::CopyDelta => run_copy(cluster, plan, edge, from, to, submit, model, &sharings),
+        EdgeOp::DeltaToRel => run_apply(cluster, plan, edge, to, submit, model, &sharings),
+        EdgeOp::Join {
+            on,
+            delta_side,
+            snapshot,
+            snapshot_filter,
+        } => run_join(
+            cluster,
+            plan,
+            edge,
+            from,
+            to,
+            submit,
+            model,
+            &sharings,
+            on,
+            *delta_side,
+            *snapshot,
+            snapshot_filter,
+        ),
+        EdgeOp::Union => run_union(cluster, plan, edge, from, to, submit, model, &sharings),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_copy(
+    cluster: &mut Cluster,
+    plan: &Plan,
+    edge: &Edge,
+    from: Timestamp,
+    to: Timestamp,
+    submit: Timestamp,
+    model: &TimeCostModel,
+    sharings: &[SharingId],
+) -> Result<EdgeRun> {
+    let src_v = plan.vertex(edge.inputs[0]);
+    let dst_v = plan.vertex(edge.output);
+    let src_slot = slot_of(plan, src_v.id)?;
+    let dst_slot = slot_of(plan, dst_v.id)?;
+
+    let raw = cluster
+        .machine(src_v.machine)?
+        .db
+        .delta_window(src_slot, from, to)?;
+    let batch = apply_filter_projection(raw, &edge.filter, edge.projection.as_ref());
+    let n = batch.len() as u64;
+
+    // Ship WAL bytes across the wire when machines differ.
+    let mut arrive = submit;
+    if src_v.machine != dst_v.machine {
+        let bytes = wal::encode(&batch);
+        let (res, usage) = cluster
+            .machine_mut(src_v.machine)?
+            .send(submit, bytes.len() as u64);
+        cluster.ledger.charge(usage, sharings);
+        // The WAL round-trip is the real data path: decode on arrival.
+        let decoded = wal::decode(bytes)?;
+        debug_assert_eq!(decoded, batch);
+        arrive = res.end;
+    }
+    let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
+    let (res, usage) = cluster.machine_mut(dst_v.machine)?.run_cpu(arrive, service);
+    cluster.ledger.charge(usage, sharings);
+    let batch = apply_aggregate(cluster, dst_v.machine, dst_slot, batch, edge)?;
+    cluster
+        .machine_mut(dst_v.machine)?
+        .db
+        .append_delta(dst_slot, batch)?;
+    Ok(EdgeRun {
+        end: res.end,
+        tuples: n,
+    })
+}
+
+/// Applies the edge's aggregation (if any) to a batch destined for the MV's
+/// delta: the raw window is folded into aggregate-space delete/insert
+/// entries against the MV's current rows (the output slot is the MV's).
+fn apply_aggregate(
+    cluster: &Cluster,
+    machine: smile_types::MachineId,
+    slot: smile_types::RelationId,
+    batch: DeltaBatch,
+    edge: &Edge,
+) -> Result<DeltaBatch> {
+    let Some(spec) = &edge.aggregate else {
+        return Ok(batch);
+    };
+    let table = &cluster.machine(machine)?.db.relation(slot)?.table;
+    spec.delta_transform(&batch, |g| table.get_by_key(g))
+}
+
+fn run_apply(
+    cluster: &mut Cluster,
+    plan: &Plan,
+    edge: &Edge,
+    to: Timestamp,
+    submit: Timestamp,
+    model: &TimeCostModel,
+    sharings: &[SharingId],
+) -> Result<EdgeRun> {
+    let out_v = plan.vertex(edge.output);
+    let slot = slot_of(plan, out_v.id)?;
+    let machine = cluster.machine_mut(out_v.machine)?;
+    let n = machine.db.apply_pending(slot, to)? as u64;
+    let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
+    let (res, usage) = machine.run_cpu(submit, service);
+    cluster.ledger.charge(usage, sharings);
+    Ok(EdgeRun {
+        end: res.end,
+        tuples: n,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_join(
+    cluster: &mut Cluster,
+    plan: &Plan,
+    edge: &Edge,
+    from: Timestamp,
+    to: Timestamp,
+    submit: Timestamp,
+    model: &TimeCostModel,
+    sharings: &[SharingId],
+    on: &smile_storage::join::JoinOn,
+    delta_side: DeltaSide,
+    snapshot: SnapshotSem,
+    snapshot_filter: &Predicate,
+) -> Result<EdgeRun> {
+    let delta_v = plan.vertex(edge.inputs[0]);
+    let rel_v = plan.vertex(edge.inputs[1]);
+    let out_v = plan.vertex(edge.output);
+    debug_assert_eq!(delta_v.machine, out_v.machine);
+    debug_assert_eq!(rel_v.machine, out_v.machine);
+    debug_assert_eq!(rel_v.kind, VertexKind::Relation);
+    let delta_slot = slot_of(plan, delta_v.id)?;
+    let rel_slot = slot_of(plan, rel_v.id)?;
+    let out_slot = slot_of(plan, out_v.id)?;
+
+    // Column orientation: the delta probes with its side's join columns and
+    // matches rows on the snapshot side's columns.
+    let (delta_cols, snap_cols) = match delta_side {
+        DeltaSide::Left => (&on.left_cols, &on.right_cols),
+        DeltaSide::Right => (&on.right_cols, &on.left_cols),
+    };
+    let at = match snapshot {
+        SnapshotSem::WindowStart => from,
+        SnapshotSem::WindowEnd => to,
+    };
+
+    let machine = cluster.machine(out_v.machine)?;
+    let window = {
+        let raw = machine.db.delta_window(delta_slot, from, to)?;
+        apply_filter_projection(raw, &edge.filter, None)
+    };
+
+    let mut outputs: Vec<DeltaEntry> = Vec::new();
+    let window_len = window.len() as u64;
+    if !window.is_empty() {
+        let slot_ref = machine.db.relation(rel_slot)?;
+        let table = &slot_ref.table;
+        if !table.has_index(snap_cols) {
+            return Err(SmileError::Internal(format!(
+                "relation vertex {} lacks the secondary index {:?} its join edge probes",
+                rel_v.id, snap_cols
+            )));
+        }
+        let concat = |d: &Tuple, s: &Tuple| match delta_side {
+            DeltaSide::Left => d.concat(s),
+            DeltaSide::Right => s.concat(d),
+        };
+        // Main probe against the table's current contents via the index.
+        for e in &window.entries {
+            let key = e.tuple.project(delta_cols);
+            if let Some(bucket) = table.probe_index(snap_cols, &key) {
+                for (row, &w) in bucket {
+                    if !snapshot_filter.eval(row) {
+                        continue;
+                    }
+                    let weight = e.weight * w;
+                    if weight != 0 {
+                        outputs.push(DeltaEntry {
+                            tuple: concat(&e.tuple, row),
+                            weight,
+                            ts: e.ts,
+                        });
+                    }
+                }
+            }
+        }
+        // Correction: the table is at `table.ts()`, we need it at `at`.
+        //   R@at = R@now − Σ(at, now]   (at < now)
+        //   R@at = R@now + Σ(now, at]   (at > now)
+        let table_ts = table.ts();
+        if at != table_ts {
+            let (corr, sign) = if at < table_ts {
+                (slot_ref.delta.window(at, table_ts).to_zset(), -1)
+            } else {
+                (slot_ref.delta.window(table_ts, at).to_zset(), 1)
+            };
+            if !corr.is_empty() {
+                // Index the correction by the snapshot-side join columns.
+                let mut corr_index: std::collections::HashMap<Tuple, Vec<(&Tuple, i64)>> =
+                    std::collections::HashMap::new();
+                for (t, w) in corr.iter() {
+                    if !snapshot_filter.eval(t) {
+                        continue;
+                    }
+                    corr_index
+                        .entry(t.project(snap_cols))
+                        .or_default()
+                        .push((t, w));
+                }
+                for e in &window.entries {
+                    let key = e.tuple.project(delta_cols);
+                    if let Some(matches) = corr_index.get(&key) {
+                        for (row, w) in matches {
+                            let weight = e.weight * w * sign;
+                            if weight != 0 {
+                                outputs.push(DeltaEntry {
+                                    tuple: concat(&e.tuple, row),
+                                    weight,
+                                    ts: e.ts,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let produced = outputs.len() as u64;
+    let n = window_len.max(produced);
+    let batch = DeltaBatch { entries: outputs };
+    let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
+    let machine = cluster.machine_mut(out_v.machine)?;
+    let (res, usage) = machine.run_cpu(submit, service);
+    cluster.ledger.charge(usage, sharings);
+    cluster
+        .machine_mut(out_v.machine)?
+        .db
+        .append_delta(out_slot, batch)?;
+    Ok(EdgeRun {
+        end: res.end,
+        tuples: n,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_union(
+    cluster: &mut Cluster,
+    plan: &Plan,
+    edge: &Edge,
+    from: Timestamp,
+    to: Timestamp,
+    submit: Timestamp,
+    model: &TimeCostModel,
+    sharings: &[SharingId],
+) -> Result<EdgeRun> {
+    let out_v = plan.vertex(edge.output);
+    let out_slot = slot_of(plan, out_v.id)?;
+    let mut merged: Vec<DeltaEntry> = Vec::new();
+    for &input in &edge.inputs {
+        let in_v = plan.vertex(input);
+        debug_assert_eq!(in_v.machine, out_v.machine);
+        let in_slot = slot_of(plan, input)?;
+        let raw = cluster
+            .machine(out_v.machine)?
+            .db
+            .delta_window(in_slot, from, to)?;
+        let filtered = apply_filter_projection(raw, &edge.filter, edge.projection.as_ref());
+        merged.extend(filtered.entries);
+    }
+    // Keep the output log timestamp-sorted.
+    merged.sort_by_key(|e| e.ts);
+    let n = merged.len() as u64;
+    let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
+    let (res, usage) = cluster.machine_mut(out_v.machine)?.run_cpu(submit, service);
+    cluster.ledger.charge(usage, sharings);
+    let batch = apply_aggregate(
+        cluster,
+        out_v.machine,
+        out_slot,
+        DeltaBatch { entries: merged },
+        edge,
+    )?;
+    cluster
+        .machine_mut(out_v.machine)?
+        .db
+        .append_delta(out_slot, batch)?;
+    Ok(EdgeRun {
+        end: res.end,
+        tuples: n,
+    })
+}

@@ -1,0 +1,726 @@
+//! Multi-sharing optimization: the global plan and plumbing (paper §7).
+//!
+//! The global plan `D` merges every admitted sharing's plan, discarding
+//! duplicate vertices and edges (same signature, machine and producer).
+//! Remaining commonality is exploited by **plumbing operations**:
+//!
+//! * **Copy plumbing** — a delta vertex whose contents already exist on
+//!   another machine is re-fed by a single `CopyDelta`, and its private
+//!   supply chain is discarded;
+//! * **Join plumbing** — a half-join delta vertex is recomputed from an
+//!   existing relation replica and an existing delta stream (one `Join`
+//!   plus up to two `CopyDelta`s), replacing its private chain.
+//!
+//! A plumbing is feasible only if its **benefit** (global dollar-rate saved
+//! minus the new edges' cost) is positive and no sharing's critical time
+//! path grows beyond its SLA. The [`hill_climb`] pass applies the
+//! best-benefit plumbing repeatedly until none remains — the `+HC` variants
+//! of the evaluation (Figures 12–13).
+
+use crate::optimizer::PlannedSharing;
+use crate::plan::cost::{critical_path, res_cost, Scope};
+use crate::plan::dag::{EdgeOp, Plan, Vertex, VertexKind};
+use crate::plan::sig::ExprSig;
+use crate::plan::timecost::TimeCostModel;
+use crate::sharing::Sharing;
+use smile_sim::PriceSheet;
+use smile_storage::Predicate;
+use smile_types::{MachineId, Result, SharingId, SimDuration, SmileError, VertexId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-sharing bookkeeping the global plan needs: where the MV is, and the
+/// SLA constraints plumbing must respect. The MV is tracked by
+/// (signature, machine) so it survives garbage collection's id remapping.
+#[derive(Clone, Debug)]
+pub struct SharingMeta {
+    /// Sharing identity.
+    pub id: SharingId,
+    /// MV content signature.
+    pub mv_sig: ExprSig,
+    /// MV host machine.
+    pub mv_machine: MachineId,
+    /// Staleness SLA.
+    pub sla: SimDuration,
+}
+
+/// The merged global plan `D` plus sharing metadata.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalPlan {
+    /// The merged DAG.
+    pub plan: Plan,
+    /// Metadata per admitted sharing.
+    pub sharings: Vec<SharingMeta>,
+}
+
+impl GlobalPlan {
+    /// Empty global plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The MV Relation vertex of a sharing.
+    pub fn mv_vertex(&self, id: SharingId) -> Result<VertexId> {
+        let meta = self
+            .sharings
+            .iter()
+            .find(|m| m.id == id)
+            .ok_or(SmileError::UnknownSharing(id))?;
+        self.plan
+            .find_vertex(VertexKind::Relation, &meta.mv_sig, meta.mv_machine)
+            .ok_or_else(|| SmileError::Internal(format!("MV vertex of {id} lost from global plan")))
+    }
+
+    /// Merges a planned sharing into the global plan. Identical vertices
+    /// (kind, signature, machine) are reused; when a vertex already has a
+    /// producer in the global plan, the existing supply chain serves the new
+    /// sharing and the incoming duplicate chain is not added.
+    pub fn merge(&mut self, sharing: &Sharing, planned: &PlannedSharing) -> Result<()> {
+        let src = &planned.plan;
+        let order = src.topo_order()?;
+        let mut remap: HashMap<VertexId, VertexId> = HashMap::new();
+        for v in order {
+            let vert = src.vertex(v);
+            let nid = self.plan.add_vertex(
+                vert.kind,
+                vert.sig.clone(),
+                vert.machine,
+                vert.schema.clone(),
+                vert.is_base,
+                None,
+                vert.est_rate,
+                vert.est_card,
+                vert.est_tuple_bytes,
+            );
+            remap.insert(v, nid);
+            // Install the producer unless the global plan already has one.
+            if self.plan.producer(nid).is_none() {
+                if let Some(e) = src.producer(v) {
+                    let inputs = e.inputs.iter().map(|i| remap[i]).collect::<Vec<_>>();
+                    let id = self.plan.add_edge(
+                        e.op.clone(),
+                        inputs,
+                        nid,
+                        e.filter.clone(),
+                        e.projection.clone(),
+                        None,
+                        e.est_rate,
+                        e.est_tuple_bytes,
+                    )?;
+                    if let Some(spec) = &e.aggregate {
+                        self.plan.set_edge_aggregate(id, spec.clone());
+                    }
+                }
+            }
+        }
+        self.sharings.push(SharingMeta {
+            id: sharing.id,
+            mv_sig: src.vertex(planned.mv).sig.clone(),
+            mv_machine: planned.mv_machine,
+            sla: sharing.staleness_sla,
+        });
+        self.recompute_shr()?;
+        Ok(())
+    }
+
+    /// Recomputes every `SHR` set from first principles: a vertex/edge
+    /// serves sharing `s` iff it is the MV of `s` or an ancestor of it.
+    pub fn recompute_shr(&mut self) -> Result<()> {
+        for i in 0..self.plan.vertex_count() {
+            self.plan
+                .vertex_mut(VertexId::new(i as u32))
+                .sharings
+                .clear();
+        }
+        for e in self.plan.edges_mut() {
+            e.sharings.clear();
+        }
+        for meta in &self.sharings {
+            let mv = self
+                .plan
+                .find_vertex(VertexKind::Relation, &meta.mv_sig, meta.mv_machine)
+                .ok_or_else(|| {
+                    SmileError::Internal(format!("MV of {} missing during SHR rebuild", meta.id))
+                })?;
+            let (verts, edges) = self.plan.ancestors(mv);
+            self.plan.vertex_mut(mv).sharings.insert(meta.id);
+            for v in verts {
+                self.plan.vertex_mut(v).sharings.insert(meta.id);
+            }
+            let edge_ids: Vec<usize> = edges.into_iter().collect();
+            for e in edge_ids {
+                self.plan.edges_mut()[e].sharings.insert(meta.id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Garbage-collects unserved vertices/edges (after plumbing re-routes
+    /// supply), rebuilding the plan with dense ids.
+    pub fn gc(&mut self) {
+        self.plan = self.plan.garbage_collect();
+    }
+
+    /// The provider's total steady-state dollar rate for running `D`.
+    pub fn total_cost(&self, model: &TimeCostModel, prices: &PriceSheet) -> f64 {
+        res_cost(&self.plan, Scope::All, model, prices, false)
+    }
+
+    /// Critical time path of one sharing within the global plan.
+    pub fn sharing_cp(&self, id: SharingId, model: &TimeCostModel) -> SimDuration {
+        critical_path(&self.plan, Scope::Sharing(id), 1.0, model)
+    }
+
+    /// True iff every sharing's CP fits its SLA.
+    pub fn all_slas_hold(&self, model: &TimeCostModel) -> bool {
+        self.sharings
+            .iter()
+            .all(|m| self.sharing_cp(m.id, model) <= m.sla)
+    }
+}
+
+/// One plumbing operation candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plumbing {
+    /// Re-feed `dst` with a `CopyDelta` from `src` (same signature,
+    /// different machine), discarding `dst`'s private supply chain.
+    Copy {
+        /// Supplying delta vertex.
+        src: VertexId,
+        /// Re-fed delta vertex.
+        dst: VertexId,
+    },
+    /// Recompute half-join `dst` from relation `rel_src` (on `rel_src`'s
+    /// machine) joined with delta stream `delta_src` (copied there if
+    /// needed), shipping the result to `dst`'s machine.
+    Join {
+        /// The half-join delta vertex being re-fed.
+        dst: VertexId,
+        /// The delta-side source vertex.
+        delta_src: VertexId,
+        /// The relation-side source vertex.
+        rel_src: VertexId,
+    },
+}
+
+/// Result of one hill-climbing run.
+#[derive(Clone, Debug)]
+pub struct HillClimbReport {
+    /// Applied plumbing operations in order.
+    pub applied: Vec<Plumbing>,
+    /// (vertices, edges, dollars/sec) after each iteration, index 0 being
+    /// the initial state — the series of the paper's Figure 13.
+    pub trajectory: Vec<(usize, usize, f64)>,
+}
+
+/// Enumerates candidate plumbing operations on the current global plan.
+pub fn enumerate_plumbings(g: &GlobalPlan) -> Vec<Plumbing> {
+    let mut out = Vec::new();
+    // Group delta vertices by signature.
+    let mut by_sig: HashMap<&ExprSig, Vec<&Vertex>> = HashMap::new();
+    for v in g.plan.vertices() {
+        if v.kind == VertexKind::Delta {
+            by_sig.entry(&v.sig).or_default().push(v);
+        }
+    }
+    // Copy plumbing: same sig on different machines, dst not already fed by
+    // a CopyDelta (from anywhere) and not a base capture point.
+    for group in by_sig.values() {
+        if group.len() < 2 {
+            continue;
+        }
+        for dst in group.iter() {
+            if dst.is_base {
+                continue;
+            }
+            let already_copy_fed = g
+                .plan
+                .producer(dst.id)
+                .is_some_and(|e| matches!(e.op, EdgeOp::CopyDelta));
+            if already_copy_fed {
+                continue;
+            }
+            for src in group.iter() {
+                if src.id == dst.id || src.machine == dst.machine {
+                    continue;
+                }
+                // Feeding dst from src must not create a cycle: src must not
+                // be a descendant of dst.
+                let (anc, _) = g.plan.ancestors(src.id);
+                if anc.contains(&dst.id) {
+                    continue;
+                }
+                out.push(Plumbing::Copy {
+                    src: src.id,
+                    dst: dst.id,
+                });
+            }
+        }
+    }
+    // Join plumbing: dst is a half-join delta; rebuild it from an existing
+    // relation replica of the snapshot side and any delta stream of the
+    // delta side.
+    for dst in g.plan.vertices() {
+        if dst.kind != VertexKind::Delta {
+            continue;
+        }
+        let ExprSig::HalfJoin {
+            left,
+            right,
+            delta_left,
+            ..
+        } = &dst.sig
+        else {
+            continue;
+        };
+        let (delta_sig, rel_sig) = if *delta_left {
+            (left.as_ref(), right.as_ref())
+        } else {
+            (right.as_ref(), left.as_ref())
+        };
+        // The current producer already is a join co-located with some
+        // relation; a re-plumb is interesting when the *relation* exists on
+        // a different machine closer to an existing delta stream.
+        for rel_v in g.plan.find_by_sig(VertexKind::Relation, rel_sig) {
+            let rel = g.plan.vertex(rel_v);
+            if rel.machine == dst.machine {
+                continue; // that is what the current producer already does
+            }
+            for delta_v in g.plan.find_by_sig(VertexKind::Delta, delta_sig) {
+                let (anc_r, _) = g.plan.ancestors(rel_v);
+                let (anc_d, _) = g.plan.ancestors(delta_v);
+                if anc_r.contains(&dst.id) || anc_d.contains(&dst.id) || delta_v == dst.id {
+                    continue;
+                }
+                out.push(Plumbing::Join {
+                    dst: dst.id,
+                    delta_src: delta_v,
+                    rel_src: rel_v,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Applies a plumbing operation to a clone of the global plan, returning the
+/// rewired (SHR-recomputed, garbage-collected) result. Fails when the
+/// rewiring is structurally impossible.
+pub fn apply_plumbing(g: &GlobalPlan, p: &Plumbing) -> Result<GlobalPlan> {
+    let mut out = g.clone();
+    match p {
+        Plumbing::Copy { src, dst } => {
+            let src_v = out.plan.vertex(*src).clone();
+            out.plan.detach_producer(*dst);
+            out.plan.add_edge(
+                EdgeOp::CopyDelta,
+                vec![*src],
+                *dst,
+                Predicate::True,
+                None,
+                None,
+                src_v.est_rate,
+                src_v.est_tuple_bytes,
+            )?;
+        }
+        Plumbing::Join {
+            dst,
+            delta_src,
+            rel_src,
+        } => {
+            let dst_v = out.plan.vertex(*dst).clone();
+            let rel_v = out.plan.vertex(*rel_src).clone();
+            let delta_v = out.plan.vertex(*delta_src).clone();
+            // Recover the join parameters from dst's current producer.
+            let producer = out
+                .plan
+                .producer(*dst)
+                .ok_or_else(|| SmileError::InvalidPlan("join plumbing on source vertex".into()))?;
+            let EdgeOp::Join {
+                on,
+                delta_side,
+                snapshot,
+                snapshot_filter,
+            } = producer.op.clone()
+            else {
+                return Err(SmileError::InvalidPlan(
+                    "join plumbing target is not produced by a Join".into(),
+                ));
+            };
+            let old_filter = producer.filter.clone();
+
+            // Bring the delta stream to the relation's machine. Vertex
+            // creation dedups on (kind, sig, machine): an existing vertex
+            // may sit *downstream* of `dst`, in which case wiring through
+            // it would close a cycle — reject such candidates.
+            let ensure_acyclic = |plan: &crate::plan::dag::Plan, v: smile_types::VertexId| {
+                let (anc, _) = plan.ancestors(v);
+                if anc.contains(dst) {
+                    Err(SmileError::InvalidPlan(
+                        "join plumbing would create a cycle".into(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            };
+            let local_delta = if delta_v.machine == rel_v.machine {
+                *delta_src
+            } else {
+                let d = out.plan.add_vertex(
+                    VertexKind::Delta,
+                    delta_v.sig.clone(),
+                    rel_v.machine,
+                    delta_v.schema.clone(),
+                    false,
+                    None,
+                    delta_v.est_rate,
+                    0.0,
+                    delta_v.est_tuple_bytes,
+                );
+                if out.plan.producer(d).is_none() {
+                    out.plan.add_edge(
+                        EdgeOp::CopyDelta,
+                        vec![*delta_src],
+                        d,
+                        Predicate::True,
+                        None,
+                        None,
+                        delta_v.est_rate,
+                        delta_v.est_tuple_bytes,
+                    )?;
+                }
+                ensure_acyclic(&out.plan, d)?;
+                d
+            };
+            // Compute the half-join at the relation's machine.
+            let half_at_rel = out.plan.add_vertex(
+                VertexKind::Delta,
+                dst_v.sig.clone(),
+                rel_v.machine,
+                dst_v.schema.clone(),
+                false,
+                None,
+                dst_v.est_rate,
+                0.0,
+                dst_v.est_tuple_bytes,
+            );
+            ensure_acyclic(&out.plan, half_at_rel)?;
+            if out.plan.producer(half_at_rel).is_none() {
+                out.plan.add_edge(
+                    EdgeOp::Join {
+                        on,
+                        delta_side,
+                        snapshot,
+                        snapshot_filter,
+                    },
+                    vec![local_delta, *rel_src],
+                    half_at_rel,
+                    old_filter,
+                    None,
+                    None,
+                    dst_v.est_rate,
+                    dst_v.est_tuple_bytes,
+                )?;
+            }
+            // Ship it to dst.
+            out.plan.detach_producer(*dst);
+            out.plan.add_edge(
+                EdgeOp::CopyDelta,
+                vec![half_at_rel],
+                *dst,
+                Predicate::True,
+                None,
+                None,
+                dst_v.est_rate,
+                dst_v.est_tuple_bytes,
+            )?;
+        }
+    }
+    // Guard against any cycle the rewiring may have introduced before the
+    // (panicking) garbage collection walks the graph.
+    out.plan.topo_order()?;
+    out.recompute_shr()?;
+    out.gc();
+    out.plan.validate()?;
+    Ok(out)
+}
+
+/// Greedy hill climbing (paper §7.2): repeatedly applies the plumbing with
+/// the largest positive benefit that keeps every sharing within its SLA,
+/// until none qualifies.
+pub fn hill_climb(
+    g: &mut GlobalPlan,
+    model: &TimeCostModel,
+    prices: &PriceSheet,
+    max_iterations: usize,
+) -> HillClimbReport {
+    hill_climb_filtered(g, model, prices, max_iterations, true)
+}
+
+/// [`hill_climb`] with join plumbing optionally disabled — the ablation
+/// that isolates how much each plumbing kind contributes.
+pub fn hill_climb_filtered(
+    g: &mut GlobalPlan,
+    model: &TimeCostModel,
+    prices: &PriceSheet,
+    max_iterations: usize,
+    allow_join_plumbing: bool,
+) -> HillClimbReport {
+    let mut applied = Vec::new();
+    let mut trajectory = vec![(
+        g.plan.vertex_count(),
+        g.plan.edge_count(),
+        g.total_cost(model, prices),
+    )];
+    for _ in 0..max_iterations {
+        let current_cost = g.total_cost(model, prices);
+        let mut best: Option<(f64, Plumbing, GlobalPlan)> = None;
+        for cand in enumerate_plumbings(g) {
+            if !allow_join_plumbing && matches!(cand, Plumbing::Join { .. }) {
+                continue;
+            }
+            let Ok(next) = apply_plumbing(g, &cand) else {
+                continue;
+            };
+            if !next.all_slas_hold(model) {
+                continue;
+            }
+            let benefit = current_cost - next.total_cost(model, prices);
+            if benefit <= 1e-15 {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(b, _, _)| benefit > *b) {
+                best = Some((benefit, cand, next));
+            }
+        }
+        let Some((_, cand, next)) = best else { break };
+        *g = next;
+        applied.push(cand);
+        trajectory.push((
+            g.plan.vertex_count(),
+            g.plan.edge_count(),
+            g.total_cost(model, prices),
+        ));
+    }
+    HillClimbReport {
+        applied,
+        trajectory,
+    }
+}
+
+/// Sharings grouped per vertex — diagnostic used by the commonality
+/// experiment (Figure 9): how many sharings each vertex serves.
+pub fn commonality_histogram(g: &GlobalPlan) -> HashMap<usize, usize> {
+    let mut hist: HashMap<usize, usize> = HashMap::new();
+    for v in g.plan.vertices() {
+        let shared_by: BTreeSet<_> = v.sharings.iter().collect();
+        *hist.entry(shared_by.len()).or_default() += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{BaseStats, Catalog};
+    use crate::optimizer::Optimizer;
+    use smile_storage::join::JoinOn;
+    use smile_storage::SpjQuery;
+    use smile_types::{Column, ColumnType, RelationId, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mk = |n: u32| MachineId::new(n);
+        c.register_base(
+            "users",
+            Schema::new(
+                vec![
+                    Column::new("uid", ColumnType::I64),
+                    Column::new("name", ColumnType::Str),
+                ],
+                vec![0],
+            ),
+            mk(0),
+            BaseStats {
+                update_rate: 30.0,
+                cardinality: 10_000.0,
+                tuple_bytes: 40.0,
+                distinct: vec![10_000.0, 9_000.0],
+            },
+        );
+        c.register_base(
+            "tweets",
+            Schema::new(
+                vec![
+                    Column::new("tid", ColumnType::I64),
+                    Column::new("uid", ColumnType::I64),
+                ],
+                vec![0],
+            ),
+            mk(1),
+            BaseStats {
+                update_rate: 100.0,
+                cardinality: 100_000.0,
+                tuple_bytes: 80.0,
+                distinct: vec![100_000.0, 10_000.0],
+            },
+        );
+        c.register_base(
+            "socnet",
+            Schema::new(
+                vec![
+                    Column::new("uid", ColumnType::I64),
+                    Column::new("uid2", ColumnType::I64),
+                ],
+                vec![0, 1],
+            ),
+            mk(2),
+            BaseStats {
+                update_rate: 25.0,
+                cardinality: 200_000.0,
+                tuple_bytes: 16.0,
+                distinct: vec![10_000.0, 10_000.0],
+            },
+        );
+        c
+    }
+
+    fn sharing(id: u32, query: SpjQuery, sla: u64) -> Sharing {
+        Sharing::new(
+            SharingId::new(id),
+            format!("S{id}"),
+            query,
+            SimDuration::from_secs(sla),
+            0.001,
+        )
+    }
+
+    fn setup() -> (GlobalPlan, TimeCostModel, PriceSheet) {
+        let cat = catalog();
+        let model = TimeCostModel::paper_defaults();
+        let prices = PriceSheet::ec2_cross_zone();
+        let machines: Vec<_> = (0..3).map(MachineId::new).collect();
+        let opt = Optimizer::new(&cat, machines, &model, &prices);
+
+        // Two sharings over the same join pair plus one different.
+        let q1 = SpjQuery::scan(RelationId::new(0)).join(
+            RelationId::new(1),
+            JoinOn::on(0, 1),
+            Predicate::True,
+        );
+        let q2 = q1.clone();
+        let q3 = SpjQuery::scan(RelationId::new(0)).join(
+            RelationId::new(2),
+            JoinOn::on(0, 0),
+            Predicate::True,
+        );
+        let mut g = GlobalPlan::new();
+        for (id, q, sla) in [(1, q1, 45), (2, q2, 60), (3, q3, 45)] {
+            let s = sharing(id, q, sla);
+            let planned = opt.plan_pair(&s).unwrap().choose(&s).unwrap();
+            g.merge(&s, &planned).unwrap();
+        }
+        (g, model, prices)
+    }
+
+    #[test]
+    fn merge_dedups_identical_subplans() {
+        let (g, _, _) = setup();
+        g.plan.validate().unwrap();
+        // Sharings 1 and 2 have identical queries: their entire supply chain
+        // should be shared, i.e. some vertex serves both.
+        let both: Vec<_> = g
+            .plan
+            .vertices()
+            .iter()
+            .filter(|v| {
+                v.sharings.contains(&SharingId::new(1)) && v.sharings.contains(&SharingId::new(2))
+            })
+            .collect();
+        assert!(!both.is_empty(), "no vertex shared between S1 and S2");
+        // The users base pair serves all three sharings.
+        let users_delta = g
+            .plan
+            .find_vertex(
+                VertexKind::Delta,
+                &ExprSig::base(RelationId::new(0)),
+                MachineId::new(0),
+            )
+            .unwrap();
+        assert_eq!(g.plan.vertex(users_delta).sharings.len(), 3);
+    }
+
+    #[test]
+    fn mv_vertices_resolve() {
+        let (g, _, _) = setup();
+        for id in [1, 2, 3] {
+            let mv = g.mv_vertex(SharingId::new(id)).unwrap();
+            assert_eq!(g.plan.vertex(mv).kind, VertexKind::Relation);
+        }
+        assert!(g.mv_vertex(SharingId::new(99)).is_err());
+    }
+
+    #[test]
+    fn shr_rebuild_is_idempotent() {
+        let (mut g, _, _) = setup();
+        let before: Vec<_> = g
+            .plan
+            .vertices()
+            .iter()
+            .map(|v| v.sharings.clone())
+            .collect();
+        g.recompute_shr().unwrap();
+        let after: Vec<_> = g
+            .plan
+            .vertices()
+            .iter()
+            .map(|v| v.sharings.clone())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn plumbing_candidates_exist_and_apply_cleanly() {
+        let (g, model, prices) = setup();
+        let cands = enumerate_plumbings(&g);
+        // There must be at least one candidate (the users delta is copied to
+        // multiple machines by the different sharings).
+        assert!(!cands.is_empty());
+        for c in cands.iter().take(16) {
+            if let Ok(next) = apply_plumbing(&g, c) {
+                next.plan.validate().unwrap();
+                // Every sharing's MV still resolves.
+                for meta in &next.sharings {
+                    next.mv_vertex(meta.id).unwrap();
+                }
+                // Cost stays finite.
+                assert!(next.total_cost(&model, &prices).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn hill_climb_never_increases_cost_and_respects_slas() {
+        let (mut g, model, prices) = setup();
+        let before = g.total_cost(&model, &prices);
+        let report = hill_climb(&mut g, &model, &prices, 32);
+        let after = g.total_cost(&model, &prices);
+        assert!(after <= before + 1e-12);
+        assert!(g.all_slas_hold(&model));
+        g.plan.validate().unwrap();
+        // Trajectory is monotone in cost.
+        for w in report.trajectory.windows(2) {
+            assert!(w[1].2 <= w[0].2 + 1e-12);
+        }
+        // Trajectory starts at the initial state.
+        assert!(report.trajectory[0].0 >= g.plan.vertex_count());
+    }
+
+    #[test]
+    fn commonality_histogram_counts() {
+        let (g, _, _) = setup();
+        let hist = commonality_histogram(&g);
+        let total: usize = hist.values().sum();
+        assert_eq!(total, g.plan.vertex_count());
+        assert!(hist.keys().any(|&k| k >= 2), "no shared vertices found");
+    }
+}

@@ -1,0 +1,854 @@
+//! The sharing optimizer: admissibility and plan generation (paper §6).
+//!
+//! The optimizer casts plan generation as the bottom-up JOINCOST dynamic
+//! program of Algorithm 1: states are (join sequence, machine) pairs; a
+//! longer sequence `R` at machine `mi` is built from `R − a` at any machine
+//! `mj` joined with base relation `a`, choosing the cheapest of the four
+//! placements of Figure 3 — (a) in-place, (b) copy `R − a` to `a`'s machine,
+//! (c) copy `a` to `R − a`'s machine, (d) copy both to `mi`.
+//!
+//! Running the DP with the dollar-cost objective yields **DPD** (cheapest,
+//! ignoring time); with the critical-time-path objective it yields **DPT**
+//! (fastest, ignoring dollars). The admissibility test is `CP(DPT) ≤ SLA`:
+//! if even the fastest plan cannot keep up, no plan can, and the sharing is
+//! rejected before the provider signs an SLA it would pay penalties on.
+
+use crate::catalog::Catalog;
+use crate::plan::build::{PlanBuilder, RelHandle};
+use crate::plan::cost::{critical_path, machine_utilization, plan_cost, Scope};
+use crate::plan::dag::Plan;
+use crate::plan::timecost::TimeCostModel;
+use crate::sharing::Sharing;
+use smile_sim::PriceSheet;
+use smile_storage::join::JoinOn;
+use smile_storage::spj::{SpjQuery, SpjStep};
+use smile_types::{MachineId, Result, SimDuration, SmileError, VertexId};
+use std::collections::HashMap;
+
+/// Which objective the DP's `COSTCALC` minimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize dollars per second (→ DPD).
+    Dollars,
+    /// Minimize the critical time path (→ DPT).
+    Time,
+}
+
+/// A fully planned sharing: the plan, where its MV lives, the join order the
+/// plan implements, and the metrics the admission decision used.
+#[derive(Clone, Debug)]
+pub struct PlannedSharing {
+    /// The plan DAG (single-sharing; merge into the global plan to run).
+    pub plan: Plan,
+    /// The MV's Relation vertex within `plan`.
+    pub mv: VertexId,
+    /// The machine hosting the MV.
+    pub mv_machine: MachineId,
+    /// The SPJ query in the join order the plan implements (predicates and
+    /// projection remapped); evaluating this against base snapshots yields
+    /// exactly the MV contents.
+    pub query: SpjQuery,
+    /// Critical time path `CP(p, 1)` of this plan.
+    pub critical_path: SimDuration,
+    /// Steady-state dollar cost per second (Eq. 1).
+    pub dollar_cost: f64,
+}
+
+/// Outcome of planning one sharing with both objectives.
+#[derive(Clone, Debug)]
+pub struct PlanPair {
+    /// The cheapest plan (Dynamic Programming Dollar).
+    pub dpd: PlannedSharing,
+    /// The fastest plan (Dynamic Programming Time).
+    pub dpt: PlannedSharing,
+}
+
+impl PlanPair {
+    /// The paper's §6.2 selection rule: reject if no plan fits the SLA,
+    /// prefer DPD when it is itself admissible, else fall back to DPT.
+    ///
+    /// The DP is the System-R/R* polynomial-time *heuristic*, so DPT is not
+    /// provably CP-minimal; the admissibility test therefore considers the
+    /// faster of the two plans rather than DPT alone.
+    pub fn choose(self, sharing: &Sharing) -> Result<PlannedSharing> {
+        let sla = sharing.staleness_sla;
+        let fastest = self.dpt.critical_path.min(self.dpd.critical_path);
+        if fastest > sla {
+            return Err(SmileError::Inadmissible {
+                sharing: sharing.id,
+                critical_path_secs: fastest.as_secs_f64(),
+                sla_secs: sla.as_secs_f64(),
+            });
+        }
+        if self.dpd.critical_path <= sla {
+            Ok(self.dpd)
+        } else {
+            Ok(self.dpt)
+        }
+    }
+}
+
+/// A join condition between two of the sharing's base relations, expressed
+/// as (step index in the original query, column within that base).
+#[derive(Clone, Debug)]
+struct PairCond {
+    a: (usize, usize),
+    b: (usize, usize),
+}
+
+/// One DP state: the plan fragment producing a join sequence at a machine.
+#[derive(Clone)]
+struct Candidate {
+    plan: Plan,
+    handle: RelHandle,
+    /// Original-query step indexes, in the order this fragment joined them.
+    order: Vec<usize>,
+    metric: f64,
+}
+
+/// The sharing optimizer.
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    machines: Vec<MachineId>,
+    model: &'a TimeCostModel,
+    prices: &'a PriceSheet,
+    /// CPU utilization already committed per machine by admitted sharings.
+    committed: HashMap<MachineId, f64>,
+    /// Per-machine CPU capacity in operator-seconds per second.
+    capacity: f64,
+    /// Pins the MV to a specific machine (the paper's §9.1 setup assigns
+    /// each sharing to a machine arbitrarily).
+    mv_machine: Option<MachineId>,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Creates an optimizer over `machines` (`MAC(S_i)`).
+    pub fn new(
+        catalog: &'a Catalog,
+        machines: Vec<MachineId>,
+        model: &'a TimeCostModel,
+        prices: &'a PriceSheet,
+    ) -> Self {
+        Self {
+            catalog,
+            machines,
+            model,
+            prices,
+            committed: HashMap::new(),
+            capacity: 1.0,
+            mv_machine: None,
+        }
+    }
+
+    /// Sets the CPU utilization already committed on each machine (so
+    /// capacity checks account for previously admitted sharings).
+    pub fn with_committed(mut self, committed: HashMap<MachineId, f64>) -> Self {
+        self.committed = committed;
+        self
+    }
+
+    /// Overrides the per-machine CPU capacity (default 1.0).
+    pub fn with_capacity(mut self, capacity: f64) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Pins the sharing's MV to one machine; the DP still places
+    /// intermediates freely.
+    pub fn with_mv_machine(mut self, machine: Option<MachineId>) -> Self {
+        self.mv_machine = machine;
+        self
+    }
+
+    /// Plans `sharing` under both objectives.
+    pub fn plan_pair(&self, sharing: &Sharing) -> Result<PlanPair> {
+        Ok(PlanPair {
+            dpd: self.plan_with(sharing, Objective::Dollars)?,
+            dpt: self.plan_with(sharing, Objective::Time)?,
+        })
+    }
+
+    /// Runs the JOINCOST DP under one objective.
+    pub fn plan_with(&self, sharing: &Sharing, objective: Objective) -> Result<PlannedSharing> {
+        let steps = &sharing.query.steps;
+        let n = steps.len();
+        if n == 0 {
+            return Err(SmileError::InvalidPlan("sharing with empty query".into()));
+        }
+        if n > 16 {
+            return Err(SmileError::InvalidPlan(
+                "JOINCOST supports at most 16 base relations".into(),
+            ));
+        }
+        let conds = self.pairwise_conditions(&sharing.query)?;
+        let builder = PlanBuilder::new(self.catalog);
+
+        if n == 1 {
+            return self.plan_single(sharing, &builder, objective);
+        }
+
+        // dp[(mask, machine)] -> best candidate.
+        let mut dp: HashMap<(u32, MachineId), Candidate> = HashMap::new();
+
+        // Seed: singleton sequences at their home machines.
+        for (i, step) in steps.iter().enumerate() {
+            let mut plan = Plan::new();
+            let handle = builder.base_handle(
+                &mut plan,
+                step.relation,
+                step.predicate.clone(),
+                Some(sharing.id),
+            )?;
+            let machine = handle.machine;
+            let cand = Candidate {
+                plan,
+                handle,
+                order: vec![i],
+                metric: 0.0,
+            };
+            dp.insert((1 << i, machine), cand);
+        }
+
+        let full: u32 = (1 << n) - 1;
+        for mask in 1..=full {
+            let size = mask.count_ones();
+            if size < 2 {
+                continue;
+            }
+            let is_final = mask == full;
+            for a in 0..n {
+                if mask & (1 << a) == 0 {
+                    continue;
+                }
+                let sub_mask = mask & !(1 << a);
+                if sub_mask == 0 {
+                    continue;
+                }
+                // Skip orders that would need a cross product.
+                let connected = conds.iter().any(|c| {
+                    (c.a.0 == a && sub_mask & (1 << c.b.0) != 0)
+                        || (c.b.0 == a && sub_mask & (1 << c.a.0) != 0)
+                });
+                if !connected {
+                    continue;
+                }
+                for &mj in &self.machines {
+                    let Some(sub) = dp.get(&(sub_mask, mj)) else {
+                        continue;
+                    };
+                    let sub = sub.clone();
+                    for &mi in &self.machines {
+                        for case in 0..4u8 {
+                            let Ok(cand) = self.expand(
+                                &builder, &sub, a, mi, case, steps, &conds, sharing, is_final,
+                                objective,
+                            ) else {
+                                continue;
+                            };
+                            let Some(cand) = cand else { continue };
+                            let key = (mask, mi);
+                            match dp.get(&key) {
+                                Some(best) if best.metric <= cand.metric => {}
+                                _ => {
+                                    dp.insert(key, cand);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let best = self
+            .machines
+            .iter()
+            .filter(|&&m| self.mv_machine.is_none_or(|pin| pin == m))
+            .filter_map(|&m| dp.get(&(full, m)))
+            .min_by(|a, b| a.metric.total_cmp(&b.metric))
+            .ok_or_else(|| SmileError::CapacityExhausted {
+                detail: format!(
+                    "no feasible plan for sharing {} on {} machines",
+                    sharing.id,
+                    self.machines.len()
+                ),
+            })?
+            .clone();
+
+        self.finish(sharing, best)
+    }
+
+    /// Plans a single-relation sharing: a filtered/projected maintained copy
+    /// on the best machine.
+    fn plan_single(
+        &self,
+        sharing: &Sharing,
+        builder: &PlanBuilder<'_>,
+        objective: Objective,
+    ) -> Result<PlannedSharing> {
+        let step = &sharing.query.steps[0];
+        let mut best: Option<Candidate> = None;
+        for &m in &self.machines {
+            if self.mv_machine.is_some_and(|pin| pin != m) {
+                continue;
+            }
+            let mut plan = Plan::new();
+            let handle = builder.scan_plan(
+                &mut plan,
+                step.relation,
+                step.predicate.clone(),
+                sharing.query.projection.clone(),
+                sharing.query.aggregate.clone(),
+                m,
+                Some(sharing.id),
+            )?;
+            let Some(metric) = self.metric(&plan, &handle, sharing, objective) else {
+                continue;
+            };
+            let cand = Candidate {
+                plan,
+                handle,
+                order: vec![0],
+                metric,
+            };
+            if best.as_ref().is_none_or(|b| cand.metric < b.metric) {
+                best = Some(cand);
+            }
+        }
+        let best = best.ok_or(SmileError::CapacityExhausted {
+            detail: format!("no machine can host sharing {}", sharing.id),
+        })?;
+        self.finish(sharing, best)
+    }
+
+    /// Applies one of the four Figure 3 cases to extend `sub` with base
+    /// relation (original step) `a`, producing the result on `mi`. Returns
+    /// `Ok(None)` when the placement is infeasible (capacity) or the case is
+    /// a no-op duplicate of case (a).
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &self,
+        builder: &PlanBuilder<'_>,
+        sub: &Candidate,
+        a: usize,
+        mi: MachineId,
+        case: u8,
+        steps: &[SpjStep],
+        conds: &[PairCond],
+        sharing: &Sharing,
+        is_final: bool,
+        objective: Objective,
+    ) -> Result<Option<Candidate>> {
+        let mut plan = sub.plan.clone();
+        let base = builder.base_handle(
+            &mut plan,
+            steps[a].relation,
+            steps[a].predicate.clone(),
+            Some(sharing.id),
+        )?;
+
+        // Skip degenerate copies that equal case (a).
+        let (left, right) = match case {
+            0 => (sub.handle.clone(), base),
+            1 => {
+                if sub.handle.machine == base.machine {
+                    return Ok(None);
+                }
+                let moved =
+                    builder.replica(&mut plan, &sub.handle, base.machine, Some(sharing.id))?;
+                (moved, base)
+            }
+            2 => {
+                if base.machine == sub.handle.machine {
+                    return Ok(None);
+                }
+                let moved =
+                    builder.replica(&mut plan, &base, sub.handle.machine, Some(sharing.id))?;
+                (sub.handle.clone(), moved)
+            }
+            _ => {
+                if sub.handle.machine == mi && base.machine == mi {
+                    return Ok(None);
+                }
+                let l = builder.replica(&mut plan, &sub.handle, mi, Some(sharing.id))?;
+                let r = builder.replica(&mut plan, &base, mi, Some(sharing.id))?;
+                (l, r)
+            }
+        };
+
+        let on = self.join_condition(&sub.order, a, steps, conds)?;
+        let (projection, aggregate) = if is_final {
+            (
+                self.remapped_projection(sharing, &sub.order, a, steps)?,
+                self.remapped_aggregate(sharing, &sub.order, a, steps)?,
+            )
+        } else {
+            (None, None)
+        };
+        let handle = builder.join_step(
+            &mut plan,
+            &left,
+            &right,
+            &on,
+            mi,
+            projection,
+            aggregate,
+            Some(sharing.id),
+        )?;
+        let Some(metric) = self.metric(&plan, &handle, sharing, objective) else {
+            return Ok(None);
+        };
+        let mut order = sub.order.clone();
+        order.push(a);
+        Ok(Some(Candidate {
+            plan,
+            handle,
+            order,
+            metric,
+        }))
+    }
+
+    /// The join condition between a fragment (original steps `placed`, in
+    /// that order) and base step `a`.
+    fn join_condition(
+        &self,
+        placed: &[usize],
+        a: usize,
+        steps: &[SpjStep],
+        conds: &[PairCond],
+    ) -> Result<JoinOn> {
+        let mut offsets: HashMap<usize, usize> = HashMap::new();
+        let mut off = 0usize;
+        for &s in placed {
+            offsets.insert(s, off);
+            off += self.catalog.base(steps[s].relation)?.schema.arity();
+        }
+        let mut left_cols = Vec::new();
+        let mut right_cols = Vec::new();
+        for c in conds {
+            let (other, acol) = if c.a.0 == a && offsets.contains_key(&c.b.0) {
+                (c.b, c.a.1)
+            } else if c.b.0 == a && offsets.contains_key(&c.a.0) {
+                (c.a, c.b.1)
+            } else {
+                continue;
+            };
+            left_cols.push(offsets[&other.0] + other.1);
+            right_cols.push(acol);
+        }
+        if left_cols.is_empty() {
+            return Err(SmileError::InvalidPlan(format!(
+                "no join condition connects base step {a} to the fragment"
+            )));
+        }
+        Ok(JoinOn {
+            left_cols,
+            right_cols,
+        })
+    }
+
+    /// Builds the column remapper from the original join order's
+    /// concatenated schema into the order `placed ++ [a]`.
+    fn column_remapper(
+        &self,
+        placed: &[usize],
+        a: usize,
+        steps: &[SpjStep],
+    ) -> Result<impl Fn(usize) -> usize> {
+        let mut orig_offsets = Vec::with_capacity(steps.len());
+        let mut off = 0usize;
+        for step in steps {
+            orig_offsets.push(off);
+            off += self.catalog.base(step.relation)?.schema.arity();
+        }
+        let mut new_order = placed.to_vec();
+        new_order.push(a);
+        let mut new_offsets: HashMap<usize, usize> = HashMap::new();
+        let mut off = 0usize;
+        for &s in &new_order {
+            new_offsets.insert(s, off);
+            off += self.catalog.base(steps[s].relation)?.schema.arity();
+        }
+        Ok(move |c: usize| {
+            let step = orig_offsets
+                .iter()
+                .rposition(|&o| o <= c)
+                .expect("offsets start at 0");
+            let within = c - orig_offsets[step];
+            new_offsets[&step] + within
+        })
+    }
+
+    /// Remaps the sharing's projection (defined over the original join
+    /// order's concatenated schema) into the order `placed ++ [a]`.
+    fn remapped_projection(
+        &self,
+        sharing: &Sharing,
+        placed: &[usize],
+        a: usize,
+        steps: &[SpjStep],
+    ) -> Result<Option<Vec<usize>>> {
+        let Some(proj) = &sharing.query.projection else {
+            return Ok(None);
+        };
+        let remap = self.column_remapper(placed, a, steps)?;
+        Ok(Some(proj.iter().map(|&c| remap(c)).collect()))
+    }
+
+    /// Remaps the sharing's aggregation spec into the new join order.
+    fn remapped_aggregate(
+        &self,
+        sharing: &Sharing,
+        placed: &[usize],
+        a: usize,
+        steps: &[SpjStep],
+    ) -> Result<Option<smile_storage::AggregateSpec>> {
+        let Some(spec) = &sharing.query.aggregate else {
+            return Ok(None);
+        };
+        let remap = self.column_remapper(placed, a, steps)?;
+        Ok(Some(smile_storage::AggregateSpec {
+            group_cols: spec.group_cols.iter().map(|&c| remap(c)).collect(),
+            aggs: spec
+                .aggs
+                .iter()
+                .map(|f| match f {
+                    smile_storage::AggFunc::SumI64(c) => smile_storage::AggFunc::SumI64(remap(*c)),
+                    smile_storage::AggFunc::SumF64(c) => smile_storage::AggFunc::SumF64(remap(*c)),
+                })
+                .collect(),
+        }))
+    }
+
+    /// COSTCALC: the DP objective, or `None` when the fragment exceeds
+    /// machine capacity (the paper costs infeasible plans at ∞).
+    fn metric(
+        &self,
+        plan: &Plan,
+        handle: &RelHandle,
+        sharing: &Sharing,
+        objective: Objective,
+    ) -> Option<f64> {
+        let load = machine_utilization(plan, Scope::All, self.model);
+        for (m, util) in &load {
+            let committed = self.committed.get(m).copied().unwrap_or(0.0);
+            if committed + util > self.capacity {
+                return None;
+            }
+        }
+        Some(match objective {
+            Objective::Time => critical_path(plan, Scope::All, 1.0, self.model).as_secs_f64(),
+            Objective::Dollars => plan_cost(
+                plan,
+                Scope::All,
+                self.model,
+                self.prices,
+                sharing.staleness_sla,
+                sharing.penalty_per_tuple,
+                handle.rate,
+                false,
+            ),
+        })
+    }
+
+    /// Extracts pairwise join conditions from the left-deep query: each
+    /// accumulated-schema column of a step's condition is traced back to the
+    /// base relation that owns it.
+    fn pairwise_conditions(&self, query: &SpjQuery) -> Result<Vec<PairCond>> {
+        let mut offsets = Vec::with_capacity(query.steps.len());
+        let mut off = 0usize;
+        for step in &query.steps {
+            offsets.push(off);
+            off += self.catalog.base(step.relation)?.schema.arity();
+        }
+        let mut out = Vec::new();
+        for (i, step) in query.steps.iter().enumerate().skip(1) {
+            let Some(on) = &step.join else {
+                return Err(SmileError::InvalidPlan(format!(
+                    "step {i} of the query lacks a join condition"
+                )));
+            };
+            for (&l, &r) in on.left_cols.iter().zip(&on.right_cols) {
+                let owner = offsets[..i]
+                    .iter()
+                    .rposition(|&o| o <= l)
+                    .ok_or_else(|| SmileError::InvalidPlan("bad join column".into()))?;
+                out.push(PairCond {
+                    a: (owner, l - offsets[owner]),
+                    b: (i, r),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Packages a winning candidate with its admission metrics and the
+    /// equivalent reordered query.
+    fn finish(&self, sharing: &Sharing, cand: Candidate) -> Result<PlannedSharing> {
+        cand.plan.validate()?;
+        let cp = critical_path(&cand.plan, Scope::All, 1.0, self.model);
+        let cost = plan_cost(
+            &cand.plan,
+            Scope::All,
+            self.model,
+            self.prices,
+            sharing.staleness_sla,
+            sharing.penalty_per_tuple,
+            cand.handle.rate,
+            false,
+        );
+        let query = self.reordered_query(sharing, &cand)?;
+        Ok(PlannedSharing {
+            mv: cand.handle.rel,
+            mv_machine: cand.handle.machine,
+            plan: cand.plan,
+            query,
+            critical_path: cp,
+            dollar_cost: cost,
+        })
+    }
+
+    /// Rebuilds the SPJ query in the candidate's join order so that full
+    /// evaluation reproduces the plan's MV exactly.
+    fn reordered_query(&self, sharing: &Sharing, cand: &Candidate) -> Result<SpjQuery> {
+        let steps = &sharing.query.steps;
+        if cand.order.len() == 1 {
+            return Ok(sharing.query.clone());
+        }
+        let conds = self.pairwise_conditions(&sharing.query)?;
+        let mut new_steps: Vec<SpjStep> = Vec::with_capacity(cand.order.len());
+        let mut placed: Vec<usize> = Vec::new();
+        for (pos, &s) in cand.order.iter().enumerate() {
+            let join = if pos == 0 {
+                None
+            } else {
+                Some(self.join_condition(&placed, s, steps, &conds)?)
+            };
+            new_steps.push(SpjStep {
+                relation: steps[s].relation,
+                predicate: steps[s].predicate.clone(),
+                join,
+            });
+            placed.push(s);
+        }
+        let last = *cand.order.last().expect("non-empty order");
+        let placed = &cand.order[..cand.order.len() - 1];
+        let projection = if sharing.query.projection.is_some() {
+            self.remapped_projection(sharing, placed, last, steps)?
+        } else {
+            None
+        };
+        let aggregate = if sharing.query.aggregate.is_some() {
+            self.remapped_aggregate(sharing, placed, last, steps)?
+        } else {
+            None
+        };
+        Ok(SpjQuery {
+            steps: new_steps,
+            projection,
+            aggregate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::BaseStats;
+    use smile_storage::Predicate;
+    use smile_types::{Column, ColumnType, Schema, SharingId};
+
+    /// users(uid, name) on m0; tweets(tid, uid) on m1; curloc(tid, lat) on m2.
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_base(
+            "users",
+            Schema::new(
+                vec![
+                    Column::new("uid", ColumnType::I64),
+                    Column::new("name", ColumnType::Str),
+                ],
+                vec![0],
+            ),
+            MachineId::new(0),
+            BaseStats {
+                update_rate: 30.0,
+                cardinality: 10_000.0,
+                tuple_bytes: 40.0,
+                distinct: vec![10_000.0, 9_000.0],
+            },
+        );
+        c.register_base(
+            "tweets",
+            Schema::new(
+                vec![
+                    Column::new("tid", ColumnType::I64),
+                    Column::new("uid", ColumnType::I64),
+                ],
+                vec![0],
+            ),
+            MachineId::new(1),
+            BaseStats {
+                update_rate: 100.0,
+                cardinality: 100_000.0,
+                tuple_bytes: 80.0,
+                distinct: vec![100_000.0, 10_000.0],
+            },
+        );
+        c.register_base(
+            "curloc",
+            Schema::new(
+                vec![
+                    Column::new("tid", ColumnType::I64),
+                    Column::new("lat", ColumnType::F64),
+                ],
+                vec![0],
+            ),
+            MachineId::new(2),
+            BaseStats {
+                update_rate: 10.0,
+                cardinality: 50_000.0,
+                tuple_bytes: 24.0,
+                distinct: vec![50_000.0, 40_000.0],
+            },
+        );
+        c
+    }
+
+    fn machines() -> Vec<MachineId> {
+        (0..3).map(MachineId::new).collect()
+    }
+
+    fn two_way(sla_secs: u64) -> Sharing {
+        // users ⋈ tweets on uid.
+        let q = SpjQuery::scan(smile_types::RelationId::new(0)).join(
+            smile_types::RelationId::new(1),
+            JoinOn::on(0, 1),
+            Predicate::True,
+        );
+        Sharing::new(
+            SharingId::new(0),
+            "twitaholic",
+            q,
+            SimDuration::from_secs(sla_secs),
+            0.001,
+        )
+    }
+
+    fn three_way() -> Sharing {
+        // users ⋈ tweets on uid ⋈ curloc on tid.
+        let q = SpjQuery::scan(smile_types::RelationId::new(0))
+            .join(
+                smile_types::RelationId::new(1),
+                JoinOn::on(0, 1),
+                Predicate::True,
+            )
+            .join(
+                smile_types::RelationId::new(2),
+                JoinOn::on(2, 0),
+                Predicate::True,
+            )
+            .project(vec![1, 2, 5]);
+        Sharing::new(
+            SharingId::new(1),
+            "twellow",
+            q,
+            SimDuration::from_secs(45),
+            0.001,
+        )
+    }
+
+    #[test]
+    fn dpt_is_at_least_as_fast_as_dpd() {
+        let cat = catalog();
+        let model = TimeCostModel::paper_defaults();
+        let prices = PriceSheet::ec2_cross_zone();
+        let opt = Optimizer::new(&cat, machines(), &model, &prices);
+        let pair = opt.plan_pair(&two_way(45)).unwrap();
+        assert!(pair.dpt.critical_path <= pair.dpd.critical_path);
+        assert!(pair.dpd.dollar_cost <= pair.dpt.dollar_cost + 1e-12);
+        pair.dpd.plan.validate().unwrap();
+        pair.dpt.plan.validate().unwrap();
+    }
+
+    #[test]
+    fn admissible_sharing_is_accepted() {
+        let cat = catalog();
+        let model = TimeCostModel::paper_defaults();
+        let prices = PriceSheet::ec2_cross_zone();
+        let opt = Optimizer::new(&cat, machines(), &model, &prices);
+        let sharing = two_way(45);
+        let planned = opt.plan_pair(&sharing).unwrap().choose(&sharing).unwrap();
+        assert!(planned.critical_path <= SimDuration::from_secs(45));
+        assert!(planned.plan.vertex_count() >= 8);
+    }
+
+    #[test]
+    fn impossible_sla_is_rejected() {
+        let cat = catalog();
+        let model = TimeCostModel::paper_defaults();
+        let prices = PriceSheet::ec2_cross_zone();
+        let opt = Optimizer::new(&cat, machines(), &model, &prices);
+        // A millisecond-scale SLA is below even one operator's fixed cost.
+        let sharing = Sharing::new(
+            SharingId::new(9),
+            "impossible",
+            two_way(45).query,
+            SimDuration::from_millis(1),
+            0.001,
+        );
+        let err = opt.plan_pair(&sharing).unwrap().choose(&sharing);
+        assert!(matches!(err, Err(SmileError::Inadmissible { .. })));
+    }
+
+    #[test]
+    fn three_way_join_plans_and_reorders_consistently() {
+        let cat = catalog();
+        let model = TimeCostModel::paper_defaults();
+        let prices = PriceSheet::ec2_cross_zone();
+        let opt = Optimizer::new(&cat, machines(), &model, &prices);
+        let sharing = three_way();
+        let planned = opt.plan_pair(&sharing).unwrap().choose(&sharing).unwrap();
+        planned.plan.validate().unwrap();
+        // The reordered query covers the same base relations.
+        let mut orig: Vec<_> = sharing.query.sources();
+        let mut new: Vec<_> = planned.query.sources();
+        orig.sort();
+        new.sort();
+        assert_eq!(orig, new);
+        // Projection survives with the same arity.
+        assert_eq!(planned.query.projection.as_ref().map(Vec::len), Some(3));
+        // The plan's MV schema matches the projection arity.
+        assert_eq!(planned.plan.vertex(planned.mv).schema.arity(), 3);
+    }
+
+    #[test]
+    fn capacity_exhaustion_rejects() {
+        let cat = catalog();
+        let model = TimeCostModel::paper_defaults();
+        let prices = PriceSheet::ec2_cross_zone();
+        let committed: HashMap<_, _> = machines().into_iter().map(|m| (m, 0.999)).collect();
+        let opt = Optimizer::new(&cat, machines(), &model, &prices).with_committed(committed);
+        let r = opt.plan_with(&two_way(45), Objective::Dollars);
+        assert!(matches!(r, Err(SmileError::CapacityExhausted { .. })));
+    }
+
+    #[test]
+    fn single_relation_sharing_plans_as_scan() {
+        let cat = catalog();
+        let model = TimeCostModel::paper_defaults();
+        let prices = PriceSheet::ec2_cross_zone();
+        let opt = Optimizer::new(&cat, machines(), &model, &prices);
+        let q = SpjQuery::select(smile_types::RelationId::new(0), Predicate::eq(1, "ann"))
+            .project(vec![0]);
+        let sharing = Sharing::new(
+            SharingId::new(2),
+            "scanner",
+            q,
+            SimDuration::from_secs(10),
+            0.001,
+        );
+        let planned = opt.plan_pair(&sharing).unwrap().choose(&sharing).unwrap();
+        assert_eq!(planned.plan.edge_count(), 2);
+        assert_eq!(planned.plan.vertex(planned.mv).schema.arity(), 1);
+    }
+}

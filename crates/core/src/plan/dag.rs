@@ -1,0 +1,840 @@
+//! The sharing-plan DAG: vertices, edges, validation, traversal.
+
+use crate::plan::sig::ExprSig;
+use smile_storage::join::JoinOn;
+use smile_storage::Predicate;
+use smile_types::{MachineId, RelationId, Result, Schema, SharingId, SmileError, VertexId};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Whether a vertex holds materialized relation contents or a delta log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VertexKind {
+    /// Materialized relation contents (base relation, replica, intermediate
+    /// join result, or the MV itself).
+    Relation,
+    /// The delta log `Δv` of the relation with the same signature/machine.
+    Delta,
+}
+
+/// Which snapshot of the non-delta join input a `Join` edge reads.
+///
+/// The incremental identity `Δ(A⋈B) = ΔA ⋈ B@t0 + A@t1 ⋈ ΔB` needs the
+/// *old* snapshot on one side and the *new* snapshot on the other; getting
+/// this wrong double-counts tuples whose both sides changed in the window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SnapshotSem {
+    /// Snapshot as of the push window's start (the output vertex's current
+    /// timestamp) — "old".
+    WindowStart,
+    /// Snapshot as of the push target timestamp — "new".
+    WindowEnd,
+}
+
+/// Which side of the join output the delta input occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeltaSide {
+    /// Output tuples are `delta ++ snapshot`.
+    Left,
+    /// Output tuples are `snapshot ++ delta`.
+    Right,
+}
+
+/// One plan vertex: a relation or delta pinned to a machine.
+#[derive(Clone, Debug)]
+pub struct Vertex {
+    /// Identity within the plan.
+    pub id: VertexId,
+    /// Relation contents or delta log.
+    pub kind: VertexKind,
+    /// Content signature.
+    pub sig: ExprSig,
+    /// Hosting machine.
+    pub machine: MachineId,
+    /// Tuple schema of the contents.
+    pub schema: Schema,
+    /// True for base relations / base deltas: they are plan sources fed by
+    /// delta capture, never pushed by the executor.
+    pub is_base: bool,
+    /// Storage slot on the machine (assigned at install time; `None` for
+    /// candidate plans that were never instantiated). A Relation vertex and
+    /// its Delta vertex share the slot.
+    pub slot: Option<RelationId>,
+    /// `SHR(v)`: the sharings this vertex serves.
+    pub sharings: BTreeSet<SharingId>,
+    /// Estimated delta arrival rate through this vertex (tuples/second).
+    pub est_rate: f64,
+    /// Estimated materialized cardinality (Relation vertices).
+    pub est_card: f64,
+    /// Estimated mean tuple payload bytes.
+    pub est_tuple_bytes: f64,
+}
+
+/// The operator an edge applies.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EdgeOp {
+    /// Ship the delta window from one machine to another.
+    CopyDelta,
+    /// Apply the pending delta window to the co-located relation.
+    DeltaToRel,
+    /// Join the delta window of `inputs[0]` against a snapshot of
+    /// `inputs[1]` (a Relation vertex).
+    Join {
+        /// Equi-join condition, oriented left-to-right of the *output*
+        /// schema.
+        on: JoinOn,
+        /// Which side of the output the delta occupies.
+        delta_side: DeltaSide,
+        /// Which snapshot of the relation input to read.
+        snapshot: SnapshotSem,
+        /// Selection applied to the snapshot side before joining (the other
+        /// base relation's pushed-down predicate).
+        snapshot_filter: Predicate,
+    },
+    /// Merge several delta streams into one.
+    Union,
+}
+
+impl EdgeOp {
+    /// Stable operator name for statistics and display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EdgeOp::CopyDelta => "CopyDelta",
+            EdgeOp::DeltaToRel => "DeltaToRel",
+            EdgeOp::Join { .. } => "Join",
+            EdgeOp::Union => "Union",
+        }
+    }
+}
+
+/// One plan edge.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Index within the plan's edge list.
+    pub id: usize,
+    /// The operator.
+    pub op: EdgeOp,
+    /// Input vertices. `Join`: `[delta, relation]`; `Union`: all deltas;
+    /// others: single input.
+    pub inputs: Vec<VertexId>,
+    /// Output vertex (every non-base vertex has exactly one producing edge).
+    pub output: VertexId,
+    /// Selection applied to tuples moved along this edge (pushdown).
+    pub filter: Predicate,
+    /// Projection applied to tuples moved along this edge (the MV's final
+    /// projection rides the last Union / DeltaToRel).
+    pub projection: Option<Vec<usize>>,
+    /// Group-by aggregation applied where this edge writes the MV's delta
+    /// (the §10 aggregate-operator extension): the raw window is folded
+    /// into aggregate-space delete/insert entries against the MV's current
+    /// rows.
+    pub aggregate: Option<smile_storage::AggregateSpec>,
+    /// Sharings served by this edge.
+    pub sharings: BTreeSet<SharingId>,
+    /// Estimated tuple arrival rate through this edge (tuples/second).
+    pub est_rate: f64,
+    /// Estimated mean tuple payload bytes moved.
+    pub est_tuple_bytes: f64,
+}
+
+impl Edge {
+    /// The machine this edge's work runs on. All operators run where their
+    /// output lives; `CopyDelta` additionally occupies the input machine's
+    /// NIC.
+    pub fn runs_on(&self, plan: &Plan) -> MachineId {
+        plan.vertex(self.output).machine
+    }
+}
+
+/// A sharing plan (or the merged global plan `D`).
+#[derive(Clone, Debug, Default)]
+pub struct Plan {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+    /// Producing edge of each vertex (`None` for sources).
+    producer: Vec<Option<usize>>,
+    /// Consuming edges of each vertex.
+    consumers: Vec<Vec<usize>>,
+    /// Fast duplicate detection: (kind, sig, machine) → vertex.
+    index: HashMap<(VertexKind, ExprSig, MachineId), VertexId>,
+}
+
+impl Plan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All vertices.
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Mutable access to edges (plumbing-pass bookkeeping only; structural
+    /// changes must go through `add_edge`/`garbage_collect`).
+    pub fn edges_mut(&mut self) -> &mut [Edge] {
+        &mut self.edges
+    }
+
+    /// Vertex by id (panics on stale id — plan ids are internal).
+    pub fn vertex(&self, v: VertexId) -> &Vertex {
+        &self.vertices[v.index()]
+    }
+
+    /// Mutable vertex access.
+    pub fn vertex_mut(&mut self, v: VertexId) -> &mut Vertex {
+        &mut self.vertices[v.index()]
+    }
+
+    /// Edge by index.
+    pub fn edge(&self, e: usize) -> &Edge {
+        &self.edges[e]
+    }
+
+    /// The edge producing `v`, if any.
+    pub fn producer(&self, v: VertexId) -> Option<&Edge> {
+        self.producer[v.index()].map(|e| &self.edges[e])
+    }
+
+    /// Edges consuming `v`.
+    pub fn consumers(&self, v: VertexId) -> impl Iterator<Item = &Edge> {
+        self.consumers[v.index()].iter().map(|&e| &self.edges[e])
+    }
+
+    /// Finds a vertex by (kind, signature, machine).
+    pub fn find_vertex(
+        &self,
+        kind: VertexKind,
+        sig: &ExprSig,
+        machine: MachineId,
+    ) -> Option<VertexId> {
+        self.index.get(&(kind, sig.clone(), machine)).copied()
+    }
+
+    /// Finds all vertices with the given kind and signature on any machine.
+    pub fn find_by_sig(&self, kind: VertexKind, sig: &ExprSig) -> Vec<VertexId> {
+        self.vertices
+            .iter()
+            .filter(|v| v.kind == kind && &v.sig == sig)
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// Adds a vertex, deduplicating on (kind, sig, machine): if an identical
+    /// vertex exists, its sharings are extended and its id returned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_vertex(
+        &mut self,
+        kind: VertexKind,
+        sig: ExprSig,
+        machine: MachineId,
+        schema: Schema,
+        is_base: bool,
+        sharing: Option<SharingId>,
+        est_rate: f64,
+        est_card: f64,
+        est_tuple_bytes: f64,
+    ) -> VertexId {
+        if let Some(&existing) = self.index.get(&(kind, sig.clone(), machine)) {
+            if let Some(s) = sharing {
+                self.vertices[existing.index()].sharings.insert(s);
+            }
+            return existing;
+        }
+        let id = VertexId::new(self.vertices.len() as u32);
+        let mut sharings = BTreeSet::new();
+        if let Some(s) = sharing {
+            sharings.insert(s);
+        }
+        self.index.insert((kind, sig.clone(), machine), id);
+        self.vertices.push(Vertex {
+            id,
+            kind,
+            sig,
+            machine,
+            schema,
+            is_base,
+            slot: None,
+            sharings,
+            est_rate,
+            est_card,
+            est_tuple_bytes,
+        });
+        self.producer.push(None);
+        self.consumers.push(Vec::new());
+        id
+    }
+
+    /// Adds an edge. If the output vertex already has a producer with the
+    /// same operator and inputs, the edge is deduplicated (sharings union).
+    ///
+    /// Returns an error if the output already has a *different* producer —
+    /// a structural conflict the optimizer must resolve before merging.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_edge(
+        &mut self,
+        op: EdgeOp,
+        inputs: Vec<VertexId>,
+        output: VertexId,
+        filter: Predicate,
+        projection: Option<Vec<usize>>,
+        sharing: Option<SharingId>,
+        est_rate: f64,
+        est_tuple_bytes: f64,
+    ) -> Result<usize> {
+        if let Some(existing) = self.producer[output.index()] {
+            let e = &self.edges[existing];
+            if e.op == op && e.inputs == inputs && e.filter == filter && e.projection == projection
+            {
+                if let Some(s) = sharing {
+                    self.edges[existing].sharings.insert(s);
+                }
+                return Ok(existing);
+            }
+            return Err(SmileError::InvalidPlan(format!(
+                "vertex {output} already produced by a different edge"
+            )));
+        }
+        let id = self.edges.len();
+        let mut sharings = BTreeSet::new();
+        if let Some(s) = sharing {
+            sharings.insert(s);
+        }
+        for &input in &inputs {
+            self.consumers[input.index()].push(id);
+        }
+        self.producer[output.index()] = Some(id);
+        self.edges.push(Edge {
+            id,
+            op,
+            inputs,
+            output,
+            filter,
+            projection,
+            aggregate: None,
+            sharings,
+            est_rate,
+            est_tuple_bytes,
+        });
+        Ok(id)
+    }
+
+    /// Attaches an aggregation to an edge (set right after `add_edge` when
+    /// building an aggregate MV's final edge).
+    pub fn set_edge_aggregate(&mut self, edge: usize, spec: smile_storage::AggregateSpec) {
+        self.edges[edge].aggregate = Some(spec);
+    }
+
+    /// Detaches the producing edge of `v`, leaving `v` source-like until a
+    /// new producer is added. The detached edge becomes inert (no inputs, no
+    /// sharings) and is dropped by the next [`Plan::garbage_collect`];
+    /// `validate` must not be called before that collection happens.
+    pub fn detach_producer(&mut self, v: VertexId) -> Option<usize> {
+        let e = self.producer[v.index()].take()?;
+        let inputs = std::mem::take(&mut self.edges[e].inputs);
+        for input in inputs {
+            self.consumers[input.index()].retain(|&c| c != e);
+        }
+        self.edges[e].sharings.clear();
+        Some(e)
+    }
+
+    /// Topological order of vertices (sources first). Errors on cycles.
+    pub fn topo_order(&self) -> Result<Vec<VertexId>> {
+        let n = self.vertices.len();
+        let mut indegree = vec![0usize; n];
+        for (v, p) in self.producer.iter().enumerate() {
+            if let Some(e) = p {
+                indegree[v] = self.edges[*e].inputs.len();
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        // Track how many inputs of each produced vertex are already ordered.
+        let mut satisfied = vec![0usize; n];
+        while let Some(v) = queue.pop_front() {
+            order.push(VertexId::new(v as u32));
+            for &e in &self.consumers[v] {
+                let out = self.edges[e].output.index();
+                satisfied[out] += 1;
+                if satisfied[out] == indegree[out] && indegree[out] > 0 {
+                    queue.push_back(out);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(SmileError::InvalidPlan("plan DAG contains a cycle".into()));
+        }
+        Ok(order)
+    }
+
+    /// `ANC(v)`: every vertex upstream of `v` (excluding `v` itself),
+    /// together with the edges among them.
+    pub fn ancestors(&self, v: VertexId) -> (HashSet<VertexId>, HashSet<usize>) {
+        let mut verts = HashSet::new();
+        let mut edges = HashSet::new();
+        let mut stack = vec![v];
+        while let Some(cur) = stack.pop() {
+            if let Some(e) = self.producer[cur.index()] {
+                edges.insert(e);
+                for &input in &self.edges[e].inputs {
+                    if verts.insert(input) {
+                        stack.push(input);
+                    }
+                }
+            }
+        }
+        (verts, edges)
+    }
+
+    /// Validates the structural invariants of a plan:
+    /// acyclicity; join/union/apply inputs co-located with outputs;
+    /// copy-delta crossing machines; producer kinds consistent.
+    pub fn validate(&self) -> Result<()> {
+        self.topo_order()?;
+        for e in &self.edges {
+            let out = self.vertex(e.output);
+            let err = |d: String| Err(SmileError::InvalidPlan(d));
+            match &e.op {
+                EdgeOp::CopyDelta => {
+                    if e.inputs.len() != 1 {
+                        return err(format!("CopyDelta edge {} needs 1 input", e.id));
+                    }
+                    let input = self.vertex(e.inputs[0]);
+                    if input.kind != VertexKind::Delta || out.kind != VertexKind::Delta {
+                        return err(format!("CopyDelta edge {} must link deltas", e.id));
+                    }
+                }
+                EdgeOp::DeltaToRel => {
+                    if e.inputs.len() != 1 {
+                        return err(format!("DeltaToRel edge {} needs 1 input", e.id));
+                    }
+                    let input = self.vertex(e.inputs[0]);
+                    if input.kind != VertexKind::Delta || out.kind != VertexKind::Relation {
+                        return err(format!("DeltaToRel edge {} must apply a delta", e.id));
+                    }
+                    if input.machine != out.machine {
+                        return err(format!("DeltaToRel edge {} crosses machines", e.id));
+                    }
+                }
+                EdgeOp::Join { .. } => {
+                    if e.inputs.len() != 2 {
+                        return err(format!("Join edge {} needs [delta, relation]", e.id));
+                    }
+                    let d = self.vertex(e.inputs[0]);
+                    let r = self.vertex(e.inputs[1]);
+                    if d.kind != VertexKind::Delta || r.kind != VertexKind::Relation {
+                        return err(format!("Join edge {} inputs must be delta+relation", e.id));
+                    }
+                    if d.machine != out.machine || r.machine != out.machine {
+                        return err(format!(
+                            "Join edge {} inputs must be co-located with its output",
+                            e.id
+                        ));
+                    }
+                    if out.kind != VertexKind::Delta {
+                        return err(format!("Join edge {} must produce a delta", e.id));
+                    }
+                }
+                EdgeOp::Union => {
+                    if e.inputs.is_empty() {
+                        return err(format!("Union edge {} needs inputs", e.id));
+                    }
+                    for &input in &e.inputs {
+                        let iv = self.vertex(input);
+                        if iv.kind != VertexKind::Delta || iv.machine != out.machine {
+                            return err(format!(
+                                "Union edge {} inputs must be co-located deltas",
+                                e.id
+                            ));
+                        }
+                    }
+                    if out.kind != VertexKind::Delta {
+                        return err(format!("Union edge {} must produce a delta", e.id));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Machines used by this plan.
+    pub fn machines(&self) -> BTreeSet<MachineId> {
+        self.vertices.iter().map(|v| v.machine).collect()
+    }
+
+    /// Rebuilds the plan keeping only vertices/edges whose `SHR` set is
+    /// non-empty, remapping ids densely. Returns the new plan. Used by the
+    /// plumbing pass after it strips sharings from replaced supply chains.
+    pub fn garbage_collect(&self) -> Plan {
+        let mut out = Plan::new();
+        let mut remap: HashMap<VertexId, VertexId> = HashMap::new();
+        let order = self.topo_order().expect("validated plan");
+        for v in order {
+            let vert = self.vertex(v);
+            if vert.sharings.is_empty() && !vert.is_base {
+                continue;
+            }
+            let nid = out.add_vertex(
+                vert.kind,
+                vert.sig.clone(),
+                vert.machine,
+                vert.schema.clone(),
+                vert.is_base,
+                None,
+                vert.est_rate,
+                vert.est_card,
+                vert.est_tuple_bytes,
+            );
+            out.vertex_mut(nid).sharings = vert.sharings.clone();
+            out.vertex_mut(nid).slot = vert.slot;
+            remap.insert(v, nid);
+        }
+        for e in &self.edges {
+            if e.sharings.is_empty() {
+                continue;
+            }
+            let inputs: Option<Vec<VertexId>> =
+                e.inputs.iter().map(|i| remap.get(i).copied()).collect();
+            let (Some(inputs), Some(&output)) = (inputs, remap.get(&e.output)) else {
+                continue;
+            };
+            let id = out
+                .add_edge(
+                    e.op.clone(),
+                    inputs,
+                    output,
+                    e.filter.clone(),
+                    e.projection.clone(),
+                    None,
+                    e.est_rate,
+                    e.est_tuple_bytes,
+                )
+                .expect("gc preserves producer uniqueness");
+            out.edges[id].sharings = e.sharings.clone();
+            out.edges[id].aggregate = e.aggregate.clone();
+        }
+        out
+    }
+
+    /// Total estimated CPU utilization per machine (operator-seconds per
+    /// second), used for capacity checks in the optimizer.
+    pub fn machine_cpu_load(
+        &self,
+        model: &crate::plan::timecost::TimeCostModel,
+    ) -> HashMap<MachineId, f64> {
+        let mut load: HashMap<MachineId, f64> = HashMap::new();
+        for e in &self.edges {
+            let dur = model
+                .edge_service(&e.op, e.est_rate, e.est_tuple_bytes)
+                .as_secs_f64();
+            *load.entry(e.runs_on(self)).or_default() += dur;
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smile_types::{Column, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("k", ColumnType::I64)], vec![0])
+    }
+
+    fn base_pair(plan: &mut Plan, rel: u32, m: u32) -> (VertexId, VertexId) {
+        let sig = ExprSig::base(RelationId::new(rel));
+        let r = plan.add_vertex(
+            VertexKind::Relation,
+            sig.clone(),
+            MachineId::new(m),
+            schema(),
+            true,
+            None,
+            10.0,
+            100.0,
+            24.0,
+        );
+        let d = plan.add_vertex(
+            VertexKind::Delta,
+            sig,
+            MachineId::new(m),
+            schema(),
+            true,
+            None,
+            10.0,
+            0.0,
+            24.0,
+        );
+        (r, d)
+    }
+
+    #[test]
+    fn dedup_on_add_vertex() {
+        let mut p = Plan::new();
+        let (r1, _) = base_pair(&mut p, 0, 0);
+        let sig = ExprSig::base(RelationId::new(0));
+        let r2 = p.add_vertex(
+            VertexKind::Relation,
+            sig,
+            MachineId::new(0),
+            schema(),
+            true,
+            Some(SharingId::new(5)),
+            10.0,
+            100.0,
+            24.0,
+        );
+        assert_eq!(r1, r2);
+        assert_eq!(p.vertex_count(), 2);
+        assert!(p.vertex(r1).sharings.contains(&SharingId::new(5)));
+    }
+
+    #[test]
+    fn copy_then_apply_validates() {
+        let mut p = Plan::new();
+        let (_, d0) = base_pair(&mut p, 0, 0);
+        let sig = ExprSig::base(RelationId::new(0));
+        let d1 = p.add_vertex(
+            VertexKind::Delta,
+            sig.clone(),
+            MachineId::new(1),
+            schema(),
+            false,
+            None,
+            10.0,
+            0.0,
+            24.0,
+        );
+        let r1 = p.add_vertex(
+            VertexKind::Relation,
+            sig,
+            MachineId::new(1),
+            schema(),
+            false,
+            None,
+            10.0,
+            100.0,
+            24.0,
+        );
+        p.add_edge(
+            EdgeOp::CopyDelta,
+            vec![d0],
+            d1,
+            Predicate::True,
+            None,
+            None,
+            10.0,
+            24.0,
+        )
+        .unwrap();
+        p.add_edge(
+            EdgeOp::DeltaToRel,
+            vec![d1],
+            r1,
+            Predicate::True,
+            None,
+            None,
+            10.0,
+            24.0,
+        )
+        .unwrap();
+        p.validate().unwrap();
+        assert!(p.producer(r1).is_some());
+        assert_eq!(p.consumers(d1).count(), 1);
+        let order = p.topo_order().unwrap();
+        let pos = |v: VertexId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(d0) < pos(d1));
+        assert!(pos(d1) < pos(r1));
+    }
+
+    #[test]
+    fn conflicting_producer_rejected() {
+        let mut p = Plan::new();
+        let (_, d0) = base_pair(&mut p, 0, 0);
+        let (_, d1) = base_pair(&mut p, 1, 0);
+        let out = p.add_vertex(
+            VertexKind::Delta,
+            ExprSig::base(RelationId::new(2)),
+            MachineId::new(0),
+            schema(),
+            false,
+            None,
+            1.0,
+            0.0,
+            24.0,
+        );
+        p.add_edge(
+            EdgeOp::Union,
+            vec![d0],
+            out,
+            Predicate::True,
+            None,
+            None,
+            1.0,
+            24.0,
+        )
+        .unwrap();
+        // Same op, same inputs: dedup.
+        let again = p.add_edge(
+            EdgeOp::Union,
+            vec![d0],
+            out,
+            Predicate::True,
+            None,
+            Some(SharingId::new(1)),
+            1.0,
+            24.0,
+        );
+        assert!(again.is_ok());
+        assert_eq!(p.edge_count(), 1);
+        // Different inputs: conflict.
+        let conflict = p.add_edge(
+            EdgeOp::Union,
+            vec![d1],
+            out,
+            Predicate::True,
+            None,
+            None,
+            1.0,
+            24.0,
+        );
+        assert!(conflict.is_err());
+    }
+
+    #[test]
+    fn cross_machine_apply_rejected() {
+        let mut p = Plan::new();
+        let (_, d0) = base_pair(&mut p, 0, 0);
+        let r1 = p.add_vertex(
+            VertexKind::Relation,
+            ExprSig::base(RelationId::new(0)),
+            MachineId::new(1),
+            schema(),
+            false,
+            None,
+            10.0,
+            100.0,
+            24.0,
+        );
+        p.add_edge(
+            EdgeOp::DeltaToRel,
+            vec![d0],
+            r1,
+            Predicate::True,
+            None,
+            None,
+            10.0,
+            24.0,
+        )
+        .unwrap();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn ancestors_collects_upstream() {
+        let mut p = Plan::new();
+        let (_, d0) = base_pair(&mut p, 0, 0);
+        let sig = ExprSig::base(RelationId::new(0));
+        let d1 = p.add_vertex(
+            VertexKind::Delta,
+            sig.clone(),
+            MachineId::new(1),
+            schema(),
+            false,
+            None,
+            10.0,
+            0.0,
+            24.0,
+        );
+        let d2 = p.add_vertex(
+            VertexKind::Delta,
+            sig,
+            MachineId::new(2),
+            schema(),
+            false,
+            None,
+            10.0,
+            0.0,
+            24.0,
+        );
+        p.add_edge(
+            EdgeOp::CopyDelta,
+            vec![d0],
+            d1,
+            Predicate::True,
+            None,
+            None,
+            10.0,
+            24.0,
+        )
+        .unwrap();
+        p.add_edge(
+            EdgeOp::CopyDelta,
+            vec![d1],
+            d2,
+            Predicate::True,
+            None,
+            None,
+            10.0,
+            24.0,
+        )
+        .unwrap();
+        let (verts, edges) = p.ancestors(d2);
+        assert_eq!(verts.len(), 2);
+        assert!(verts.contains(&d0) && verts.contains(&d1));
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn garbage_collect_drops_unshared() {
+        let mut p = Plan::new();
+        let (_, d0) = base_pair(&mut p, 0, 0);
+        let sig = ExprSig::base(RelationId::new(0));
+        let d1 = p.add_vertex(
+            VertexKind::Delta,
+            sig,
+            MachineId::new(1),
+            schema(),
+            false,
+            Some(SharingId::new(1)),
+            10.0,
+            0.0,
+            24.0,
+        );
+        let e = p
+            .add_edge(
+                EdgeOp::CopyDelta,
+                vec![d0],
+                d1,
+                Predicate::True,
+                None,
+                Some(SharingId::new(1)),
+                10.0,
+                24.0,
+            )
+            .unwrap();
+        // Strip the sharing: GC should drop the derived vertex and edge but
+        // keep the base pair.
+        p.vertex_mut(d1).sharings.clear();
+        p.edges[e].sharings.clear();
+        let gc = p.garbage_collect();
+        assert_eq!(gc.vertex_count(), 2);
+        assert_eq!(gc.edge_count(), 0);
+    }
+}

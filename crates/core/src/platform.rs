@@ -1,0 +1,752 @@
+//! The `Smile` facade: the whole platform behind one handle.
+//!
+//! Usage follows the paper's life cycle:
+//!
+//! 1. [`Smile::new`] builds the machine fleet;
+//! 2. [`Smile::register_base`] declares each app's shared base relation
+//!    (schema, home machine, statistics) and creates its storage;
+//! 3. [`Smile::submit`] runs the sharing optimizer — the sharing is either
+//!    admitted (DPD/DPT chosen per §6.2) or rejected with
+//!    [`SmileError::Inadmissible`];
+//! 4. [`Smile::install`] merges the admitted plans into the global plan,
+//!    optionally hill-climbs the plumbing, allocates storage slots, seeds
+//!    derived relations, and starts the executor;
+//! 5. the driver loop alternates [`Smile::ingest`] (workload updates) and
+//!    [`Smile::step`] (one executor tick + audit).
+
+use crate::catalog::{BaseStats, Catalog};
+use crate::executor::seed::eval_sig;
+use crate::executor::{ExecConfig, Executor};
+use crate::multi::{hill_climb, GlobalPlan, HillClimbReport};
+use crate::optimizer::{Objective, Optimizer, PlannedSharing};
+use crate::plan::cost::{machine_utilization, Scope};
+use crate::plan::dag::{DeltaSide, EdgeOp, VertexKind};
+use crate::plan::timecost::TimeCostModel;
+use crate::sharing::Sharing;
+use crate::snapshot::SnapshotModule;
+use smile_sim::{Cluster, MachineConfig, PriceSheet};
+use smile_storage::spj::RelationProvider;
+use smile_storage::{DeltaBatch, SpjQuery, ZSet};
+use smile_types::{
+    MachineId, RelationId, Result, Schema, SharingId, SimDuration, SmileError, Timestamp,
+};
+use std::collections::HashMap;
+
+/// Platform configuration.
+#[derive(Clone, Debug)]
+pub struct SmileConfig {
+    /// Number of machines in the fleet.
+    pub machines: usize,
+    /// Per-machine simulator configuration.
+    pub machine_config: MachineConfig,
+    /// Infrastructure prices.
+    pub prices: PriceSheet,
+    /// Ground-truth operator time model (the simulator's service times; the
+    /// executor starts from a copy and recalibrates).
+    pub model: TimeCostModel,
+    /// Executor tuning.
+    pub exec: ExecConfig,
+    /// Whether `install` runs the hill-climbing plumbing pass.
+    pub hill_climb: bool,
+    /// Iteration cap for hill climbing.
+    pub hill_climb_iterations: usize,
+    /// Per-machine CPU capacity for admission (operator-seconds/second).
+    pub capacity: f64,
+    /// Planning objective preference; `None` = the paper's rule (DPD if
+    /// admissible else DPT). `Some(..)` forces one objective (used by the
+    /// Figure 12 algorithm comparison).
+    pub force_objective: Option<Objective>,
+}
+
+impl SmileConfig {
+    /// The paper's default setup shape: identical machines, EC2 cross-zone
+    /// prices, lazy executor, hill climbing on.
+    pub fn with_machines(machines: usize) -> Self {
+        Self {
+            machines,
+            machine_config: MachineConfig::default(),
+            prices: PriceSheet::ec2_cross_zone(),
+            model: TimeCostModel::paper_defaults(),
+            exec: ExecConfig::default(),
+            hill_climb: true,
+            hill_climb_iterations: 64,
+            capacity: 1.0,
+            force_objective: None,
+        }
+    }
+}
+
+/// The SMILE platform.
+pub struct Smile {
+    /// The simulated machine fleet.
+    pub cluster: Cluster,
+    /// The base-relation catalog.
+    pub catalog: Catalog,
+    /// Platform configuration.
+    pub config: SmileConfig,
+    /// Admitted sharings.
+    sharings: Vec<Sharing>,
+    /// Their chosen plans (order-matched with `sharings`).
+    planned: Vec<PlannedSharing>,
+    /// The executor, live after `install`.
+    pub executor: Option<Executor>,
+    /// The staleness auditor.
+    pub snapshot: SnapshotModule,
+    /// The hill-climbing report from the last `install`.
+    pub hc_report: Option<HillClimbReport>,
+    now: Timestamp,
+    next_sharing: u32,
+    /// Entries ingested at or before the seed instant would fall outside
+    /// the half-open push windows `(seed, t]`; ingest clamps them above it.
+    seed_floor: Option<Timestamp>,
+}
+
+impl Smile {
+    /// Builds the platform with `config.machines` simulated machines.
+    pub fn new(config: SmileConfig) -> Self {
+        let mut cluster = Cluster::with_configs(vec![config.machine_config; config.machines]);
+        cluster.prices = config.prices;
+        Self {
+            cluster,
+            catalog: Catalog::new(),
+            config,
+            sharings: Vec::new(),
+            planned: Vec::new(),
+            executor: None,
+            snapshot: SnapshotModule::new(),
+            hc_report: None,
+            now: Timestamp::ZERO,
+            next_sharing: 1,
+            seed_floor: None,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Registers a base relation: catalog entry plus storage on its home
+    /// machine.
+    pub fn register_base(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        machine: MachineId,
+        stats: BaseStats,
+    ) -> Result<RelationId> {
+        let rel = self
+            .catalog
+            .register_base(name, schema.clone(), machine, stats);
+        self.cluster
+            .machine_mut(machine)?
+            .db
+            .create_relation(rel, schema)?;
+        Ok(rel)
+    }
+
+    /// Submits a sharing for admission. On success the sharing is admitted
+    /// and its plan stored (it starts running at the next `install`).
+    pub fn submit(
+        &mut self,
+        name: &str,
+        query: SpjQuery,
+        staleness_sla: SimDuration,
+        penalty_per_tuple: f64,
+    ) -> Result<SharingId> {
+        self.submit_pinned(name, query, staleness_sla, penalty_per_tuple, None)
+    }
+
+    /// Like [`Smile::submit`], but pins the MV to a machine — the paper's
+    /// setup "arbitrarily assigned" the 25 sharings to the 6 machines.
+    pub fn submit_pinned(
+        &mut self,
+        name: &str,
+        query: SpjQuery,
+        staleness_sla: SimDuration,
+        penalty_per_tuple: f64,
+        mv_machine: Option<MachineId>,
+    ) -> Result<SharingId> {
+        query.validate(&self.catalog)?;
+        let id = SharingId::new(self.next_sharing);
+        let sharing = Sharing::new(id, name, query, staleness_sla, penalty_per_tuple);
+        // Capacity already committed by previously admitted sharings.
+        let mut committed: HashMap<MachineId, f64> = HashMap::new();
+        for p in &self.planned {
+            for (m, u) in machine_utilization(&p.plan, Scope::All, &self.config.model) {
+                *committed.entry(m).or_default() += u;
+            }
+        }
+        let optimizer = Optimizer::new(
+            &self.catalog,
+            self.cluster.machine_ids(),
+            &self.config.model,
+            &self.config.prices,
+        )
+        .with_committed(committed)
+        .with_capacity(self.config.capacity)
+        .with_mv_machine(mv_machine);
+        let planned = match self.config.force_objective {
+            Some(obj) => {
+                let p = optimizer.plan_with(&sharing, obj)?;
+                // Even a forced objective respects the admissibility test.
+                if optimizer
+                    .plan_with(&sharing, Objective::Time)?
+                    .critical_path
+                    > sharing.staleness_sla
+                {
+                    return Err(SmileError::Inadmissible {
+                        sharing: id,
+                        critical_path_secs: p.critical_path.as_secs_f64(),
+                        sla_secs: sharing.sla_secs(),
+                    });
+                }
+                p
+            }
+            None => optimizer.plan_pair(&sharing)?.choose(&sharing)?,
+        };
+        self.next_sharing += 1;
+        self.snapshot.register_penalty(id, penalty_per_tuple);
+        self.sharings.push(sharing);
+        self.planned.push(planned);
+        Ok(id)
+    }
+
+    /// Merges all admitted plans into the global plan, runs the plumbing
+    /// pass, materializes storage, and starts the executor.
+    pub fn install(&mut self) -> Result<()> {
+        if self.executor.is_some() {
+            return Err(SmileError::Internal(
+                "platform already installed; dynamic re-install is not supported".into(),
+            ));
+        }
+        let mut global = GlobalPlan::new();
+        for (sharing, planned) in self.sharings.iter().zip(&self.planned) {
+            global.merge(sharing, planned)?;
+        }
+        if self.config.hill_climb {
+            let report = hill_climb(
+                &mut global,
+                &self.config.model,
+                &self.config.prices,
+                self.config.hill_climb_iterations,
+            );
+            self.hc_report = Some(report);
+        }
+        global.plan.validate()?;
+        let _created = self.materialize(&mut global)?;
+        let mut executor = Executor::new(
+            global,
+            &self.sharings,
+            self.config.model.clone(),
+            self.config.exec.clone(),
+        )?;
+        executor.mark_seeded(self.now);
+        self.seed_floor = Some(self.now + SimDuration::from_micros(1));
+        self.executor = Some(executor);
+        Ok(())
+    }
+
+    /// Allocates storage slots for plan vertices, creates the relations,
+    /// declares the secondary indexes join edges probe, and seeds derived
+    /// relation contents from ground truth. Incremental: vertices that
+    /// already have slots are untouched, so the same routine serves both
+    /// `install` and on-the-fly additions. Returns the vertices whose
+    /// storage was created (and therefore freshly seeded) by this call.
+    fn materialize(&mut self, global: &mut GlobalPlan) -> Result<Vec<smile_types::VertexId>> {
+        materialize_into(&mut self.catalog, &mut self.cluster, global, self.now)
+    }
+
+    /// **On-the-fly admission** (paper §10 future work): plans, admits and
+    /// starts maintaining a sharing while the platform is running. The
+    /// running global plan gains (deduplicated) vertices; new storage is
+    /// seeded from the current base contents.
+    pub fn submit_live(
+        &mut self,
+        name: &str,
+        query: SpjQuery,
+        staleness_sla: SimDuration,
+        penalty_per_tuple: f64,
+        mv_machine: Option<MachineId>,
+    ) -> Result<SharingId> {
+        if self.executor.is_none() {
+            return Err(SmileError::Internal(
+                "submit_live before install; use submit instead".into(),
+            ));
+        }
+        query.validate(&self.catalog)?;
+        let id = SharingId::new(self.next_sharing);
+        let sharing = Sharing::new(id, name, query, staleness_sla, penalty_per_tuple);
+        // Commit against the *running* global plan's utilization.
+        let committed = {
+            let executor = self.executor.as_ref().expect("checked");
+            machine_utilization(&executor.global.plan, Scope::All, &self.config.model)
+        };
+        let optimizer = Optimizer::new(
+            &self.catalog,
+            self.cluster.machine_ids(),
+            &self.config.model,
+            &self.config.prices,
+        )
+        .with_committed(committed)
+        .with_capacity(self.config.capacity)
+        .with_mv_machine(mv_machine);
+        let planned = optimizer.plan_pair(&sharing)?.choose(&sharing)?;
+
+        let executor = self.executor.as_mut().expect("checked");
+        executor.add_sharing(&sharing, &planned)?;
+        let created = materialize_into(
+            &mut self.catalog,
+            &mut self.cluster,
+            &mut executor.global,
+            self.now,
+        )?;
+        executor.mark_vertices_seeded(&created, self.now);
+        // Entries stamped at or before this instant fall outside the new
+        // vertices' half-open push windows; lift the ingest floor past it.
+        let floor = self.now + SimDuration::from_micros(1);
+        self.seed_floor = Some(self.seed_floor.map_or(floor, |f| f.max(floor)));
+
+        self.next_sharing += 1;
+        self.snapshot.register_penalty(id, penalty_per_tuple);
+        self.sharings.push(sharing);
+        self.planned.push(planned);
+        Ok(id)
+    }
+
+    /// **On-the-fly removal** (paper §10 future work): stops maintaining a
+    /// sharing and drops the storage that served only it. Other sharings
+    /// are untouched — shared vertices keep running for them.
+    pub fn retire(&mut self, id: SharingId) -> Result<()> {
+        let executor = self
+            .executor
+            .as_mut()
+            .ok_or_else(|| SmileError::Internal("retire before install".into()))?;
+        let dropped = executor.remove_sharing(id)?;
+        let mut dropped_set: std::collections::HashSet<(MachineId, RelationId)> =
+            std::collections::HashSet::new();
+        for (machine, slot) in dropped {
+            if dropped_set.insert((machine, slot)) {
+                self.cluster.machine_mut(machine)?.db.drop_relation(slot)?;
+            }
+        }
+        // Clear slot markers so a future identical sharing re-materializes.
+        let vertex_ids: Vec<_> = executor
+            .global
+            .plan
+            .vertices()
+            .iter()
+            .map(|v| v.id)
+            .collect();
+        for v in vertex_ids {
+            let vert = executor.global.plan.vertex(v);
+            if let Some(slot) = vert.slot {
+                if dropped_set.contains(&(vert.machine, slot)) {
+                    executor.global.plan.vertex_mut(v).slot = None;
+                }
+            }
+        }
+        if let Some(pos) = self.sharings.iter().position(|s| s.id == id) {
+            self.sharings.remove(pos);
+            self.planned.remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Ingests an application update batch into a base relation (delta
+    /// capture). Entries should be stamped at or near `self.now()`; stamps
+    /// at or below the install instant are clamped just above it so they
+    /// stay inside the executor's half-open push windows.
+    pub fn ingest(&mut self, rel: RelationId, mut batch: DeltaBatch) -> Result<()> {
+        if let Some(floor) = self.seed_floor {
+            for e in &mut batch.entries {
+                if e.ts < floor {
+                    e.ts = floor;
+                }
+            }
+        }
+        let machine = self.catalog.base(rel)?.machine;
+        self.cluster.machine_mut(machine)?.db.ingest(rel, batch)
+    }
+
+    /// Advances the platform by one executor tick.
+    pub fn step(&mut self) -> Result<()> {
+        let executor = self
+            .executor
+            .as_mut()
+            .ok_or_else(|| SmileError::Internal("step before install".into()))?;
+        executor.tick(&mut self.cluster, self.now)?;
+        self.snapshot
+            .maybe_record(executor, &mut self.cluster, self.now);
+        self.now += self.config.exec.tick;
+        Ok(())
+    }
+
+    /// Runs the platform for a simulated duration with no further ingest.
+    pub fn run_idle(&mut self, duration: SimDuration) -> Result<()> {
+        let end = self.now + duration;
+        while self.now < end {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// The admitted sharings.
+    pub fn sharings(&self) -> &[Sharing] {
+        &self.sharings
+    }
+
+    /// The chosen plan of a sharing.
+    pub fn planned(&self, id: SharingId) -> Result<&PlannedSharing> {
+        self.sharings
+            .iter()
+            .position(|s| s.id == id)
+            .map(|i| &self.planned[i])
+            .ok_or(SmileError::UnknownSharing(id))
+    }
+
+    /// Current MV contents of a sharing.
+    pub fn mv_contents(&self, id: SharingId) -> Result<ZSet> {
+        let executor = self
+            .executor
+            .as_ref()
+            .ok_or_else(|| SmileError::Internal("no executor".into()))?;
+        let mv = executor.global.mv_vertex(id)?;
+        let vert = executor.global.plan.vertex(mv);
+        let slot = vert
+            .slot
+            .ok_or_else(|| SmileError::Internal("MV without slot".into()))?;
+        Ok(self
+            .cluster
+            .machine(vert.machine)?
+            .db
+            .relation(slot)?
+            .table
+            .rows()
+            .clone())
+    }
+
+    /// Ground truth: what the MV *should* contain — the sharing's query
+    /// evaluated over base-relation snapshots as of the MV's committed
+    /// timestamp.
+    pub fn expected_mv_contents(&self, id: SharingId) -> Result<ZSet> {
+        let executor = self
+            .executor
+            .as_ref()
+            .ok_or_else(|| SmileError::Internal("no executor".into()))?;
+        let at = executor.mv_ts(id)?;
+        let planned = self.planned(id)?;
+        let provider = AsOfProvider {
+            cluster: &self.cluster,
+            catalog: &self.catalog,
+            at,
+        };
+        planned.query.evaluate(&provider)
+    }
+
+    /// Dollars attributed to one sharing so far (resource share plus
+    /// penalties).
+    pub fn sharing_dollars(&self, id: SharingId) -> f64 {
+        let usage = self.cluster.ledger.sharing(id);
+        self.cluster.prices.dollars(&usage) + self.cluster.ledger.penalty(id)
+    }
+
+    /// Total platform dollars so far.
+    pub fn total_dollars(&self) -> f64 {
+        self.cluster.total_dollars()
+    }
+}
+
+/// The incremental storage materializer shared by `install` and
+/// `submit_live`.
+fn materialize_into(
+    catalog: &mut Catalog,
+    cluster: &mut Cluster,
+    global: &mut GlobalPlan,
+    now: Timestamp,
+) -> Result<Vec<smile_types::VertexId>> {
+    use crate::plan::sig::ExprSig;
+    // Existing slot assignments seed the (sig, machine) → slot map so a new
+    // Delta vertex pairs with its already-materialized Relation twin.
+    let mut slots: HashMap<(ExprSig, MachineId), RelationId> = HashMap::new();
+    for v in global.plan.vertices() {
+        if let Some(slot) = v.slot {
+            slots.insert((v.sig.clone(), v.machine), slot);
+        }
+    }
+    let mut created: Vec<smile_types::VertexId> = Vec::new();
+    let mut created_slots: std::collections::HashSet<(MachineId, RelationId)> =
+        std::collections::HashSet::new();
+    let vertex_ids: Vec<_> = global.plan.vertices().iter().map(|v| v.id).collect();
+    for v in vertex_ids {
+        let (sig, machine, is_base, schema, has_slot) = {
+            let vert = global.plan.vertex(v);
+            (
+                vert.sig.clone(),
+                vert.machine,
+                vert.is_base,
+                vert.schema.clone(),
+                vert.slot.is_some(),
+            )
+        };
+        if has_slot {
+            continue;
+        }
+        let slot = if is_base {
+            match &sig {
+                ExprSig::Base(r) => *r,
+                other => {
+                    return Err(SmileError::Internal(format!(
+                        "base vertex with non-base signature {other}"
+                    )))
+                }
+            }
+        } else {
+            *slots
+                .entry((sig, machine))
+                .or_insert_with(|| catalog.alloc_derived())
+        };
+        if !cluster.machine(machine)?.db.has_relation(slot) {
+            cluster
+                .machine_mut(machine)?
+                .db
+                .create_relation(slot, schema)?;
+            created_slots.insert((machine, slot));
+        }
+        global.plan.vertex_mut(v).slot = Some(slot);
+        if created_slots.contains(&(machine, slot)) {
+            created.push(v);
+        }
+    }
+    // Secondary indexes for join probes (idempotent).
+    for e in global.plan.edges().to_vec() {
+        let EdgeOp::Join { on, delta_side, .. } = &e.op else {
+            continue;
+        };
+        let snap_cols = match delta_side {
+            DeltaSide::Left => &on.right_cols,
+            DeltaSide::Right => &on.left_cols,
+        };
+        let rel_v = global.plan.vertex(e.inputs[1]);
+        let slot = rel_v
+            .slot
+            .ok_or_else(|| SmileError::Internal("join input without slot".into()))?;
+        cluster
+            .machine_mut(rel_v.machine)?
+            .db
+            .ensure_index(slot, snap_cols)?;
+    }
+    // Seed the freshly created derived relations in topological order.
+    let mut seeded: std::collections::HashSet<(MachineId, RelationId)> =
+        std::collections::HashSet::new();
+    for v in global.plan.topo_order()? {
+        let vert = global.plan.vertex(v);
+        if vert.is_base || vert.kind != VertexKind::Relation {
+            continue;
+        }
+        let slot = vert.slot.expect("assigned above");
+        if !created_slots.contains(&(vert.machine, slot)) || !seeded.insert((vert.machine, slot)) {
+            continue;
+        }
+        let rows = eval_sig(&vert.sig, cluster, catalog, None)?;
+        cluster
+            .machine_mut(vert.machine)?
+            .db
+            .seed_relation(slot, rows, now)?;
+    }
+    Ok(created)
+}
+
+/// `RelationProvider` reading base snapshots as of a fixed timestamp.
+struct AsOfProvider<'a> {
+    cluster: &'a Cluster,
+    catalog: &'a Catalog,
+    at: Timestamp,
+}
+
+impl RelationProvider for AsOfProvider<'_> {
+    fn schema(&self, rel: RelationId) -> Result<Schema> {
+        Ok(self.catalog.base(rel)?.schema.clone())
+    }
+
+    fn rows(&self, rel: RelationId) -> Result<ZSet> {
+        let machine = self.catalog.base(rel)?.machine;
+        self.cluster.machine(machine)?.db.snapshot_at(rel, self.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smile_storage::delta::DeltaEntry;
+    use smile_storage::join::JoinOn;
+    use smile_storage::Predicate;
+    use smile_types::{tuple, Column, ColumnType};
+
+    fn users_schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("uid", ColumnType::I64),
+                Column::new("name", ColumnType::Str),
+            ],
+            vec![0],
+        )
+    }
+
+    fn tweets_schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("tid", ColumnType::I64),
+                Column::new("uid", ColumnType::I64),
+            ],
+            vec![0],
+        )
+    }
+
+    fn setup() -> (Smile, RelationId, RelationId) {
+        let mut smile = Smile::new(SmileConfig::with_machines(3));
+        let users = smile
+            .register_base(
+                "users",
+                users_schema(),
+                MachineId::new(0),
+                BaseStats {
+                    update_rate: 5.0,
+                    cardinality: 100.0,
+                    tuple_bytes: 40.0,
+                    distinct: vec![100.0, 90.0],
+                },
+            )
+            .unwrap();
+        let tweets = smile
+            .register_base(
+                "tweets",
+                tweets_schema(),
+                MachineId::new(1),
+                BaseStats {
+                    update_rate: 20.0,
+                    cardinality: 1000.0,
+                    tuple_bytes: 40.0,
+                    distinct: vec![1000.0, 100.0],
+                },
+            )
+            .unwrap();
+        (smile, users, tweets)
+    }
+
+    /// Drives a deterministic workload: every second, one new user and a
+    /// few tweets from known users.
+    fn drive(smile: &mut Smile, users: RelationId, tweets: RelationId, seconds: u64) {
+        for s in 0..seconds {
+            let now = smile.now();
+            let uid = (s % 50) as i64;
+            let user_batch: DeltaBatch = [DeltaEntry::insert(
+                tuple![uid, format!("user{uid}").as_str()],
+                now,
+            )]
+            .into_iter()
+            .collect();
+            smile.ingest(users, user_batch).unwrap();
+            let tweet_batch: DeltaBatch = (0..3)
+                .map(|k| {
+                    DeltaEntry::insert(tuple![(s * 10 + k) as i64, ((s + k) % 50) as i64], now)
+                })
+                .collect();
+            smile.ingest(tweets, tweet_batch).unwrap();
+            smile.step().unwrap();
+        }
+    }
+
+    #[test]
+    fn end_to_end_incremental_equals_ground_truth() {
+        let (mut smile, users, tweets) = setup();
+        let q = SpjQuery::scan(users).join(tweets, JoinOn::on(0, 1), Predicate::True);
+        let id = smile
+            .submit("twitaholic", q, SimDuration::from_secs(20), 0.001)
+            .unwrap();
+        smile.install().unwrap();
+        drive(&mut smile, users, tweets, 120);
+
+        // At least one push must have happened.
+        let executor = smile.executor.as_ref().unwrap();
+        assert!(
+            !executor.push_records.is_empty(),
+            "no pushes in 120 seconds"
+        );
+        let got = smile.mv_contents(id).unwrap();
+        let want = smile.expected_mv_contents(id).unwrap();
+        assert!(!want.is_empty(), "ground truth should not be empty");
+        assert_eq!(got.sorted_entries(), want.sorted_entries());
+    }
+
+    #[test]
+    fn staleness_stays_within_sla() {
+        let (mut smile, users, tweets) = setup();
+        let q = SpjQuery::scan(users).join(tweets, JoinOn::on(0, 1), Predicate::True);
+        let _id = smile
+            .submit("twitaholic", q, SimDuration::from_secs(20), 0.001)
+            .unwrap();
+        smile.install().unwrap();
+        drive(&mut smile, users, tweets, 180);
+        assert_eq!(
+            smile.snapshot.violations_total(),
+            0,
+            "SLA violations under light load"
+        );
+        // The staleness series shows the lazy sawtooth: it must at some
+        // point exceed half the SLA (laziness) and drop after pushes.
+        let series = smile.snapshot.staleness_series(SharingId::new(1));
+        let max = series.iter().map(|(_, s)| *s).max().unwrap();
+        assert!(max > SimDuration::from_secs(8), "never got lazy: {max}");
+    }
+
+    #[test]
+    fn costs_accrue_and_are_attributed() {
+        let (mut smile, users, tweets) = setup();
+        let q = SpjQuery::scan(users).join(tweets, JoinOn::on(0, 1), Predicate::True);
+        let id = smile
+            .submit("twitaholic", q, SimDuration::from_secs(20), 0.001)
+            .unwrap();
+        smile.install().unwrap();
+        drive(&mut smile, users, tweets, 60);
+        assert!(smile.total_dollars() > 0.0);
+        assert!(smile.sharing_dollars(id) > 0.0);
+    }
+
+    #[test]
+    fn filtered_projected_sharing_maintained_exactly() {
+        let (mut smile, users, tweets) = setup();
+        // Dinner-style filter: tweets of users 0..10 only, keep (name, tid).
+        let q = SpjQuery::scan(users)
+            .join(
+                tweets,
+                JoinOn::on(0, 1),
+                Predicate::cmp(1, smile_storage::predicate::CmpOp::Lt, 10i64),
+            )
+            .project(vec![1, 2]);
+        let id = smile
+            .submit("dinner", q, SimDuration::from_secs(15), 0.001)
+            .unwrap();
+        smile.install().unwrap();
+        drive(&mut smile, users, tweets, 90);
+        let got = smile.mv_contents(id).unwrap();
+        let want = smile.expected_mv_contents(id).unwrap();
+        assert_eq!(got.sorted_entries(), want.sorted_entries());
+        assert!(got.iter().all(|(t, _)| t.arity() == 2));
+    }
+
+    #[test]
+    fn inadmissible_sharing_rejected_at_submit() {
+        let (mut smile, users, tweets) = setup();
+        let q = SpjQuery::scan(users).join(tweets, JoinOn::on(0, 1), Predicate::True);
+        let err = smile.submit("too-fast", q, SimDuration::from_millis(1), 0.001);
+        assert!(matches!(err, Err(SmileError::Inadmissible { .. })));
+        assert!(smile.sharings().is_empty());
+    }
+
+    #[test]
+    fn step_before_install_errors() {
+        let (mut smile, _, _) = setup();
+        assert!(smile.step().is_err());
+    }
+}

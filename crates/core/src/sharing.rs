@@ -1,0 +1,78 @@
+//! Sharing specifications and SLAs.
+
+use smile_storage::SpjQuery;
+use smile_types::{RelationId, SharingId, SimDuration};
+
+/// A sharing `S_i` as specified by a consumer (paper §3): the datasets of
+/// interest, an SPJ transformation over them, a staleness requirement and
+/// the penalty the provider pays per late tuple.
+#[derive(Clone, Debug)]
+pub struct Sharing {
+    /// Platform-assigned identity.
+    pub id: SharingId,
+    /// Human-readable name — the consuming app in the paper's Table 1
+    /// (e.g. "twitaholic" for `users ⋈ socnet`).
+    pub name: String,
+    /// The transformation over the base relations.
+    pub query: SpjQuery,
+    /// Staleness SLA `t`: the MV must never be more than this far behind
+    /// the freshest base relation.
+    pub staleness_sla: SimDuration,
+    /// Penalty in dollars per tuple delivered late (`pens`).
+    pub penalty_per_tuple: f64,
+}
+
+impl Sharing {
+    /// Creates a sharing specification.
+    pub fn new(
+        id: SharingId,
+        name: impl Into<String>,
+        query: SpjQuery,
+        staleness_sla: SimDuration,
+        penalty_per_tuple: f64,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            query,
+            staleness_sla,
+            penalty_per_tuple,
+        }
+    }
+
+    /// The base relations this sharing reads (`SRC(S_i)`).
+    pub fn sources(&self) -> Vec<RelationId> {
+        self.query.sources()
+    }
+
+    /// Staleness SLA in seconds (the unit used by the cost formulas).
+    pub fn sla_secs(&self) -> f64 {
+        self.staleness_sla.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smile_storage::join::JoinOn;
+    use smile_storage::predicate::Predicate;
+
+    #[test]
+    fn sharing_exposes_sources_and_sla() {
+        let q = SpjQuery::scan(RelationId::new(0)).join(
+            RelationId::new(3),
+            JoinOn::on(0, 0),
+            Predicate::True,
+        );
+        let s = Sharing::new(
+            SharingId::new(1),
+            "twitaholic",
+            q,
+            SimDuration::from_secs(45),
+            0.001,
+        );
+        assert_eq!(s.sources(), vec![RelationId::new(0), RelationId::new(3)]);
+        assert_eq!(s.sla_secs(), 45.0);
+        assert_eq!(s.name, "twitaholic");
+    }
+}

@@ -1,0 +1,147 @@
+//! The machine fleet.
+
+use crate::clock::DistributedClock;
+use crate::machine::{Machine, MachineConfig};
+use crate::meter::UsageLedger;
+use crate::pricing::PriceSheet;
+use smile_types::{MachineId, Result, SimDuration, SmileError, Timestamp};
+
+/// The set of machines available to implement the sharings, plus the shared
+/// clock, price sheet and the per-sharing usage ledger.
+#[derive(Debug)]
+pub struct Cluster {
+    machines: Vec<Machine>,
+    /// Distributed clock used to stamp deltas and heartbeats.
+    pub clock: DistributedClock,
+    /// Prices applied to metered usage.
+    pub prices: PriceSheet,
+    /// Per-sharing resource attribution.
+    pub ledger: UsageLedger,
+}
+
+impl Cluster {
+    /// Builds `n` identical machines with the default configuration, a
+    /// perfect clock, and cross-zone EC2 pricing.
+    pub fn homogeneous(n: usize) -> Self {
+        Self::with_configs(vec![MachineConfig::default(); n])
+    }
+
+    /// Builds machines from explicit configurations.
+    pub fn with_configs(configs: Vec<MachineConfig>) -> Self {
+        let machines = configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Machine::new(MachineId::new(i as u32), c))
+            .collect::<Vec<_>>();
+        let n = machines.len();
+        Self {
+            machines,
+            clock: DistributedClock::perfect(n),
+            prices: PriceSheet::default(),
+            ledger: UsageLedger::new(),
+        }
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True iff the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// All machine ids.
+    pub fn machine_ids(&self) -> Vec<MachineId> {
+        self.machines.iter().map(Machine::id).collect()
+    }
+
+    /// Shared read access to a machine.
+    pub fn machine(&self, m: MachineId) -> Result<&Machine> {
+        self.machines
+            .get(m.index())
+            .ok_or(SmileError::UnknownMachine(m))
+    }
+
+    /// Mutable access to a machine.
+    pub fn machine_mut(&mut self, m: MachineId) -> Result<&mut Machine> {
+        self.machines
+            .get_mut(m.index())
+            .ok_or(SmileError::UnknownMachine(m))
+    }
+
+    /// Samples disk occupancy on every machine into the ledger's total
+    /// (storage is platform overhead shared by all sharings hosted on the
+    /// machine; per-sharing attribution happens through plan vertices).
+    pub fn sample_disks(&mut self, now: Timestamp) {
+        for m in &mut self.machines {
+            let u = m.sample_disk(now);
+            self.ledger.charge(u, &[]);
+        }
+    }
+
+    /// Dollars metered so far across the whole fleet.
+    pub fn total_dollars(&self) -> f64 {
+        let mut usage = crate::meter::ResourceUsage::zero();
+        for m in &self.machines {
+            usage.add(m.usage());
+        }
+        self.prices.dollars(&usage) + self.ledger.total_penalties()
+    }
+
+    /// The largest CPU backlog across machines (stability signal used by the
+    /// Figure 11 capacity search: a growing backlog means the offered rate
+    /// exceeds what the fleet can sustain).
+    pub fn max_backlog(&self, now: Timestamp) -> SimDuration {
+        self.machines
+            .iter()
+            .map(|m| m.cpu_backlog(now))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_fleet_has_sequential_ids() {
+        let c = Cluster::homogeneous(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(
+            c.machine_ids(),
+            vec![MachineId::new(0), MachineId::new(1), MachineId::new(2)]
+        );
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn unknown_machine_errors() {
+        let mut c = Cluster::homogeneous(1);
+        assert!(c.machine(MachineId::new(5)).is_err());
+        assert!(c.machine_mut(MachineId::new(5)).is_err());
+    }
+
+    #[test]
+    fn backlog_tracks_busiest_machine() {
+        let mut c = Cluster::homogeneous(2);
+        let now = Timestamp::from_secs(1);
+        c.machine_mut(MachineId::new(1))
+            .unwrap()
+            .run_cpu(now, SimDuration::from_secs(5));
+        assert_eq!(c.max_backlog(now), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn dollars_accumulate_from_usage_and_penalties() {
+        let mut c = Cluster::homogeneous(1);
+        c.machine_mut(MachineId::new(0))
+            .unwrap()
+            .run_cpu(Timestamp::ZERO, SimDuration::from_secs(3600));
+        c.ledger.charge_penalty(smile_types::SharingId::new(0), 0.5);
+        let d = c.total_dollars();
+        assert!((d - (0.34 + 0.5)).abs() < 1e-9, "d = {d}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event cloud simulator for the SMILE platform.
+//!
+//! This crate substitutes for the paper's physical testbed: six EC2-class
+//! machines, each running one database, connected by a network and a pub/sub
+//! bus, with a periodically synchronized distributed clock. Experiments
+//! measure staleness, SLA violations and dollar cost as functions of update
+//! rate and placement, so the simulator models exactly the things those
+//! metrics depend on:
+//!
+//! * **machines** with single-server FIFO CPU queues and outbound NICs with
+//!   finite bandwidth — contention and queueing delays emerge naturally;
+//! * **resource metering** of CPU-seconds, network bytes and disk
+//!   byte-seconds, attributed per sharing and priced with the paper's EC2
+//!   price sheet ($0.34/h instance, $0.01/GB transfer, $0.11/GB-month EBS);
+//! * a **pub/sub bus** with delivery latency for heartbeats and push
+//!   completion messages;
+//! * a **distributed clock** with bounded per-machine skew and periodic
+//!   resynchronization;
+//! * a generic **event queue** with deterministic FIFO tie-breaking, so
+//!   every simulation run is exactly reproducible.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod cluster;
+pub mod event;
+pub mod machine;
+pub mod meter;
+pub mod pricing;
+pub mod pubsub;
+
+pub use clock::DistributedClock;
+pub use cluster::Cluster;
+pub use event::EventQueue;
+pub use machine::{Machine, MachineConfig};
+pub use meter::{ResourceUsage, UsageLedger};
+pub use pricing::PriceSheet;
+pub use pubsub::PubSub;

@@ -1,0 +1,133 @@
+//! Infrastructure pricing.
+//!
+//! The paper's §9.1.2 prices the infrastructure from the public Amazon EC2
+//! sheet: large Linux instances at $0.34/hour, inter-availability-zone
+//! transfer at $0.01/GB (dropped to $0 for the same-region setup of the
+//! algorithm-comparison experiment, Figure 12), and EBS storage at
+//! $0.11/GB-month. [`PriceSheet`] turns metered [`ResourceUsage`] into
+//! dollars.
+
+use crate::meter::ResourceUsage;
+
+const GB: f64 = 1e9;
+const SECONDS_PER_HOUR: f64 = 3600.0;
+const SECONDS_PER_MONTH: f64 = 30.0 * 24.0 * 3600.0;
+
+/// Dollar prices for the three metered resources.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PriceSheet {
+    /// Dollars per instance-hour of CPU busy time.
+    pub cpu_per_hour: f64,
+    /// Dollars per GB shipped over the network.
+    pub network_per_gb: f64,
+    /// Dollars per GB-month of storage occupancy.
+    pub storage_per_gb_month: f64,
+}
+
+impl PriceSheet {
+    /// The paper's EC2 prices: cross-availability-zone transfers.
+    pub fn ec2_cross_zone() -> Self {
+        Self {
+            cpu_per_hour: 0.34,
+            network_per_gb: 0.01,
+            storage_per_gb_month: 0.11,
+        }
+    }
+
+    /// The Figure 12 variant: machines within the same availability region,
+    /// so network transfer is free.
+    pub fn ec2_same_region() -> Self {
+        Self {
+            network_per_gb: 0.0,
+            ..Self::ec2_cross_zone()
+        }
+    }
+
+    /// Dollars for the given resource usage.
+    pub fn dollars(&self, u: &ResourceUsage) -> f64 {
+        let cpu = u.cpu.as_secs_f64() / SECONDS_PER_HOUR * self.cpu_per_hour;
+        let net = u.net_bytes as f64 / GB * self.network_per_gb;
+        let disk = u.disk_byte_secs / GB / SECONDS_PER_MONTH * self.storage_per_gb_month;
+        cpu + net + disk
+    }
+
+    /// Dollars per second for sustained *rates*: CPU utilization (busy
+    /// fraction, 0..=1 per machine), network bytes/second and stored bytes.
+    /// Used by the optimizer's `resCost` which reasons about steady-state
+    /// plans rather than metered history.
+    pub fn dollars_per_sec(&self, cpu_util: f64, net_bytes_per_sec: f64, stored_bytes: f64) -> f64 {
+        let cpu = cpu_util * self.cpu_per_hour / SECONDS_PER_HOUR;
+        let net = net_bytes_per_sec / GB * self.network_per_gb;
+        let disk = stored_bytes / GB * self.storage_per_gb_month / SECONDS_PER_MONTH;
+        cpu + net + disk
+    }
+}
+
+impl Default for PriceSheet {
+    fn default() -> Self {
+        Self::ec2_cross_zone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smile_types::SimDuration;
+
+    #[test]
+    fn one_busy_hour_costs_the_instance_price() {
+        let p = PriceSheet::ec2_cross_zone();
+        let u = ResourceUsage {
+            cpu: SimDuration::from_secs(3600),
+            net_bytes: 0,
+            disk_byte_secs: 0.0,
+        };
+        assert!((p.dollars(&u) - 0.34).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_gb_transfer_costs_a_cent() {
+        let p = PriceSheet::ec2_cross_zone();
+        let u = ResourceUsage {
+            cpu: SimDuration::ZERO,
+            net_bytes: 1_000_000_000,
+            disk_byte_secs: 0.0,
+        };
+        assert!((p.dollars(&u) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_gb_month_storage() {
+        let p = PriceSheet::ec2_cross_zone();
+        let u = ResourceUsage {
+            cpu: SimDuration::ZERO,
+            net_bytes: 0,
+            disk_byte_secs: 1e9 * 30.0 * 24.0 * 3600.0,
+        };
+        assert!((p.dollars(&u) - 0.11).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_region_network_is_free() {
+        let p = PriceSheet::ec2_same_region();
+        let u = ResourceUsage {
+            cpu: SimDuration::ZERO,
+            net_bytes: 5_000_000_000,
+            disk_byte_secs: 0.0,
+        };
+        assert_eq!(p.dollars(&u), 0.0);
+    }
+
+    #[test]
+    fn rate_pricing_matches_metered_pricing() {
+        let p = PriceSheet::ec2_cross_zone();
+        // 50% CPU utilization + 1 MB/s for one hour.
+        let rate_cost = p.dollars_per_sec(0.5, 1e6, 0.0) * 3600.0;
+        let metered = p.dollars(&ResourceUsage {
+            cpu: SimDuration::from_secs(1800),
+            net_bytes: 3_600_000_000,
+            disk_byte_secs: 0.0,
+        });
+        assert!((rate_cost - metered).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Topic-based publish/subscribe bus.
+//!
+//! Each machine runs an agent that communicates with the sharing executor
+//! via a pub/sub system (ActiveMQ in the paper); agents publish heartbeats
+//! and PUSHDONE messages, the executor publishes PUSH commands. The
+//! simulated bus delivers messages after a fixed latency; subscribers poll
+//! their mailboxes, which matches the tick-driven executor design.
+
+use smile_types::{SimDuration, Timestamp};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifies a subscriber mailbox.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SubscriberId(usize);
+
+/// A deterministic pub/sub bus generic over the message type.
+#[derive(Debug)]
+pub struct PubSub<M> {
+    latency: SimDuration,
+    topics: HashMap<String, Vec<SubscriberId>>,
+    mailboxes: Vec<VecDeque<(Timestamp, M)>>,
+    delivered: u64,
+}
+
+impl<M: Clone> PubSub<M> {
+    /// Bus with the given delivery latency.
+    pub fn new(latency: SimDuration) -> Self {
+        Self {
+            latency,
+            topics: HashMap::new(),
+            mailboxes: Vec::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Creates a mailbox subscribed to `topic`.
+    pub fn subscribe(&mut self, topic: &str) -> SubscriberId {
+        let id = SubscriberId(self.mailboxes.len());
+        self.mailboxes.push(VecDeque::new());
+        self.topics.entry(topic.to_string()).or_default().push(id);
+        id
+    }
+
+    /// Subscribes an existing mailbox to an additional topic.
+    pub fn subscribe_existing(&mut self, sub: SubscriberId, topic: &str) {
+        let subs = self.topics.entry(topic.to_string()).or_default();
+        if !subs.contains(&sub) {
+            subs.push(sub);
+        }
+    }
+
+    /// Publishes `msg` on `topic` at time `now`; every subscriber receives a
+    /// copy at `now + latency`. Returns the number of copies enqueued.
+    pub fn publish(&mut self, now: Timestamp, topic: &str, msg: M) -> usize {
+        let deliver_at = now + self.latency;
+        let subs = match self.topics.get(topic) {
+            Some(s) => s.clone(),
+            None => return 0,
+        };
+        for sub in &subs {
+            self.mailboxes[sub.0].push_back((deliver_at, msg.clone()));
+        }
+        self.delivered += subs.len() as u64;
+        subs.len()
+    }
+
+    /// Drains every message delivered to `sub` by time `now`, in publish
+    /// order.
+    pub fn poll(&mut self, sub: SubscriberId, now: Timestamp) -> Vec<M> {
+        let mailbox = &mut self.mailboxes[sub.0];
+        let mut out = Vec::new();
+        while mailbox.front().is_some_and(|(at, _)| *at <= now) {
+            out.push(mailbox.pop_front().expect("peeked").1);
+        }
+        out
+    }
+
+    /// Total copies ever delivered (traffic statistic).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Delivery latency of the bus.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_arrive_after_latency() {
+        let mut bus: PubSub<&str> = PubSub::new(SimDuration::from_millis(10));
+        let sub = bus.subscribe("hb");
+        bus.publish(Timestamp::from_secs(1), "hb", "tick");
+        assert!(bus.poll(sub, Timestamp::from_secs(1)).is_empty());
+        let at = Timestamp::from_secs(1) + SimDuration::from_millis(10);
+        assert_eq!(bus.poll(sub, at), vec!["tick"]);
+        // Polling again yields nothing.
+        assert!(bus.poll(sub, at).is_empty());
+    }
+
+    #[test]
+    fn fanout_to_all_subscribers() {
+        let mut bus: PubSub<u32> = PubSub::new(SimDuration::ZERO);
+        let a = bus.subscribe("t");
+        let b = bus.subscribe("t");
+        assert_eq!(bus.publish(Timestamp::ZERO, "t", 7), 2);
+        assert_eq!(bus.poll(a, Timestamp::ZERO), vec![7]);
+        assert_eq!(bus.poll(b, Timestamp::ZERO), vec![7]);
+        assert_eq!(bus.delivered(), 2);
+    }
+
+    #[test]
+    fn unknown_topic_drops_message() {
+        let mut bus: PubSub<u32> = PubSub::new(SimDuration::ZERO);
+        assert_eq!(bus.publish(Timestamp::ZERO, "nobody", 1), 0);
+    }
+
+    #[test]
+    fn poll_preserves_publish_order() {
+        let mut bus: PubSub<u32> = PubSub::new(SimDuration::ZERO);
+        let sub = bus.subscribe("t");
+        for i in 0..5 {
+            bus.publish(Timestamp::from_millis(i), "t", i as u32);
+        }
+        assert_eq!(bus.poll(sub, Timestamp::from_secs(1)), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn multi_topic_subscription() {
+        let mut bus: PubSub<&str> = PubSub::new(SimDuration::ZERO);
+        let sub = bus.subscribe("a");
+        bus.subscribe_existing(sub, "b");
+        bus.subscribe_existing(sub, "b"); // idempotent
+        bus.publish(Timestamp::ZERO, "a", "x");
+        bus.publish(Timestamp::ZERO, "b", "y");
+        assert_eq!(bus.poll(sub, Timestamp::ZERO), vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Incrementally maintainable group-by aggregation.
+//!
+//! The paper's concluding remarks name aggregate operators as the first
+//! platform extension. COUNT and SUM are *linear* in the z-set algebra — a
+//! delta's contribution to a group is independent of the rest of the data —
+//! so an aggregate view can be maintained from the same delta windows the
+//! plan already moves: fold the window into per-group contributions, look
+//! up each affected group's current row in the view, and emit
+//! `delete(old) + insert(new)` entries.
+//!
+//! Aggregate views always expose an implicit `count` column right after the
+//! group columns: it is what decides when a group disappears (count = 0),
+//! and SQL's `COUNT(*)` comes for free.
+
+use crate::delta::{DeltaBatch, DeltaEntry};
+use crate::zset::ZSet;
+use smile_types::{Column, ColumnType, Result, Schema, SmileError, Timestamp, Tuple, Value};
+use std::collections::HashMap;
+
+/// An aggregate function over the pre-aggregation schema.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Sum of an `I64` column.
+    SumI64(usize),
+    /// Sum of an `F64` column. The accumulator is exact over deltas
+    /// (addition/subtraction of the same values), so insert-then-delete
+    /// round-trips to the old sum up to float associativity.
+    SumF64(usize),
+}
+
+impl AggFunc {
+    fn source_col(&self) -> usize {
+        match self {
+            AggFunc::SumI64(c) | AggFunc::SumF64(c) => *c,
+        }
+    }
+}
+
+/// A group-by aggregation: `SELECT group_cols, COUNT(*), aggs... GROUP BY
+/// group_cols`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AggregateSpec {
+    /// Grouping columns (indexes into the pre-aggregation schema).
+    pub group_cols: Vec<usize>,
+    /// Additional aggregates after the implicit count.
+    pub aggs: Vec<AggFunc>,
+}
+
+/// Accumulator state for one group.
+#[derive(Clone, Debug, Default)]
+struct GroupAcc {
+    count: i64,
+    sums_i: Vec<i64>,
+    sums_f: Vec<f64>,
+    last_ts: Timestamp,
+}
+
+impl AggregateSpec {
+    /// Count-only aggregation.
+    pub fn count_by(group_cols: Vec<usize>) -> Self {
+        Self {
+            group_cols,
+            aggs: Vec::new(),
+        }
+    }
+
+    /// Output schema: group columns, `count`, then one column per
+    /// aggregate. The group columns form the key.
+    pub fn output_schema(&self, input: &Schema) -> Result<Schema> {
+        let mut columns = Vec::with_capacity(self.group_cols.len() + 1 + self.aggs.len());
+        for &g in &self.group_cols {
+            let c = input
+                .columns()
+                .get(g)
+                .ok_or_else(|| SmileError::UnknownColumn(format!("group column {g}")))?;
+            columns.push(c.clone());
+        }
+        columns.push(Column::new("count", ColumnType::I64));
+        for (i, a) in self.aggs.iter().enumerate() {
+            let src = input.columns().get(a.source_col()).ok_or_else(|| {
+                SmileError::UnknownColumn(format!("agg column {}", a.source_col()))
+            })?;
+            let ty = match a {
+                AggFunc::SumI64(_) => {
+                    if src.ty != ColumnType::I64 {
+                        return Err(SmileError::SchemaMismatch {
+                            relation: smile_types::RelationId::new(u32::MAX),
+                            detail: format!("SumI64 over non-I64 column {:?}", src.name),
+                        });
+                    }
+                    ColumnType::I64
+                }
+                AggFunc::SumF64(_) => {
+                    if src.ty != ColumnType::F64 {
+                        return Err(SmileError::SchemaMismatch {
+                            relation: smile_types::RelationId::new(u32::MAX),
+                            detail: format!("SumF64 over non-F64 column {:?}", src.name),
+                        });
+                    }
+                    ColumnType::F64
+                }
+            };
+            columns.push(Column::new(format!("agg{i}_{}", src.name), ty));
+        }
+        let key = (0..self.group_cols.len()).collect();
+        Ok(Schema::new(columns, key))
+    }
+
+    fn accumulate(&self, acc: &mut GroupAcc, tuple: &Tuple, weight: i64, ts: Timestamp) {
+        acc.count += weight;
+        acc.last_ts = acc.last_ts.max(ts);
+        if acc.sums_i.len() != self.aggs.len() {
+            acc.sums_i = vec![0; self.aggs.len()];
+            acc.sums_f = vec![0.0; self.aggs.len()];
+        }
+        for (i, a) in self.aggs.iter().enumerate() {
+            match a {
+                AggFunc::SumI64(c) => {
+                    acc.sums_i[i] += weight * tuple.get(*c).as_i64().unwrap_or(0);
+                }
+                AggFunc::SumF64(c) => {
+                    acc.sums_f[i] += weight as f64 * tuple.get(*c).as_f64().unwrap_or(0.0);
+                }
+            }
+        }
+    }
+
+    fn row_of(&self, group: &Tuple, acc_count: i64, sums_i: &[i64], sums_f: &[f64]) -> Tuple {
+        let mut vals: Vec<Value> = group.values().to_vec();
+        vals.push(Value::I64(acc_count));
+        for (i, a) in self.aggs.iter().enumerate() {
+            vals.push(match a {
+                AggFunc::SumI64(_) => Value::I64(sums_i[i]),
+                AggFunc::SumF64(_) => Value::F64(sums_f[i]),
+            });
+        }
+        Tuple::new(vals)
+    }
+
+    /// Ground-truth evaluation: aggregates a full z-set into the view's
+    /// contents (unit weights, one row per live group).
+    pub fn eval(&self, input: &ZSet) -> ZSet {
+        let mut groups: HashMap<Tuple, GroupAcc> = HashMap::new();
+        for (t, w) in input.iter() {
+            let g = t.project(&self.group_cols);
+            self.accumulate(groups.entry(g).or_default(), t, w, Timestamp::ZERO);
+        }
+        let mut out = ZSet::new();
+        for (g, acc) in groups {
+            if acc.count != 0 {
+                out.add(self.row_of(&g, acc.count, &acc.sums_i, &acc.sums_f), 1);
+            }
+        }
+        out
+    }
+
+    /// The incremental step: turns a raw delta window into aggregate-space
+    /// delete/insert entries, given a lookup of each group's *current* view
+    /// row (`None` when the group is new).
+    ///
+    /// Output entries carry the max timestamp of the group's contributions,
+    /// so they stay inside the push window downstream.
+    pub fn delta_transform<'a>(
+        &self,
+        window: &DeltaBatch,
+        mut current: impl FnMut(&Tuple) -> Option<&'a Tuple>,
+    ) -> Result<DeltaBatch> {
+        // Fold the window into per-group contributions.
+        let mut groups: HashMap<Tuple, GroupAcc> = HashMap::new();
+        for e in &window.entries {
+            let g = e.tuple.project(&self.group_cols);
+            self.accumulate(groups.entry(g).or_default(), &e.tuple, e.weight, e.ts);
+        }
+        let mut out = Vec::with_capacity(groups.len() * 2);
+        for (g, acc) in groups {
+            if acc.count == 0
+                && acc.sums_i.iter().all(|&s| s == 0)
+                && acc.sums_f.iter().all(|&s| s == 0.0)
+            {
+                continue; // the window cancelled itself out for this group
+            }
+            let (old_count, old_i, old_f) = match current(&g) {
+                Some(row) => {
+                    let base = self.group_cols.len();
+                    let count = row.get(base).as_i64().ok_or_else(|| {
+                        SmileError::Internal("aggregate view row lost its count".into())
+                    })?;
+                    let mut oi = Vec::with_capacity(self.aggs.len());
+                    let mut of = Vec::with_capacity(self.aggs.len());
+                    for (i, a) in self.aggs.iter().enumerate() {
+                        match a {
+                            AggFunc::SumI64(_) => {
+                                oi.push(row.get(base + 1 + i).as_i64().unwrap_or(0));
+                                of.push(0.0);
+                            }
+                            AggFunc::SumF64(_) => {
+                                oi.push(0);
+                                of.push(row.get(base + 1 + i).as_f64().unwrap_or(0.0));
+                            }
+                        }
+                    }
+                    out.push(DeltaEntry::delete(row.clone(), acc.last_ts));
+                    (count, oi, of)
+                }
+                None => (0, vec![0; self.aggs.len()], vec![0.0; self.aggs.len()]),
+            };
+            let new_count = old_count + acc.count;
+            if new_count < 0 {
+                return Err(SmileError::Internal(format!(
+                    "aggregate group {g:?} count went negative ({new_count})"
+                )));
+            }
+            if new_count > 0 {
+                let sums_i: Vec<i64> = old_i.iter().zip(&acc.sums_i).map(|(a, b)| a + b).collect();
+                let sums_f: Vec<f64> = old_f.iter().zip(&acc.sums_f).map(|(a, b)| a + b).collect();
+                out.push(DeltaEntry::insert(
+                    self.row_of(&g, new_count, &sums_i, &sums_f),
+                    acc.last_ts,
+                ));
+            }
+        }
+        // Keep timestamp order for the delta log.
+        out.sort_by_key(|e| e.ts);
+        Ok(DeltaBatch { entries: out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use proptest::prelude::*;
+    use smile_types::tuple;
+
+    fn input_schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("k", ColumnType::Str),
+                Column::new("v", ColumnType::I64),
+            ],
+            vec![],
+        )
+    }
+
+    fn spec() -> AggregateSpec {
+        AggregateSpec {
+            group_cols: vec![0],
+            aggs: vec![AggFunc::SumI64(1)],
+        }
+    }
+
+    #[test]
+    fn output_schema_has_group_count_sums() {
+        let s = spec().output_schema(&input_schema()).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.columns()[1].name, "count");
+        assert_eq!(s.key(), &[0]);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let bad = AggregateSpec {
+            group_cols: vec![0],
+            aggs: vec![AggFunc::SumF64(1)],
+        };
+        assert!(bad.output_schema(&input_schema()).is_err());
+        let oob = AggregateSpec::count_by(vec![7]);
+        assert!(oob.output_schema(&input_schema()).is_err());
+    }
+
+    #[test]
+    fn eval_counts_and_sums() {
+        let z = ZSet::from_tuples([tuple!["a", 1i64], tuple!["a", 2i64], tuple!["b", 5i64]]);
+        let out = spec().eval(&z);
+        assert_eq!(out.weight(&tuple!["a", 2i64, 3i64]), 1);
+        assert_eq!(out.weight(&tuple!["b", 1i64, 5i64]), 1);
+    }
+
+    #[test]
+    fn delta_transform_updates_existing_groups() {
+        // View currently: a -> (count 2, sum 3).
+        let view_schema = spec().output_schema(&input_schema()).unwrap();
+        let mut view = Table::new(view_schema);
+        view.apply(
+            &[DeltaEntry::insert(
+                tuple!["a", 2i64, 3i64],
+                Timestamp::from_secs(1),
+            )]
+            .into_iter()
+            .collect(),
+            Timestamp::from_secs(1),
+        )
+        .unwrap();
+
+        // Window: +("a", 10), −("a", 1) and a brand-new group +("c", 7).
+        let window: DeltaBatch = vec![
+            DeltaEntry::insert(tuple!["a", 10i64], Timestamp::from_secs(2)),
+            DeltaEntry::delete(tuple!["a", 1i64], Timestamp::from_secs(2)),
+            DeltaEntry::insert(tuple!["c", 7i64], Timestamp::from_secs(2)),
+        ]
+        .into_iter()
+        .collect();
+
+        let out = spec()
+            .delta_transform(&window, |g| view.get_by_key(g))
+            .unwrap();
+        let z = out.to_zset();
+        // a: count 2+1−1=2, sum 3+10−1=12 — old row deleted, new inserted.
+        assert_eq!(z.weight(&tuple!["a", 2i64, 3i64]), -1);
+        assert_eq!(z.weight(&tuple!["a", 2i64, 12i64]), 1);
+        assert_eq!(z.weight(&tuple!["c", 1i64, 7i64]), 1);
+    }
+
+    #[test]
+    fn group_vanishes_at_count_zero() {
+        let view_schema = spec().output_schema(&input_schema()).unwrap();
+        let mut view = Table::new(view_schema);
+        view.apply(
+            &[DeltaEntry::insert(
+                tuple!["a", 1i64, 5i64],
+                Timestamp::from_secs(1),
+            )]
+            .into_iter()
+            .collect(),
+            Timestamp::from_secs(1),
+        )
+        .unwrap();
+        let window: DeltaBatch = vec![DeltaEntry::delete(
+            tuple!["a", 5i64],
+            Timestamp::from_secs(2),
+        )]
+        .into_iter()
+        .collect();
+        let out = spec()
+            .delta_transform(&window, |g| view.get_by_key(g))
+            .unwrap();
+        // Only the delete of the old row; no insert.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.entries[0].weight, -1);
+    }
+
+    #[test]
+    fn negative_count_is_an_error() {
+        let window: DeltaBatch = vec![DeltaEntry::delete(
+            tuple!["ghost", 5i64],
+            Timestamp::from_secs(2),
+        )]
+        .into_iter()
+        .collect();
+        assert!(spec().delta_transform(&window, |_| None).is_err());
+    }
+
+    proptest! {
+        /// Incremental maintenance equals recomputation: applying the
+        /// transform of every window to an (initially empty) view yields
+        /// exactly eval() of the accumulated input.
+        #[test]
+        fn incremental_equals_eval(
+            windows in proptest::collection::vec(
+                proptest::collection::vec(((0u8..4), (0i64..5), prop::bool::ANY), 0..8),
+                1..12,
+            )
+        ) {
+            let spec = spec();
+            let view_schema = spec.output_schema(&input_schema()).unwrap();
+            let mut view = Table::new(view_schema);
+            let mut accumulated = ZSet::new();
+            let mut live: Vec<(u8, i64)> = Vec::new();
+            for (step, ops) in windows.iter().enumerate() {
+                let ts = Timestamp::from_secs(step as u64 + 1);
+                let mut entries = Vec::new();
+                for &(k, v, del) in ops {
+                    let key = format!("g{k}");
+                    if del {
+                        if let Some(pos) = live.iter().position(|&(lk, _)| lk == k) {
+                            let (lk, lv) = live.swap_remove(pos);
+                            let t = tuple![format!("g{lk}").as_str(), lv];
+                            accumulated.add(t.clone(), -1);
+                            entries.push(DeltaEntry::delete(t, ts));
+                        }
+                    } else {
+                        live.push((k, v));
+                        let t = tuple![key.as_str(), v];
+                        accumulated.add(t.clone(), 1);
+                        entries.push(DeltaEntry::insert(t, ts));
+                    }
+                }
+                let window = DeltaBatch { entries };
+                let out = spec
+                    .delta_transform(&window, |g| view.get_by_key(g))
+                    .unwrap();
+                view.apply(&out, ts).unwrap();
+            }
+            let want = spec.eval(&accumulated);
+            prop_assert_eq!(view.rows().sorted_entries(), want.sorted_entries());
+        }
+    }
+}

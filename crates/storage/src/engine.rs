@@ -1,0 +1,363 @@
+//! Per-machine database instance.
+//!
+//! Each simulated machine runs exactly one [`Database`] (the paper runs one
+//! PostgreSQL per machine). The database stores every relation vertex placed
+//! on its machine — base relations, copies of remote relations, materialized
+//! intermediates and MVs — each as a [`Table`] + [`DeltaTable`] pair, and
+//! performs **delta capture**: application updates go through
+//! [`Database::ingest`], which appends WAL-style delta entries and applies
+//! them to the table atomically, exactly like the streaming-replication tap
+//! of the paper's §4.0.1.
+
+use crate::delta::{DeltaBatch, DeltaTable};
+use crate::spj::RelationProvider;
+use crate::stats::RelationStats;
+use crate::table::Table;
+use crate::zset::ZSet;
+use smile_types::{RelationId, Result, Schema, SmileError, Timestamp};
+use std::collections::HashMap;
+
+/// One relation slot: materialized contents plus the captured delta log and
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct RelationSlot {
+    /// Materialized contents.
+    pub table: Table,
+    /// Captured / shipped delta entries.
+    pub delta: DeltaTable,
+    /// Statistics for cost estimation.
+    pub stats: RelationStats,
+}
+
+/// A single machine's database instance.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: HashMap<RelationId, RelationSlot>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty relation. Returns an error if it already exists.
+    pub fn create_relation(&mut self, rel: RelationId, schema: Schema) -> Result<()> {
+        if self.relations.contains_key(&rel) {
+            return Err(SmileError::Internal(format!(
+                "relation {rel} already exists on this machine"
+            )));
+        }
+        self.relations.insert(
+            rel,
+            RelationSlot {
+                table: Table::new(schema),
+                delta: DeltaTable::new(),
+                stats: RelationStats::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drops a relation (used when plumbing removes plan vertices).
+    pub fn drop_relation(&mut self, rel: RelationId) -> Result<()> {
+        self.relations
+            .remove(&rel)
+            .map(|_| ())
+            .ok_or(SmileError::UnknownRelation(rel))
+    }
+
+    /// True iff the relation exists here.
+    pub fn has_relation(&self, rel: RelationId) -> bool {
+        self.relations.contains_key(&rel)
+    }
+
+    /// Ids of all relations hosted here.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelationId> + '_ {
+        self.relations.keys().copied()
+    }
+
+    fn slot(&self, rel: RelationId) -> Result<&RelationSlot> {
+        self.relations
+            .get(&rel)
+            .ok_or(SmileError::UnknownRelation(rel))
+    }
+
+    fn slot_mut(&mut self, rel: RelationId) -> Result<&mut RelationSlot> {
+        self.relations
+            .get_mut(&rel)
+            .ok_or(SmileError::UnknownRelation(rel))
+    }
+
+    /// Read access to a relation slot.
+    pub fn relation(&self, rel: RelationId) -> Result<&RelationSlot> {
+        self.slot(rel)
+    }
+
+    /// **Delta capture path**: applies an application update batch to a base
+    /// relation, recording every entry in the delta log and applying it to
+    /// the table. The table's timestamp advances to the batch's max
+    /// timestamp (base relations are always current on their home machine).
+    pub fn ingest(&mut self, rel: RelationId, batch: DeltaBatch) -> Result<()> {
+        let slot = self.slot_mut(rel)?;
+        let through = batch.max_ts().unwrap_or(slot.table.ts());
+        let bytes = batch.byte_size();
+        let count = batch.len() as u64;
+        slot.table.apply(&batch, through)?;
+        slot.stats.record_updates(count, bytes, through);
+        slot.delta.append_batch(batch);
+        slot.stats
+            .refresh_size(slot.table.len(), slot.table.byte_size());
+        Ok(())
+    }
+
+    /// **Executor path**: appends shipped delta entries to a relation's
+    /// delta log *without* applying them (they are pending until a
+    /// `DeltaToRel` push applies them).
+    pub fn append_delta(&mut self, rel: RelationId, batch: DeltaBatch) -> Result<()> {
+        let slot = self.slot_mut(rel)?;
+        let bytes = batch.byte_size();
+        let count = batch.len() as u64;
+        if let Some(ts) = batch.max_ts() {
+            slot.stats.record_updates(count, bytes, ts);
+        }
+        slot.delta.append_batch(batch);
+        Ok(())
+    }
+
+    /// **Executor path**: applies the pending delta window
+    /// `(table.ts, through]` to the table (the `DeltaToRel` operator).
+    /// Returns the number of entries applied.
+    pub fn apply_pending(&mut self, rel: RelationId, through: Timestamp) -> Result<usize> {
+        let slot = self.slot_mut(rel)?;
+        let from = slot.table.ts();
+        if through <= from {
+            // Idempotent: the vertex is already at or past the target.
+            return Ok(0);
+        }
+        let window = slot.delta.window(from, through);
+        let n = window.len();
+        slot.table.apply(&window, through)?;
+        slot.stats
+            .refresh_size(slot.table.len(), slot.table.byte_size());
+        Ok(n)
+    }
+
+    /// Seeds a relation's table with initial contents at `ts`, bypassing
+    /// the delta log (used when a new plan vertex is materialized from a
+    /// ground-truth evaluation). The delta horizon advances to `ts` so that
+    /// snapshots before the seed time are refused rather than wrong.
+    pub fn seed_relation(&mut self, rel: RelationId, rows: ZSet, ts: Timestamp) -> Result<()> {
+        let slot = self.slot_mut(rel)?;
+        if !slot.table.is_empty() {
+            return Err(SmileError::Internal(format!(
+                "relation {rel} already has contents; refusing to re-seed"
+            )));
+        }
+        let batch: crate::delta::DeltaBatch = rows
+            .into_iter_entries()
+            .map(|(tuple, weight)| crate::delta::DeltaEntry { tuple, weight, ts })
+            .collect();
+        slot.table.apply(&batch, ts)?;
+        slot.delta.compact(ts);
+        slot.stats
+            .refresh_size(slot.table.len(), slot.table.byte_size());
+        Ok(())
+    }
+
+    /// Ensures a secondary index on `cols` exists for the relation.
+    pub fn ensure_index(&mut self, rel: RelationId, cols: &[usize]) -> Result<()> {
+        self.slot_mut(rel)?.table.ensure_index(cols);
+        Ok(())
+    }
+
+    /// Current timestamp `TS(v)` of a relation vertex.
+    pub fn relation_ts(&self, rel: RelationId) -> Result<Timestamp> {
+        Ok(self.slot(rel)?.table.ts())
+    }
+
+    /// Reads the delta window `(lo, hi]` of a relation (the `CopyDelta`
+    /// read side).
+    pub fn delta_window(
+        &self,
+        rel: RelationId,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Result<DeltaBatch> {
+        Ok(self.slot(rel)?.delta.window(lo, hi))
+    }
+
+    /// Snapshot of a relation as of `at` (compensation read).
+    pub fn snapshot_at(&self, rel: RelationId, at: Timestamp) -> Result<ZSet> {
+        let slot = self.slot(rel)?;
+        slot.table.snapshot_at(&slot.delta, at)
+    }
+
+    /// Compacts a relation's delta log up to `before`; returns entries
+    /// dropped.
+    pub fn compact(&mut self, rel: RelationId, before: Timestamp) -> Result<usize> {
+        Ok(self.slot_mut(rel)?.delta.compact(before))
+    }
+
+    /// Sum of materialized bytes across all relations (disk metering).
+    pub fn total_bytes(&self) -> usize {
+        self.relations.values().map(|s| s.table.byte_size()).sum()
+    }
+
+    /// Total pending (not yet applied) delta entries across relations; used
+    /// by the stability monitor of the scaling experiments (Figure 11).
+    pub fn total_pending_entries(&self) -> usize {
+        self.relations
+            .values()
+            .map(|s| {
+                let from = s.table.ts();
+                s.delta.count_window(from, Timestamp::MAX)
+            })
+            .sum()
+    }
+}
+
+impl RelationProvider for Database {
+    fn schema(&self, rel: RelationId) -> Result<Schema> {
+        Ok(self.slot(rel)?.table.schema().clone())
+    }
+
+    fn rows(&self, rel: RelationId) -> Result<ZSet> {
+        Ok(self.slot(rel)?.table.rows().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::DeltaEntry;
+    use smile_types::{tuple, Column, ColumnType};
+
+    const R: RelationId = RelationId(0);
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("uid", ColumnType::I64),
+                Column::new("name", ColumnType::Str),
+            ],
+            vec![0],
+        )
+    }
+
+    fn ins(k: i64, name: &str, ts: u64) -> DeltaEntry {
+        DeltaEntry::insert(tuple![k, name], Timestamp::from_secs(ts))
+    }
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_relation(R, schema()).unwrap();
+        d
+    }
+
+    #[test]
+    fn ingest_applies_and_captures() {
+        let mut d = db();
+        d.ingest(R, [ins(1, "ann", 5)].into_iter().collect())
+            .unwrap();
+        assert_eq!(d.relation_ts(R).unwrap(), Timestamp::from_secs(5));
+        assert_eq!(d.relation(R).unwrap().table.len(), 1);
+        assert_eq!(d.relation(R).unwrap().delta.len(), 1);
+        assert_eq!(d.relation(R).unwrap().stats.updates_total, 1);
+    }
+
+    #[test]
+    fn append_then_apply_pending() {
+        let mut d = db();
+        d.append_delta(
+            R,
+            [ins(1, "ann", 3), ins(2, "bob", 6)].into_iter().collect(),
+        )
+        .unwrap();
+        assert_eq!(d.relation(R).unwrap().table.len(), 0);
+        let n = d.apply_pending(R, Timestamp::from_secs(4)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(d.relation_ts(R).unwrap(), Timestamp::from_secs(4));
+        let n2 = d.apply_pending(R, Timestamp::from_secs(10)).unwrap();
+        assert_eq!(n2, 1);
+        assert_eq!(d.relation(R).unwrap().table.len(), 2);
+    }
+
+    #[test]
+    fn apply_pending_is_idempotent() {
+        let mut d = db();
+        d.append_delta(R, [ins(1, "ann", 3)].into_iter().collect())
+            .unwrap();
+        d.apply_pending(R, Timestamp::from_secs(5)).unwrap();
+        assert_eq!(d.apply_pending(R, Timestamp::from_secs(5)).unwrap(), 0);
+        assert_eq!(d.apply_pending(R, Timestamp::from_secs(2)).unwrap(), 0);
+        assert_eq!(d.relation_ts(R).unwrap(), Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut d = db();
+        assert!(d.create_relation(R, schema()).is_err());
+    }
+
+    #[test]
+    fn drop_then_access_fails() {
+        let mut d = db();
+        d.drop_relation(R).unwrap();
+        assert!(matches!(
+            d.relation_ts(R),
+            Err(SmileError::UnknownRelation(_))
+        ));
+        assert!(d.drop_relation(R).is_err());
+    }
+
+    #[test]
+    fn snapshot_reads_through_provider() {
+        let mut d = db();
+        d.ingest(
+            R,
+            [ins(1, "ann", 1), ins(2, "bob", 2)].into_iter().collect(),
+        )
+        .unwrap();
+        let snap = d.snapshot_at(R, Timestamp::from_secs(1)).unwrap();
+        assert_eq!(snap.cardinality(), 1);
+        let rows = d.rows(R).unwrap();
+        assert_eq!(rows.cardinality(), 2);
+        assert_eq!(d.schema(R).unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn seed_sets_contents_and_horizon() {
+        let mut d = db();
+        let rows = crate::zset::ZSet::from_tuples([tuple![1i64, "ann"], tuple![2i64, "bob"]]);
+        d.seed_relation(R, rows, Timestamp::from_secs(5)).unwrap();
+        assert_eq!(d.relation(R).unwrap().table.len(), 2);
+        assert_eq!(d.relation_ts(R).unwrap(), Timestamp::from_secs(5));
+        // Snapshots before the seed time are refused.
+        assert!(d.snapshot_at(R, Timestamp::from_secs(1)).is_err());
+        assert!(d.snapshot_at(R, Timestamp::from_secs(5)).is_ok());
+        // Re-seeding a non-empty relation is refused.
+        let again = crate::zset::ZSet::from_tuples([tuple![3i64, "cat"]]);
+        assert!(d.seed_relation(R, again, Timestamp::from_secs(6)).is_err());
+    }
+
+    #[test]
+    fn ensure_index_through_database() {
+        let mut d = db();
+        d.ingest(R, [ins(1, "ann", 1)].into_iter().collect())
+            .unwrap();
+        d.ensure_index(R, &[1]).unwrap();
+        assert!(d.relation(R).unwrap().table.has_index(&[1]));
+        assert!(d.ensure_index(RelationId::new(9), &[0]).is_err());
+    }
+
+    #[test]
+    fn pending_entries_counted() {
+        let mut d = db();
+        d.append_delta(R, [ins(1, "a", 1), ins(2, "b", 2)].into_iter().collect())
+            .unwrap();
+        assert_eq!(d.total_pending_entries(), 2);
+        d.apply_pending(R, Timestamp::from_secs(1)).unwrap();
+        assert_eq!(d.total_pending_entries(), 1);
+    }
+}

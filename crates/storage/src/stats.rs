@@ -1,0 +1,170 @@
+//! Relation statistics and update-rate estimation.
+//!
+//! The cost model (paper §5.2) needs, per relation: cardinality, tuple
+//! width, and the **update arrival rate** λ (tuples/second) — which also
+//! feeds the M/M/1 SLA-penalty estimate. Rates are estimated with an
+//! exponentially weighted moving average over simulated time so that the
+//! executor's feedback loop can track workload phase changes (Figure 14).
+
+use smile_types::{SimDuration, Timestamp};
+
+/// Exponentially weighted moving average of an event rate (events/second of
+/// simulated time).
+#[derive(Clone, Debug)]
+pub struct RateEstimator {
+    /// Smoothing time constant: observations older than ~`tau` seconds have
+    /// little influence.
+    tau: SimDuration,
+    rate: f64,
+    last: Timestamp,
+    /// Events accumulated since `last` but not yet folded into `rate`.
+    pending: f64,
+}
+
+impl RateEstimator {
+    /// Creates an estimator with the given smoothing time constant.
+    pub fn new(tau: SimDuration) -> Self {
+        Self {
+            tau,
+            rate: 0.0,
+            last: Timestamp::ZERO,
+            pending: 0.0,
+        }
+    }
+
+    /// Records `count` events at simulated time `now`.
+    pub fn record(&mut self, count: u64, now: Timestamp) {
+        self.fold(now);
+        self.pending += count as f64;
+    }
+
+    /// Current rate estimate in events per simulated second.
+    pub fn rate(&mut self, now: Timestamp) -> f64 {
+        self.fold(now);
+        self.rate
+    }
+
+    fn fold(&mut self, now: Timestamp) {
+        if now <= self.last {
+            return;
+        }
+        let dt = (now - self.last).as_secs_f64();
+        let inst = self.pending / dt;
+        let alpha = 1.0 - (-dt / self.tau.as_secs_f64().max(1e-9)).exp();
+        self.rate += alpha * (inst - self.rate);
+        self.pending = 0.0;
+        self.last = now;
+    }
+}
+
+/// Per-relation bookkeeping used by cost estimation and the dollar meters.
+#[derive(Clone, Debug)]
+pub struct RelationStats {
+    /// Distinct rows currently stored.
+    pub rows: usize,
+    /// Current payload bytes (disk metering).
+    pub bytes: usize,
+    /// Total delta entries ever captured.
+    pub updates_total: u64,
+    /// Update arrival-rate estimator (delta entries per second).
+    pub rate: RateEstimator,
+    /// Mean tuple width in bytes (running average over captured entries).
+    pub mean_tuple_bytes: f64,
+}
+
+impl RelationStats {
+    /// Fresh stats with the default 30 s smoothing constant.
+    pub fn new() -> Self {
+        Self {
+            rows: 0,
+            bytes: 0,
+            updates_total: 0,
+            rate: RateEstimator::new(SimDuration::from_secs(30)),
+            mean_tuple_bytes: 0.0,
+        }
+    }
+
+    /// Records a captured delta batch of `count` entries totalling
+    /// `batch_bytes` at time `now`.
+    pub fn record_updates(&mut self, count: u64, batch_bytes: usize, now: Timestamp) {
+        if count == 0 {
+            return;
+        }
+        self.rate.record(count, now);
+        let new_total = self.updates_total + count;
+        self.mean_tuple_bytes = (self.mean_tuple_bytes * self.updates_total as f64
+            + batch_bytes as f64)
+            / new_total as f64;
+        self.updates_total = new_total;
+    }
+
+    /// Refreshes the materialized-size fields from the table.
+    pub fn refresh_size(&mut self, rows: usize, bytes: usize) {
+        self.rows = rows;
+        self.bytes = bytes;
+    }
+}
+
+impl Default for RelationStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_converges_to_steady_state() {
+        let mut r = RateEstimator::new(SimDuration::from_secs(10));
+        // 100 events/second for 120 simulated seconds.
+        for s in 1..=120u64 {
+            r.record(100, Timestamp::from_secs(s));
+        }
+        let rate = r.rate(Timestamp::from_secs(121));
+        assert!((rate - 100.0).abs() < 5.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn rate_tracks_phase_changes() {
+        let mut r = RateEstimator::new(SimDuration::from_secs(5));
+        for s in 1..=60u64 {
+            r.record(50, Timestamp::from_secs(s));
+        }
+        for s in 61..=120u64 {
+            r.record(150, Timestamp::from_secs(s));
+        }
+        let rate = r.rate(Timestamp::from_secs(121));
+        assert!((rate - 150.0).abs() < 10.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn rate_ignores_non_advancing_clock() {
+        let mut r = RateEstimator::new(SimDuration::from_secs(5));
+        r.record(10, Timestamp::from_secs(1));
+        r.record(10, Timestamp::from_secs(1));
+        // Still pending; folding needs the clock to advance.
+        let rate = r.rate(Timestamp::from_secs(2));
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn stats_track_mean_tuple_bytes() {
+        let mut s = RelationStats::new();
+        s.record_updates(2, 200, Timestamp::from_secs(1));
+        s.record_updates(2, 600, Timestamp::from_secs(2));
+        assert_eq!(s.updates_total, 4);
+        assert!((s.mean_tuple_bytes - 200.0).abs() < 1e-9);
+        s.refresh_size(10, 1234);
+        assert_eq!(s.rows, 10);
+        assert_eq!(s.bytes, 1234);
+    }
+
+    #[test]
+    fn zero_count_update_is_noop() {
+        let mut s = RelationStats::new();
+        s.record_updates(0, 0, Timestamp::from_secs(1));
+        assert_eq!(s.updates_total, 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Materialized relation storage.
+//!
+//! A [`Table`] stores the current contents of a relation (base relation,
+//! intermediate join result, or MV) as a z-set whose weights are positive,
+//! together with the timestamp the contents are consistent with. Paired with
+//! its [`DeltaTable`] it supports **snapshot
+//! reads** at nearby timestamps — the compensation primitive of asynchronous
+//! view maintenance: subtract deltas newer than the requested snapshot, or
+//! add not-yet-applied deltas to look forward.
+
+use crate::delta::{DeltaBatch, DeltaEntry, DeltaTable};
+use crate::zset::ZSet;
+use smile_types::{Schema, SmileError, Timestamp, Tuple};
+use std::collections::HashMap;
+
+/// The materialized contents of a relation plus its applied-through
+/// timestamp and (for keyed relations) a primary-key index.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    rows: ZSet,
+    /// PK → tuple index, maintained only when the schema has a key and the
+    /// relation is a set (weights exactly one); lets update capture find the
+    /// old image of a row in O(1).
+    pk_index: HashMap<Tuple, Tuple>,
+    /// Secondary hash indexes on arbitrary column sets, maintained
+    /// incrementally; join edges declare the columns they probe at install
+    /// time so pushes never scan the full relation.
+    secondary: HashMap<Vec<usize>, HashMap<Tuple, HashMap<Tuple, i64>>>,
+    /// The contents are consistent with the sources as of this timestamp —
+    /// `TS(v)` in the paper's notation.
+    ts: Timestamp,
+}
+
+impl Table {
+    /// Empty table with the given schema at timestamp zero.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            rows: ZSet::new(),
+            pk_index: HashMap::new(),
+            secondary: HashMap::new(),
+            ts: Timestamp::ZERO,
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Applied-through timestamp `TS(v)`.
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Forces the applied-through timestamp (used when a table is seeded
+    /// from a snapshot copy).
+    pub fn set_ts(&mut self, ts: Timestamp) {
+        self.ts = ts;
+    }
+
+    /// Current contents as a z-set.
+    pub fn rows(&self) -> &ZSet {
+        &self.rows
+    }
+
+    /// Number of distinct rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Looks up the current row with the given primary key, if the schema is
+    /// keyed and such a row exists.
+    pub fn get_by_key(&self, key: &Tuple) -> Option<&Tuple> {
+        self.pk_index.get(key)
+    }
+
+    /// Applies a batch of deltas, advancing the applied-through timestamp to
+    /// at least `through` (callers pass the push target timestamp; batches
+    /// may be empty when the window had no updates).
+    ///
+    /// Returns an error if a tuple does not match the schema.
+    pub fn apply(&mut self, batch: &DeltaBatch, through: Timestamp) -> Result<(), SmileError> {
+        for e in &batch.entries {
+            if !self.schema.admits(&e.tuple) {
+                return Err(SmileError::SchemaMismatch {
+                    relation: smile_types::RelationId::new(u32::MAX),
+                    detail: format!("tuple {:?} does not match schema {}", e.tuple, self.schema),
+                });
+            }
+            self.apply_entry(e);
+        }
+        if through > self.ts {
+            self.ts = through;
+        }
+        Ok(())
+    }
+
+    fn apply_entry(&mut self, e: &DeltaEntry) {
+        if !self.schema.key().is_empty() {
+            let key = self.schema.key_of(&e.tuple);
+            if e.weight > 0 {
+                self.pk_index.insert(key, e.tuple.clone());
+            } else {
+                self.pk_index.remove(&key);
+            }
+        }
+        for (cols, index) in &mut self.secondary {
+            let key = e.tuple.project(cols);
+            let bucket = index.entry(key).or_default();
+            let w = bucket.entry(e.tuple.clone()).or_insert(0);
+            *w += e.weight;
+            if *w == 0 {
+                bucket.remove(&e.tuple);
+            }
+        }
+        self.rows.add(e.tuple.clone(), e.weight);
+    }
+
+    /// Builds (or rebuilds) a secondary hash index on `cols` from the
+    /// current contents; subsequent applies maintain it incrementally.
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        if self.secondary.contains_key(cols) {
+            return;
+        }
+        let mut index: HashMap<Tuple, HashMap<Tuple, i64>> = HashMap::new();
+        for (t, w) in self.rows.iter() {
+            index
+                .entry(t.project(cols))
+                .or_default()
+                .insert(t.clone(), w);
+        }
+        self.secondary.insert(cols.to_vec(), index);
+    }
+
+    /// Probes a secondary index: all current rows whose `cols` projection
+    /// equals `key`. Returns `None` when no index exists on `cols` (callers
+    /// fall back to a scan).
+    pub fn probe_index(&self, cols: &[usize], key: &Tuple) -> Option<&HashMap<Tuple, i64>> {
+        static EMPTY: std::sync::OnceLock<HashMap<Tuple, i64>> = std::sync::OnceLock::new();
+        let index = self.secondary.get(cols)?;
+        Some(
+            index
+                .get(key)
+                .unwrap_or_else(|| EMPTY.get_or_init(HashMap::new)),
+        )
+    }
+
+    /// True iff a secondary index exists on exactly `cols`.
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.secondary.contains_key(cols)
+    }
+
+    /// Snapshot of the contents as of timestamp `at`, reconstructed from the
+    /// paired delta table. Works both backwards (compensate away newer
+    /// deltas) and forwards (fold in not-yet-applied deltas), as long as the
+    /// delta table still retains the needed window.
+    pub fn snapshot_at(&self, delta: &DeltaTable, at: Timestamp) -> Result<ZSet, SmileError> {
+        if at < delta.horizon() {
+            return Err(SmileError::Internal(format!(
+                "snapshot at {at} requested but delta table compacted through {}",
+                delta.horizon()
+            )));
+        }
+        let mut snap = self.rows.clone();
+        if at < self.ts {
+            // Roll back: remove the effect of entries in (at, ts].
+            snap.merge_owned(delta.window(at, self.ts).to_zset().negate());
+        } else if at > self.ts {
+            // Roll forward: apply pending entries in (ts, at].
+            snap.merge_owned(delta.window(self.ts, at).to_zset());
+        }
+        Ok(snap)
+    }
+
+    /// Clears all contents (used when re-seeding a copy).
+    pub fn clear(&mut self) {
+        self.rows = ZSet::new();
+        self.pk_index.clear();
+        for index in self.secondary.values_mut() {
+            index.clear();
+        }
+        self.ts = Timestamp::ZERO;
+    }
+
+    /// Total payload bytes of the current contents (disk metering).
+    pub fn byte_size(&self) -> usize {
+        self.rows.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smile_types::{tuple, Column, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("uid", ColumnType::I64),
+                Column::new("name", ColumnType::Str),
+            ],
+            vec![0],
+        )
+    }
+
+    fn ins(k: i64, name: &str, ts: u64) -> DeltaEntry {
+        DeltaEntry::insert(tuple![k, name], Timestamp::from_secs(ts))
+    }
+
+    fn del(k: i64, name: &str, ts: u64) -> DeltaEntry {
+        DeltaEntry::delete(tuple![k, name], Timestamp::from_secs(ts))
+    }
+
+    #[test]
+    fn apply_maintains_rows_ts_and_pk() {
+        let mut t = Table::new(schema());
+        let batch: DeltaBatch = [ins(1, "ann", 1), ins(2, "bob", 2)].into_iter().collect();
+        t.apply(&batch, Timestamp::from_secs(2)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.ts(), Timestamp::from_secs(2));
+        assert_eq!(t.get_by_key(&tuple![1i64]), Some(&tuple![1i64, "ann"]));
+
+        let upd: DeltaBatch = [del(1, "ann", 3), ins(1, "anna", 3)].into_iter().collect();
+        t.apply(&upd, Timestamp::from_secs(3)).unwrap();
+        assert_eq!(t.get_by_key(&tuple![1i64]), Some(&tuple![1i64, "anna"]));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn apply_rejects_schema_mismatch() {
+        let mut t = Table::new(schema());
+        let bad: DeltaBatch = [DeltaEntry::insert(tuple![1i64], Timestamp::ZERO)]
+            .into_iter()
+            .collect();
+        assert!(t.apply(&bad, Timestamp::ZERO).is_err());
+    }
+
+    #[test]
+    fn empty_batch_still_advances_ts() {
+        let mut t = Table::new(schema());
+        t.apply(&DeltaBatch::new(), Timestamp::from_secs(9))
+            .unwrap();
+        assert_eq!(t.ts(), Timestamp::from_secs(9));
+    }
+
+    #[test]
+    fn snapshot_rolls_back_and_forward() {
+        let mut t = Table::new(schema());
+        let mut d = DeltaTable::new();
+        for e in [ins(1, "ann", 1), ins(2, "bob", 2), ins(3, "cat", 3)] {
+            d.append(e.clone());
+        }
+        // Apply only through ts=2 so entry at ts=3 is pending.
+        t.apply(
+            &d.window(Timestamp::ZERO, Timestamp::from_secs(2)),
+            Timestamp::from_secs(2),
+        )
+        .unwrap();
+
+        let back = t.snapshot_at(&d, Timestamp::from_secs(1)).unwrap();
+        assert_eq!(back.cardinality(), 1);
+        assert_eq!(back.weight(&tuple![1i64, "ann"]), 1);
+
+        let fwd = t.snapshot_at(&d, Timestamp::from_secs(3)).unwrap();
+        assert_eq!(fwd.cardinality(), 3);
+
+        let now = t.snapshot_at(&d, Timestamp::from_secs(2)).unwrap();
+        assert_eq!(&now, t.rows());
+    }
+
+    #[test]
+    fn secondary_index_tracks_applies() {
+        let mut t = Table::new(schema());
+        t.ensure_index(&[1]);
+        t.apply(
+            &[ins(1, "ann", 1), ins(2, "ann", 1), ins(3, "bob", 1)]
+                .into_iter()
+                .collect(),
+            Timestamp::from_secs(1),
+        )
+        .unwrap();
+        let anns = t.probe_index(&[1], &tuple!["ann"]).unwrap();
+        assert_eq!(anns.len(), 2);
+        t.apply(
+            &[del(1, "ann", 2)].into_iter().collect(),
+            Timestamp::from_secs(2),
+        )
+        .unwrap();
+        let anns = t.probe_index(&[1], &tuple!["ann"]).unwrap();
+        assert_eq!(anns.len(), 1);
+        assert!(t.probe_index(&[1], &tuple!["zed"]).unwrap().is_empty());
+        assert!(t.probe_index(&[0], &tuple![1i64]).is_none());
+        assert!(t.has_index(&[1]));
+    }
+
+    #[test]
+    fn ensure_index_over_existing_rows() {
+        let mut t = Table::new(schema());
+        t.apply(
+            &[ins(1, "ann", 1), ins(2, "ann", 1)].into_iter().collect(),
+            Timestamp::from_secs(1),
+        )
+        .unwrap();
+        t.ensure_index(&[1]);
+        assert_eq!(t.probe_index(&[1], &tuple!["ann"]).unwrap().len(), 2);
+        // Idempotent.
+        t.ensure_index(&[1]);
+        assert_eq!(t.probe_index(&[1], &tuple!["ann"]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_past_horizon_fails() {
+        let mut t = Table::new(schema());
+        let mut d = DeltaTable::new();
+        d.append(ins(1, "ann", 1));
+        t.apply(
+            &d.window(Timestamp::ZERO, Timestamp::from_secs(1)),
+            Timestamp::from_secs(1),
+        )
+        .unwrap();
+        d.compact(Timestamp::from_secs(1));
+        assert!(t.snapshot_at(&d, Timestamp::ZERO).is_err());
+        assert!(t.snapshot_at(&d, Timestamp::from_secs(1)).is_ok());
+    }
+}

@@ -1,0 +1,233 @@
+//! Write-ahead-log encoding of delta batches.
+//!
+//! The paper's delta capture module poses as a PostgreSQL streaming
+//! replication client, receives the WAL, and unpacks modified tuples. Our
+//! engine is embedded, so the equivalent boundary is a compact binary
+//! encoding of [`DeltaBatch`]es: the simulator's `CopyDelta` edges ship WAL
+//! bytes between machines, and the byte counts feed the network-cost meter.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic "SWAL" | version u8 | count u32
+//! per entry: ts u64 | weight i64 | arity u16 | values...
+//! per value: tag u8 (0=Null 1=I64 2=F64 3=Str) | payload
+//! ```
+
+use crate::delta::{DeltaBatch, DeltaEntry};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use smile_types::{Result, SmileError, Timestamp, Tuple, Value};
+
+const MAGIC: &[u8; 4] = b"SWAL";
+const VERSION: u8 = 1;
+
+const TAG_NULL: u8 = 0;
+const TAG_I64: u8 = 1;
+const TAG_F64: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// Encodes a delta batch into WAL bytes.
+pub fn encode(batch: &DeltaBatch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + batch.byte_size());
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(batch.entries.len() as u32);
+    for e in &batch.entries {
+        buf.put_u64_le(e.ts.0);
+        buf.put_i64_le(e.weight);
+        buf.put_u16_le(e.tuple.arity() as u16);
+        for v in e.tuple.values() {
+            match v {
+                Value::Null => buf.put_u8(TAG_NULL),
+                Value::I64(x) => {
+                    buf.put_u8(TAG_I64);
+                    buf.put_i64_le(*x);
+                }
+                Value::F64(x) => {
+                    buf.put_u8(TAG_F64);
+                    buf.put_f64_le(*x);
+                }
+                Value::Str(s) => {
+                    buf.put_u8(TAG_STR);
+                    buf.put_u32_le(s.len() as u32);
+                    buf.put_slice(s.as_bytes());
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes WAL bytes back into a delta batch, validating structure.
+pub fn decode(mut bytes: Bytes) -> Result<DeltaBatch> {
+    let corrupt = |d: &str| SmileError::WalCorrupt(d.to_string());
+    if bytes.remaining() < 9 {
+        return Err(corrupt("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = bytes.get_u8();
+    if version != VERSION {
+        return Err(SmileError::WalCorrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = bytes.get_u32_le() as usize;
+    let mut entries = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if bytes.remaining() < 18 {
+            return Err(corrupt("truncated entry header"));
+        }
+        let ts = Timestamp(bytes.get_u64_le());
+        let weight = bytes.get_i64_le();
+        let arity = bytes.get_u16_le() as usize;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            if bytes.remaining() < 1 {
+                return Err(corrupt("truncated value tag"));
+            }
+            let tag = bytes.get_u8();
+            let v = match tag {
+                TAG_NULL => Value::Null,
+                TAG_I64 => {
+                    if bytes.remaining() < 8 {
+                        return Err(corrupt("truncated i64"));
+                    }
+                    Value::I64(bytes.get_i64_le())
+                }
+                TAG_F64 => {
+                    if bytes.remaining() < 8 {
+                        return Err(corrupt("truncated f64"));
+                    }
+                    Value::F64(bytes.get_f64_le())
+                }
+                TAG_STR => {
+                    if bytes.remaining() < 4 {
+                        return Err(corrupt("truncated string length"));
+                    }
+                    let len = bytes.get_u32_le() as usize;
+                    if bytes.remaining() < len {
+                        return Err(corrupt("truncated string payload"));
+                    }
+                    let raw = bytes.split_to(len);
+                    let s = std::str::from_utf8(&raw)
+                        .map_err(|_| corrupt("string payload is not UTF-8"))?;
+                    Value::str(s)
+                }
+                other => return Err(SmileError::WalCorrupt(format!("unknown value tag {other}"))),
+            };
+            values.push(v);
+        }
+        entries.push(DeltaEntry {
+            tuple: Tuple::new(values),
+            weight,
+            ts,
+        });
+    }
+    if bytes.has_remaining() {
+        return Err(corrupt("trailing garbage after last entry"));
+    }
+    Ok(DeltaBatch { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smile_types::tuple;
+
+    fn sample_batch() -> DeltaBatch {
+        DeltaBatch {
+            entries: vec![
+                DeltaEntry::insert(tuple![1i64, "ann", 2.5f64], Timestamp::from_secs(1)),
+                DeltaEntry::delete(tuple![2i64, Value::Null, 0.0f64], Timestamp::from_secs(2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let b = sample_batch();
+        assert_eq!(decode(encode(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let b = DeltaBatch::new();
+        assert_eq!(decode(encode(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = encode(&sample_batch()).to_vec();
+        raw[0] = b'X';
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SmileError::WalCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_any_point() {
+        let raw = encode(&sample_batch());
+        for cut in 0..raw.len() {
+            let sliced = raw.slice(..cut);
+            assert!(
+                decode(sliced).is_err(),
+                "decode of {cut}-byte prefix unexpectedly succeeded"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut raw = encode(&sample_batch()).to_vec();
+        raw.push(0);
+        assert!(decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let b = DeltaBatch {
+            entries: vec![DeltaEntry::insert(tuple![1i64], Timestamp::ZERO)],
+        };
+        let mut raw = encode(&b).to_vec();
+        // The tag byte of the single value is right after entry header.
+        let tag_pos = 4 + 1 + 4 + 8 + 8 + 2;
+        raw[tag_pos] = 99;
+        assert!(decode(Bytes::from(raw)).is_err());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<i64>().prop_map(Value::I64),
+            any::<f64>().prop_map(Value::F64),
+            "[a-z]{0,12}".prop_map(Value::str),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary(
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(arb_value(), 0..5), -3i64..4, 0u64..1000),
+                0..20
+            )
+        ) {
+            let batch = DeltaBatch {
+                entries: rows
+                    .into_iter()
+                    .map(|(vals, w, ts)| DeltaEntry {
+                        tuple: Tuple::new(vals),
+                        weight: w,
+                        ts: Timestamp(ts),
+                    })
+                    .collect(),
+            };
+            prop_assert_eq!(decode(encode(&batch)).unwrap(), batch);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Z-sets: multisets with signed integer multiplicities.
+//!
+//! A z-set maps tuples to non-zero weights. Relations are z-sets whose
+//! weights are all positive; deltas are arbitrary z-sets. The platform's
+//! correctness rests on z-set algebra being a commutative group under
+//! merge, with join distributing over it — property-tested in this module.
+
+use smile_types::Tuple;
+use std::collections::HashMap;
+
+/// A multiset of tuples with signed multiplicities. Entries with weight zero
+/// are never stored.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ZSet {
+    entries: HashMap<Tuple, i64>,
+}
+
+impl ZSet {
+    /// The empty z-set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a z-set with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            entries: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Builds a z-set of unit-weight tuples (an ordinary relation).
+    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(tuples: I) -> Self {
+        let mut z = ZSet::new();
+        for t in tuples {
+            z.add(t, 1);
+        }
+        z
+    }
+
+    /// Adds `weight` to the multiplicity of `tuple`, dropping the entry if it
+    /// cancels to zero.
+    pub fn add(&mut self, tuple: Tuple, weight: i64) {
+        if weight == 0 {
+            return;
+        }
+        use std::collections::hash_map::Entry;
+        match self.entries.entry(tuple) {
+            Entry::Occupied(mut e) => {
+                let w = *e.get() + weight;
+                if w == 0 {
+                    e.remove();
+                } else {
+                    *e.get_mut() = w;
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(weight);
+            }
+        }
+    }
+
+    /// Multiplicity of `tuple` (zero if absent).
+    pub fn weight(&self, tuple: &Tuple) -> i64 {
+        self.entries.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no tuple has non-zero weight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of rows counting multiplicities (positive weights only);
+    /// this is the cardinality an SQL `COUNT(*)` would report.
+    pub fn cardinality(&self) -> i64 {
+        self.entries.values().filter(|&&w| w > 0).sum()
+    }
+
+    /// Iterates over `(tuple, weight)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.entries.iter().map(|(t, &w)| (t, w))
+    }
+
+    /// Consumes the z-set, yielding `(tuple, weight)` pairs.
+    pub fn into_iter_entries(self) -> impl Iterator<Item = (Tuple, i64)> {
+        self.entries.into_iter()
+    }
+
+    /// Merges `other` into `self` (group addition).
+    pub fn merge(&mut self, other: &ZSet) {
+        for (t, w) in other.iter() {
+            self.add(t.clone(), w);
+        }
+    }
+
+    /// Merges an owned z-set, reusing its allocations.
+    pub fn merge_owned(&mut self, other: ZSet) {
+        if self.entries.is_empty() {
+            self.entries = other.entries;
+            return;
+        }
+        for (t, w) in other.entries {
+            self.add(t, w);
+        }
+    }
+
+    /// The group inverse: every weight negated.
+    pub fn negate(&self) -> ZSet {
+        ZSet {
+            entries: self.entries.iter().map(|(t, w)| (t.clone(), -w)).collect(),
+        }
+    }
+
+    /// Keeps only tuples satisfying `pred` (applied to the tuple, weight
+    /// unchanged).
+    pub fn filter(&self, mut pred: impl FnMut(&Tuple) -> bool) -> ZSet {
+        ZSet {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(t, _)| pred(t))
+                .map(|(t, &w)| (t.clone(), w))
+                .collect(),
+        }
+    }
+
+    /// Projects every tuple onto `cols`, consolidating weights of tuples that
+    /// become identical.
+    pub fn project(&self, cols: &[usize]) -> ZSet {
+        let mut out = ZSet::with_capacity(self.entries.len());
+        for (t, w) in self.iter() {
+            out.add(t.project(cols), w);
+        }
+        out
+    }
+
+    /// True iff all weights are positive — i.e. this z-set is a plain
+    /// multiset and can be stored as a relation.
+    pub fn is_relation(&self) -> bool {
+        self.entries.values().all(|&w| w > 0)
+    }
+
+    /// Total payload bytes across entries (weights ignored); used by the
+    /// resource meters.
+    pub fn byte_size(&self) -> usize {
+        self.entries.keys().map(Tuple::byte_size).sum()
+    }
+
+    /// Returns the entries as a sorted vector — deterministic order for
+    /// tests and snapshots.
+    pub fn sorted_entries(&self) -> Vec<(Tuple, i64)> {
+        let mut v: Vec<_> = self.entries.iter().map(|(t, &w)| (t.clone(), w)).collect();
+        v.sort();
+        v
+    }
+}
+
+impl FromIterator<(Tuple, i64)> for ZSet {
+    fn from_iter<I: IntoIterator<Item = (Tuple, i64)>>(iter: I) -> Self {
+        let mut z = ZSet::new();
+        for (t, w) in iter {
+            z.add(t, w);
+        }
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smile_types::tuple;
+
+    #[test]
+    fn add_consolidates_and_cancels() {
+        let mut z = ZSet::new();
+        z.add(tuple![1i64], 2);
+        z.add(tuple![1i64], -2);
+        assert!(z.is_empty());
+        z.add(tuple![2i64], 1);
+        z.add(tuple![2i64], 1);
+        assert_eq!(z.weight(&tuple![2i64]), 2);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn cardinality_counts_positive_multiplicities() {
+        let mut z = ZSet::new();
+        z.add(tuple![1i64], 3);
+        z.add(tuple![2i64], -5);
+        assert_eq!(z.cardinality(), 3);
+    }
+
+    #[test]
+    fn merge_with_negation_is_identity() {
+        let mut z = ZSet::from_tuples([tuple![1i64], tuple![2i64], tuple![2i64]]);
+        let n = z.negate();
+        z.merge(&n);
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn project_consolidates() {
+        let z = ZSet::from_tuples([tuple![1i64, "a"], tuple![1i64, "b"]]);
+        let p = z.project(&[0]);
+        assert_eq!(p.weight(&tuple![1i64]), 2);
+    }
+
+    #[test]
+    fn filter_preserves_weights() {
+        let mut z = ZSet::new();
+        z.add(tuple![1i64], 4);
+        z.add(tuple![2i64], 1);
+        let f = z.filter(|t| t.get(0).as_i64() == Some(1));
+        assert_eq!(f.weight(&tuple![1i64]), 4);
+        assert_eq!(f.len(), 1);
+    }
+
+    fn arb_zset() -> impl Strategy<Value = ZSet> {
+        proptest::collection::vec(((0i64..8), (-3i64..4)), 0..24).prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .map(|(k, w)| (tuple![k], w))
+                .collect::<ZSet>()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_commutative(a in arb_zset(), b in arb_zset()) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn merge_is_associative(a in arb_zset(), b in arb_zset(), c in arb_zset()) {
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn negate_is_inverse(a in arb_zset()) {
+            let mut z = a.clone();
+            z.merge(&a.negate());
+            prop_assert!(z.is_empty());
+        }
+
+        #[test]
+        fn zero_weights_never_stored(a in arb_zset()) {
+            prop_assert!(a.iter().all(|(_, w)| w != 0));
+        }
+    }
+}

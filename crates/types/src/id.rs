@@ -1,0 +1,103 @@
+//! Strongly typed identifiers.
+//!
+//! All identifiers are small-integer newtypes. Using distinct types (rather
+//! than bare `usize`) prevents the classic mistake of indexing the machine
+//! table with a relation id when the optimizer is juggling
+//! (join-sequence × machine) dynamic-programming states.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Raw index, for dense `Vec` lookups.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies one machine in the cloud infrastructure. Each machine runs
+    /// a single database instance (Postgresql in the paper, the embedded
+    /// `smile-storage` engine here).
+    MachineId,
+    "m"
+);
+
+define_id!(
+    /// Identifies a base relation or a materialized intermediate/view
+    /// relation within the platform-wide catalog.
+    RelationId,
+    "r"
+);
+
+define_id!(
+    /// Identifies one sharing `S_i` — a (sources, transformation, staleness
+    /// SLA, penalty) agreement between a consumer and the provider.
+    SharingId,
+    "S"
+);
+
+define_id!(
+    /// Identifies one vertex of a sharing plan DAG (a relation, an MV, or a
+    /// delta of either, pinned to a machine).
+    VertexId,
+    "v"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", MachineId::new(3)), "m3");
+        assert_eq!(format!("{:?}", RelationId::new(7)), "r7");
+        assert_eq!(format!("{}", SharingId::new(25)), "S25");
+        assert_eq!(format!("{}", VertexId::new(0)), "v0");
+    }
+
+    #[test]
+    fn ids_round_trip_raw_index() {
+        let m = MachineId::from(9);
+        assert_eq!(m.index(), 9);
+        assert_eq!(MachineId::new(9), m);
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(SharingId::new(1) < SharingId::new(2));
+        assert_eq!(VertexId::default(), VertexId::new(0));
+    }
+}

@@ -1,0 +1,234 @@
+//! Simulated time.
+//!
+//! Every experiment in the paper is a function of wall-clock time — staleness
+//! is "seconds behind the freshest source", SLAs are "at most t seconds
+//! stale", costs are dollars *per hour*. The reproduction runs on a
+//! discrete-event simulator, so time is an explicit value: a [`Timestamp`]
+//! is microseconds since simulation start and a [`SimDuration`] is a span of
+//! simulated microseconds. Micros give enough resolution for the per-tuple
+//! operator costs (tens of microseconds) while keeping arithmetic exact.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+/// A span of simulated time (microseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl Timestamp {
+    /// Simulation start.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The far future; useful as an "infinity" sentinel in schedulers.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Builds a timestamp from whole simulated seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1_000_000)
+    }
+
+    /// Builds a timestamp from simulated milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Timestamp as (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference `self - earlier`, zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: Timestamp) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The midpoint of `self` and `other` (used by the executor's binary
+    /// search for the push target timestamp).
+    pub fn midpoint(self, other: Timestamp) -> Timestamp {
+        Timestamp(self.0 / 2 + other.0 / 2 + (self.0 & other.0 & 1))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from whole simulated seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Builds a duration from simulated milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Builds a duration from simulated microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Builds a duration from fractional seconds, saturating at zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Span as (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Span as whole microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Scales the duration by a non-negative factor (rounding to micros).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl Add<SimDuration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, d: SimDuration) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for Timestamp {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimDuration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, d: SimDuration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = SimDuration;
+    fn sub(self, other: Timestamp) -> SimDuration {
+        self.saturating_since(other)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Timestamp::from_secs(2).0, 2_000_000);
+        assert_eq!(SimDuration::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_micros(), 250_000);
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, Timestamp::from_secs(15));
+        assert_eq!(t - Timestamp::from_secs(12), SimDuration::from_secs(3));
+        // Saturating difference.
+        assert_eq!(
+            Timestamp::from_secs(1) - Timestamp::from_secs(5),
+            SimDuration::ZERO
+        );
+        assert_eq!(t - SimDuration::from_secs(20), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn midpoint_avoids_overflow() {
+        let a = Timestamp(u64::MAX - 1);
+        let b = Timestamp(u64::MAX - 3);
+        assert_eq!(a.midpoint(b), Timestamp(u64::MAX - 2));
+        assert_eq!(Timestamp(1).midpoint(Timestamp(3)), Timestamp(2));
+        assert_eq!(Timestamp(1).midpoint(Timestamp(1)), Timestamp(1));
+    }
+
+    #[test]
+    fn duration_scaling_and_sum() {
+        let d = SimDuration::from_secs(2).mul_f64(1.5);
+        assert_eq!(d, SimDuration::from_secs(3));
+        let total: SimDuration = [SimDuration::from_secs(1), SimDuration::from_secs(2)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, SimDuration::from_secs(3));
+        assert_eq!(
+            SimDuration::from_secs(3) / 2,
+            SimDuration::from_millis(1500)
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Tuples (rows) of scalar values.
+
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A row of values.
+///
+/// Tuples are immutable once constructed and cheaply cloneable: the platform
+/// copies the same tuple through several plan vertices (delta capture →
+/// CopyDelta → Join → Union → DeltaToRel), so the payload is a shared
+/// `Arc<[Value]>` and a clone is a refcount bump.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Builds a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Self {
+            values: values.into(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column access; panics on out-of-range like slice indexing.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Projects the tuple onto the given column indexes (in order).
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple::new(cols.iter().map(|&c| self.values[c].clone()).collect())
+    }
+
+    /// Concatenates two tuples (used by join to splice matched rows).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::new(v)
+    }
+
+    /// Approximate in-memory footprint in bytes; feeds the network / disk
+    /// resource meters of the cost model.
+    pub fn byte_size(&self) -> usize {
+        self.values.iter().map(Value::byte_size).sum::<usize>() + 16
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Builds a tuple from a list of things convertible into [`Value`].
+///
+/// ```
+/// use smile_types::{tuple, Value};
+/// let t = tuple![1i64, 2.5f64, "home"];
+/// assert_eq!(t.get(2), &Value::str("home"));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_reorders_columns() {
+        let t = tuple![10i64, "a", 3.5f64];
+        let p = t.project(&[2, 0]);
+        assert_eq!(p, tuple![3.5f64, 10i64]);
+    }
+
+    #[test]
+    fn concat_joins_payloads() {
+        let a = tuple![1i64, "x"];
+        let b = tuple![2i64];
+        assert_eq!(a.concat(&b), tuple![1i64, "x", 2i64]);
+        assert_eq!(a.concat(&b).arity(), 3);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = tuple![1i64, "hello world"];
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.values, &b.values));
+    }
+
+    #[test]
+    fn debug_render() {
+        assert_eq!(format!("{:?}", tuple![1i64, "u"]), "(1, 'u')");
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic Twitter-like workload for the SMILE evaluation.
+//!
+//! The paper crawled six months of the Twitter gardenhose (a 10% sample),
+//! unpacked tweets into nine base relations, prepopulated 7 million tweets,
+//! and replayed the stream at rates from 50 to 6000 tweets/second. This
+//! crate substitutes a seeded synthetic generator that preserves what the
+//! evaluation depends on:
+//!
+//! * the **nine base relations** and their schemas ([`twitter`]);
+//! * the **update ratios** between relations (a tweet inserts a `tweets`
+//!   row always, a `users` row with probability ≈ 0.3, `socnet` 0.25,
+//!   `loc` 0.02, `curloc` 0.1, `urls` 0.2, …) — §9.1;
+//! * the **25 sharings of Table 1** ([`sharings`]);
+//! * **rate traces**: constant rates, the bursty gardenhose shape of
+//!   Figure 8c, the 10× firehose replay, and phase schedules for the
+//!   Figure 14 robustness experiment ([`rates`]);
+//! * the closed-loop **read workload** applied to MVs in Figure 14
+//!   ([`readload`]).
+
+#![warn(missing_docs)]
+
+pub mod rates;
+pub mod readload;
+pub mod sharings;
+pub mod twitter;
+
+pub use rates::RateTrace;
+pub use readload::ReadLoad;
+pub use sharings::paper_sharings;
+pub use twitter::{TwitterConfig, TwitterRels, TwitterWorkload, UpdateRatios};

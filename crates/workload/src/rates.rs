@@ -1,0 +1,190 @@
+//! Tweet arrival-rate traces.
+//!
+//! The evaluation replays the stream at constant rates from 50 to 6000
+//! tweets/second, plus the recorded **gardenhose** trace (average ≈ 100
+//! tweets/s with bursts up to ~2000, Figure 8c) and a **firehose**
+//! reconstruction (gardenhose × 10). Figure 14 uses an abrupt phase
+//! schedule. Traces are deterministic functions of simulated time, so every
+//! run reproduces exactly.
+
+use smile_types::{SimDuration, Timestamp};
+
+/// A deterministic tweets-per-second trace.
+#[derive(Clone, Debug)]
+pub enum RateTrace {
+    /// Constant rate.
+    Constant(f64),
+    /// Bursty gardenhose-like trace around a mean: a slow sinusoidal drift
+    /// plus deterministic heavy-tailed bursts (Figure 8c shape).
+    Gardenhose {
+        /// Mean rate (the paper's gardenhose averages ≈ 100 tweets/s).
+        mean: f64,
+        /// Seed decorrelating burst positions between runs.
+        seed: u64,
+    },
+    /// Another trace scaled by a constant (firehose = gardenhose × 10).
+    Scaled {
+        /// The base trace.
+        base: Box<RateTrace>,
+        /// The multiplier.
+        factor: f64,
+    },
+    /// Piecewise-constant phases: `(phase duration, rate)` pairs, repeating
+    /// the last phase after the schedule ends (Figure 14).
+    Phases(Vec<(SimDuration, f64)>),
+}
+
+impl RateTrace {
+    /// The firehose reconstruction: gardenhose replayed at 10× speed.
+    pub fn firehose(seed: u64) -> RateTrace {
+        RateTrace::Scaled {
+            base: Box::new(RateTrace::Gardenhose { mean: 100.0, seed }),
+            factor: 10.0,
+        }
+    }
+
+    /// Instantaneous rate at simulated time `t` (tweets/second).
+    pub fn rate_at(&self, t: Timestamp) -> f64 {
+        match self {
+            RateTrace::Constant(r) => *r,
+            RateTrace::Gardenhose { mean, seed } => {
+                let secs = t.as_secs_f64();
+                // Slow drift: ±30% over ~17-minute and ~3-minute periods.
+                let drift = 1.0
+                    + 0.2 * (secs / 1000.0 * std::f64::consts::TAU).sin()
+                    + 0.1 * (secs / 180.0 * std::f64::consts::TAU).sin();
+                // Deterministic bursts: roughly one 30-second burst per
+                // 10 minutes, 5–20× the mean, positioned by a hash.
+                let minute = (secs / 60.0) as u64;
+                let h = split_mix(seed ^ split_mix(minute));
+                let burst = if h.is_multiple_of(10) {
+                    5.0 + ((h >> 8) % 16) as f64
+                } else {
+                    1.0
+                };
+                (mean * drift * burst).max(1.0)
+            }
+            RateTrace::Scaled { base, factor } => base.rate_at(t) * factor,
+            RateTrace::Phases(phases) => {
+                let mut t_left = t.as_secs_f64();
+                for (dur, rate) in phases {
+                    let d = dur.as_secs_f64();
+                    if t_left < d {
+                        return *rate;
+                    }
+                    t_left -= d;
+                }
+                phases.last().map(|(_, r)| *r).unwrap_or(0.0)
+            }
+        }
+    }
+}
+
+/// SplitMix64: a tiny deterministic hash for burst placement.
+fn split_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Integrates a trace into whole tweet counts per tick, carrying the
+/// fractional remainder so long-run totals match the trace exactly.
+#[derive(Clone, Debug)]
+pub struct RateIntegrator {
+    trace: RateTrace,
+    carry: f64,
+}
+
+impl RateIntegrator {
+    /// Integrator over a trace.
+    pub fn new(trace: RateTrace) -> Self {
+        Self { trace, carry: 0.0 }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &RateTrace {
+        &self.trace
+    }
+
+    /// Number of tweets to emit for the tick `[now, now + dt)`.
+    pub fn tick(&mut self, now: Timestamp, dt: SimDuration) -> u64 {
+        let want = self.trace.rate_at(now) * dt.as_secs_f64() + self.carry;
+        let whole = want.floor().max(0.0);
+        self.carry = want - whole;
+        whole as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_integrates_exactly() {
+        let mut i = RateIntegrator::new(RateTrace::Constant(7.5));
+        let total: u64 = (0..100)
+            .map(|s| i.tick(Timestamp::from_secs(s), SimDuration::from_secs(1)))
+            .sum();
+        assert_eq!(total, 750);
+    }
+
+    #[test]
+    fn gardenhose_is_bursty_but_bounded() {
+        let t = RateTrace::Gardenhose {
+            mean: 100.0,
+            seed: 7,
+        };
+        let rates: Vec<f64> = (0..7200)
+            .map(|s| t.rate_at(Timestamp::from_secs(s)))
+            .collect();
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!(min >= 1.0);
+        assert!(max > 400.0, "no bursts seen: max = {max}");
+        assert!(max < 4000.0, "bursts unreasonably large: {max}");
+        assert!(mean > 60.0 && mean < 400.0, "mean drifted: {mean}");
+    }
+
+    #[test]
+    fn firehose_is_ten_x_gardenhose() {
+        let g = RateTrace::Gardenhose {
+            mean: 100.0,
+            seed: 3,
+        };
+        let f = RateTrace::firehose(3);
+        for s in [0u64, 100, 1000, 5000] {
+            let t = Timestamp::from_secs(s);
+            assert!((f.rate_at(t) - 10.0 * g.rate_at(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn phases_step_and_hold() {
+        let t = RateTrace::Phases(vec![
+            (SimDuration::from_secs(10), 50.0),
+            (SimDuration::from_secs(10), 150.0),
+        ]);
+        assert_eq!(t.rate_at(Timestamp::from_secs(5)), 50.0);
+        assert_eq!(t.rate_at(Timestamp::from_secs(15)), 150.0);
+        // Holds the last phase forever.
+        assert_eq!(t.rate_at(Timestamp::from_secs(500)), 150.0);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = RateTrace::Gardenhose {
+            mean: 100.0,
+            seed: 11,
+        };
+        let b = RateTrace::Gardenhose {
+            mean: 100.0,
+            seed: 11,
+        };
+        for s in 0..500 {
+            let t = Timestamp::from_secs(s);
+            assert_eq!(a.rate_at(t), b.rate_at(t));
+        }
+    }
+}

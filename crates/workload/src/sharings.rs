@@ -1,0 +1,278 @@
+//! The twenty-five sharings of the paper's Table 1.
+//!
+//! Each sharing is a join over the nine Twitter base relations, matching a
+//! real companion app (e.g. S18 `users ⋈ tweets ⋈ photos ⋈ curloc` for
+//! *twitter-360*, which shows nearby photos). Queries are written left-deep
+//! in a connected order; the optimizer's DP is free to reorder them.
+
+use crate::twitter::TwitterRels;
+use smile_storage::join::JoinOn;
+use smile_storage::{Predicate, SpjQuery};
+
+/// One Table 1 entry: the paper's index (1–25), the companion app, and the
+/// query.
+#[derive(Clone, Debug)]
+pub struct PaperSharing {
+    /// 1-based index, matching the paper's `S1..S25`.
+    pub index: usize,
+    /// The companion app named in Table 1.
+    pub app: &'static str,
+    /// The SPJ transformation.
+    pub query: SpjQuery,
+}
+
+/// Column offset helpers for the concatenated left-deep schemas.
+/// Arities: users=3, tweets=3, socnet=2, loc=2, curloc=3, urls=2,
+/// hashtags=2, photos=2, foursq=2.
+const USERS_AR: usize = 3;
+const TWEETS_AR: usize = 3;
+
+/// Builds all twenty-five sharings over the registered relation ids.
+pub fn paper_sharings(r: &TwitterRels) -> Vec<PaperSharing> {
+    let t = Predicate::True;
+    // Shorthands for the common joins. Column layouts:
+    //   users(uid, name, followers)        tweets(tid, uid, len)
+    //   socnet(uid, uid2)                  loc(uid, place)
+    //   curloc(tid, lat, lng)              urls(tid, url)
+    //   hashtags(tid, tag)                 photos(tid, url)
+    //   foursq(tid, rid)
+    let users_tweets = || {
+        // users ⋈ tweets on uid: users.0 = tweets.1.
+        SpjQuery::scan(r.users).join(r.tweets, JoinOn::on(0, 1), t.clone())
+    };
+    // After users ⋈ tweets the tid column sits at offset USERS_AR (= 3).
+    let tid_after_ut = USERS_AR;
+
+    let mut out = Vec::new();
+    let mut add = |index: usize, app: &'static str, query: SpjQuery| {
+        out.push(PaperSharing { index, app, query });
+    };
+
+    // S1: users ⋈ socnet (twitaholic)
+    add(
+        1,
+        "twitaholic",
+        SpjQuery::scan(r.users).join(r.socnet, JoinOn::on(0, 0), t.clone()),
+    );
+    // S2: users ⋈ tweets ⋈ curloc (twellow)
+    add(
+        2,
+        "twellow",
+        users_tweets().join(r.curloc, JoinOn::on(tid_after_ut, 0), t.clone()),
+    );
+    // S3: users ⋈ tweets ⋈ urls (tweetmeme)
+    add(
+        3,
+        "tweetmeme",
+        users_tweets().join(r.urls, JoinOn::on(tid_after_ut, 0), t.clone()),
+    );
+    // S4: users ⋈ tweets ⋈ urls ⋈ curloc (twitdom)
+    add(
+        4,
+        "twitdom",
+        users_tweets()
+            .join(r.urls, JoinOn::on(tid_after_ut, 0), t.clone())
+            .join(r.curloc, JoinOn::on(tid_after_ut, 0), t.clone()),
+    );
+    // S5: users ⋈ tweets (tweetstats)
+    add(5, "tweetstats", users_tweets());
+    // S6: tweets ⋈ curloc (nearbytweets)
+    add(
+        6,
+        "nearbytweets",
+        SpjQuery::scan(r.tweets).join(r.curloc, JoinOn::on(0, 0), t.clone()),
+    );
+    // S7: urls ⋈ curloc (nearbyurls)
+    add(
+        7,
+        "nearbyurls",
+        SpjQuery::scan(r.urls).join(r.curloc, JoinOn::on(0, 0), t.clone()),
+    );
+    // S8: tweets ⋈ photos (twitpic)
+    add(
+        8,
+        "twitpic",
+        SpjQuery::scan(r.tweets).join(r.photos, JoinOn::on(0, 0), t.clone()),
+    );
+    // S9: foursq ⋈ tweets (checkoutcheckins)
+    add(
+        9,
+        "checkoutcheckins",
+        SpjQuery::scan(r.foursq).join(r.tweets, JoinOn::on(0, 0), t.clone()),
+    );
+    // S10: hashtags ⋈ tweets (monitter)
+    add(
+        10,
+        "monitter",
+        SpjQuery::scan(r.hashtags).join(r.tweets, JoinOn::on(0, 0), t.clone()),
+    );
+    // S11: foursq ⋈ users ⋈ tweets ⋈ curloc (arrivaltracker)
+    // Connected order: foursq ⋈ tweets(tid) ⋈ users(uid) ⋈ curloc(tid).
+    // foursq(tid, rid) ++ tweets(tid, uid, len): uid at offset 3.
+    add(
+        11,
+        "arrivaltracker",
+        SpjQuery::scan(r.foursq)
+            .join(r.tweets, JoinOn::on(0, 0), t.clone())
+            .join(r.users, JoinOn::on(3, 0), t.clone())
+            .join(r.curloc, JoinOn::on(0, 0), t.clone()),
+    );
+    // S12: foursq ⋈ users ⋈ tweets (route)
+    add(
+        12,
+        "route",
+        SpjQuery::scan(r.foursq)
+            .join(r.tweets, JoinOn::on(0, 0), t.clone())
+            .join(r.users, JoinOn::on(3, 0), t.clone()),
+    );
+    // S13: foursq ⋈ users ⋈ tweets ⋈ loc (locc.us)
+    add(
+        13,
+        "locc.us",
+        SpjQuery::scan(r.foursq)
+            .join(r.tweets, JoinOn::on(0, 0), t.clone())
+            .join(r.users, JoinOn::on(3, 0), t.clone())
+            .join(r.loc, JoinOn::on(3, 0), t.clone()),
+    );
+    // S14: tweets ⋈ loc (locafollow) — on uid.
+    add(
+        14,
+        "locafollow",
+        SpjQuery::scan(r.tweets).join(r.loc, JoinOn::on(1, 0), t.clone()),
+    );
+    // S15: users ⋈ loc ⋈ tweets ⋈ curloc (twittervision)
+    add(
+        15,
+        "twittervision",
+        SpjQuery::scan(r.users)
+            .join(r.loc, JoinOn::on(0, 0), t.clone())
+            .join(r.tweets, JoinOn::on(0, 1), t.clone())
+            .join(r.curloc, JoinOn::on(USERS_AR + 2, 0), t.clone()),
+    );
+    // S16: foursq ⋈ users ⋈ tweets ⋈ socnet (yelp)
+    add(
+        16,
+        "yelp",
+        SpjQuery::scan(r.foursq)
+            .join(r.tweets, JoinOn::on(0, 0), t.clone())
+            .join(r.users, JoinOn::on(3, 0), t.clone())
+            .join(r.socnet, JoinOn::on(3, 0), t.clone()),
+    );
+    // S17: users ⋈ loc (twittermap)
+    add(
+        17,
+        "twittermap",
+        SpjQuery::scan(r.users).join(r.loc, JoinOn::on(0, 0), t.clone()),
+    );
+    // S18: users ⋈ tweets ⋈ photos ⋈ curloc (twitter-360)
+    add(
+        18,
+        "twitter-360",
+        users_tweets()
+            .join(r.photos, JoinOn::on(tid_after_ut, 0), t.clone())
+            .join(r.curloc, JoinOn::on(tid_after_ut, 0), t.clone()),
+    );
+    // S19: users ⋈ tweets ⋈ hashtags ⋈ curloc (hashtags.org)
+    add(
+        19,
+        "hashtags.org",
+        users_tweets()
+            .join(r.hashtags, JoinOn::on(tid_after_ut, 0), t.clone())
+            .join(r.curloc, JoinOn::on(tid_after_ut, 0), t.clone()),
+    );
+    // S20: users ⋈ tweets ⋈ hashtags ⋈ photos ⋈ curloc (nearbytweets)
+    add(
+        20,
+        "nearbytweets",
+        users_tweets()
+            .join(r.hashtags, JoinOn::on(tid_after_ut, 0), t.clone())
+            .join(r.photos, JoinOn::on(tid_after_ut, 0), t.clone())
+            .join(r.curloc, JoinOn::on(tid_after_ut, 0), t.clone()),
+    );
+    // S21: users ⋈ tweets ⋈ foursq ⋈ photos ⋈ curloc (nearbytweets)
+    add(
+        21,
+        "nearbytweets",
+        users_tweets()
+            .join(r.foursq, JoinOn::on(tid_after_ut, 0), t.clone())
+            .join(r.photos, JoinOn::on(tid_after_ut, 0), t.clone())
+            .join(r.curloc, JoinOn::on(tid_after_ut, 0), t.clone()),
+    );
+    // S22: foursq ⋈ curloc (nearbytweets)
+    add(
+        22,
+        "nearbytweets",
+        SpjQuery::scan(r.foursq).join(r.curloc, JoinOn::on(0, 0), t.clone()),
+    );
+    // S23: photos ⋈ curloc (twitxr)
+    add(
+        23,
+        "twitxr",
+        SpjQuery::scan(r.photos).join(r.curloc, JoinOn::on(0, 0), t.clone()),
+    );
+    // S24: hashtags ⋈ curloc (nearbytweets)
+    add(
+        24,
+        "nearbytweets",
+        SpjQuery::scan(r.hashtags).join(r.curloc, JoinOn::on(0, 0), t.clone()),
+    );
+    // S25: hashtags ⋈ users ⋈ tweets (twistroi)
+    add(
+        25,
+        "twistroi",
+        users_tweets().join(r.hashtags, JoinOn::on(tid_after_ut, 0), t.clone()),
+    );
+    debug_assert_eq!(out.len(), 25);
+    debug_assert_eq!(TWEETS_AR, 3);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twitter::{TwitterConfig, TwitterWorkload};
+    use smile_core::platform::{Smile, SmileConfig};
+
+    #[test]
+    fn all_25_sharings_validate_against_the_catalog() {
+        let mut smile = Smile::new(SmileConfig::with_machines(6));
+        let w = TwitterWorkload::register(&mut smile, TwitterConfig::default()).unwrap();
+        let sharings = paper_sharings(&w.rels());
+        assert_eq!(sharings.len(), 25);
+        for s in &sharings {
+            s.query
+                .validate(&smile.catalog)
+                .unwrap_or_else(|e| panic!("S{} ({}) invalid: {e}", s.index, s.app));
+        }
+        // Indexes are 1..=25 without gaps.
+        let idx: Vec<_> = sharings.iter().map(|s| s.index).collect();
+        assert_eq!(idx, (1..=25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharings_cover_all_nine_relations() {
+        let mut smile = Smile::new(SmileConfig::with_machines(6));
+        let w = TwitterWorkload::register(&mut smile, TwitterConfig::default()).unwrap();
+        let sharings = paper_sharings(&w.rels());
+        let mut used: std::collections::HashSet<_> = std::collections::HashSet::new();
+        for s in &sharings {
+            used.extend(s.query.sources());
+        }
+        for rel in w.rels().all() {
+            assert!(used.contains(&rel), "{rel} unused by all sharings");
+        }
+    }
+
+    #[test]
+    fn join_arities_range_from_two_to_five() {
+        let mut smile = Smile::new(SmileConfig::with_machines(6));
+        let w = TwitterWorkload::register(&mut smile, TwitterConfig::default()).unwrap();
+        let sharings = paper_sharings(&w.rels());
+        let sizes: Vec<usize> = sharings.iter().map(|s| s.query.steps.len()).collect();
+        assert_eq!(*sizes.iter().min().unwrap(), 2);
+        assert_eq!(*sizes.iter().max().unwrap(), 5);
+        // S20 and S21 are the five-way joins.
+        assert_eq!(sizes[19], 5);
+        assert_eq!(sizes[20], 5);
+    }
+}

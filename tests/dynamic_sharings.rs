@@ -1,0 +1,200 @@
+//! On-the-fly sharing addition and removal (the paper's §10 future work,
+//! implemented as an extension): sharings join and leave a *running*
+//! platform without disturbing the others.
+
+use smile::core::platform::{Smile, SmileConfig};
+use smile::types::{MachineId, SimDuration};
+use smile::workload::rates::{RateIntegrator, RateTrace};
+use smile::workload::sharings::paper_sharings;
+use smile::workload::twitter::{standard_setup, TwitterConfig, TwitterWorkload};
+
+fn drive(smile: &mut Smile, w: &mut TwitterWorkload, rate: f64, secs: u64) {
+    let mut integrator = RateIntegrator::new(RateTrace::Constant(rate));
+    let end = smile.now() + SimDuration::from_secs(secs);
+    while smile.now() < end {
+        let n = integrator.tick(smile.now(), SimDuration::from_secs(1));
+        for (rel, batch) in w.tweets(n, smile.now()) {
+            smile.ingest(rel, batch).unwrap();
+        }
+        smile.step().unwrap();
+    }
+}
+
+#[test]
+fn sharing_added_mid_run_is_maintained_exactly() {
+    let mut smile = Smile::new(SmileConfig::with_machines(4));
+    let mut w = standard_setup(&mut smile, TwitterConfig::default(), 2_000).unwrap();
+    let all = paper_sharings(&w.rels());
+
+    // Start with S5 (users ⋈ tweets) only.
+    let s5 = all[4].clone();
+    let first = smile
+        .submit(s5.app, s5.query, SimDuration::from_secs(20), 0.001)
+        .unwrap();
+    smile.install().unwrap();
+    drive(&mut smile, &mut w, 30.0, 60);
+
+    // Mid-run, S6 (tweets ⋈ curloc) joins the platform.
+    let s6 = all[5].clone();
+    let second = smile
+        .submit_live(
+            s6.app,
+            s6.query,
+            SimDuration::from_secs(20),
+            0.001,
+            Some(MachineId::new(2)),
+        )
+        .unwrap();
+    drive(&mut smile, &mut w, 30.0, 90);
+
+    for id in [first, second] {
+        assert_eq!(
+            smile.mv_contents(id).unwrap().sorted_entries(),
+            smile.expected_mv_contents(id).unwrap().sorted_entries(),
+            "{id} diverged"
+        );
+        assert!(!smile.mv_contents(id).unwrap().is_empty());
+    }
+    // The live-added sharing is audited and pushed.
+    assert!(smile
+        .executor
+        .as_ref()
+        .unwrap()
+        .push_records
+        .iter()
+        .any(|r| r.sharing == second));
+}
+
+#[test]
+fn live_added_sharing_reuses_existing_supply() {
+    let mut smile = Smile::new(SmileConfig::with_machines(4));
+    let mut w = standard_setup(&mut smile, TwitterConfig::default(), 2_000).unwrap();
+    let all = paper_sharings(&w.rels());
+
+    // S5 (users ⋈ tweets) runs; then an identical query joins live, pinned
+    // to the same machine as S5's MV.
+    let s5 = all[4].clone();
+    let first = smile
+        .submit(s5.app, s5.query.clone(), SimDuration::from_secs(20), 0.001)
+        .unwrap();
+    smile.install().unwrap();
+    let mv_machine = smile.planned(first).unwrap().mv_machine;
+    drive(&mut smile, &mut w, 20.0, 40);
+
+    let before = smile.executor.as_ref().unwrap().global.plan.vertex_count();
+    let second = smile
+        .submit_live(
+            "twin",
+            s5.query,
+            SimDuration::from_secs(40),
+            0.001,
+            Some(mv_machine),
+        )
+        .unwrap();
+    let after = smile.executor.as_ref().unwrap().global.plan.vertex_count();
+    // Identical sharing, identical placement: full dedup, no new vertices.
+    assert_eq!(before, after, "identical live sharing duplicated the plan");
+
+    drive(&mut smile, &mut w, 20.0, 60);
+    assert_eq!(
+        smile.mv_contents(first).unwrap().sorted_entries(),
+        smile.mv_contents(second).unwrap().sorted_entries()
+    );
+}
+
+#[test]
+fn retired_sharing_frees_storage_and_spares_others() {
+    let mut smile = Smile::new(SmileConfig::with_machines(4));
+    let mut w = standard_setup(&mut smile, TwitterConfig::default(), 2_000).unwrap();
+    let all = paper_sharings(&w.rels());
+
+    // Two unrelated sharings: S17 (users ⋈ loc) and S23 (photos ⋈ curloc).
+    let s17 = all[16].clone();
+    let s23 = all[22].clone();
+    let keep = smile
+        .submit(s17.app, s17.query, SimDuration::from_secs(20), 0.001)
+        .unwrap();
+    let gone = smile
+        .submit(s23.app, s23.query, SimDuration::from_secs(20), 0.001)
+        .unwrap();
+    smile.install().unwrap();
+    drive(&mut smile, &mut w, 25.0, 60);
+
+    let bytes_before: usize = (0..4)
+        .map(|m| {
+            smile
+                .cluster
+                .machine(MachineId::new(m))
+                .unwrap()
+                .db
+                .total_bytes()
+        })
+        .sum();
+    smile.retire(gone).unwrap();
+    let bytes_after: usize = (0..4)
+        .map(|m| {
+            smile
+                .cluster
+                .machine(MachineId::new(m))
+                .unwrap()
+                .db
+                .total_bytes()
+        })
+        .sum();
+    assert!(
+        bytes_after < bytes_before,
+        "retiring freed no storage ({bytes_before} -> {bytes_after})"
+    );
+    assert!(smile.mv_contents(gone).is_err() || smile.planned(gone).is_err());
+
+    // The surviving sharing keeps running exactly.
+    drive(&mut smile, &mut w, 25.0, 60);
+    assert_eq!(
+        smile.mv_contents(keep).unwrap().sorted_entries(),
+        smile.expected_mv_contents(keep).unwrap().sorted_entries()
+    );
+    assert_eq!(smile.snapshot.violations_of(keep), 0);
+}
+
+#[test]
+fn retire_then_resubmit_the_same_sharing() {
+    let mut smile = Smile::new(SmileConfig::with_machines(3));
+    let mut w = standard_setup(&mut smile, TwitterConfig::default(), 1_000).unwrap();
+    let all = paper_sharings(&w.rels());
+    let s6 = all[5].clone();
+    let first = smile
+        .submit(s6.app, s6.query.clone(), SimDuration::from_secs(15), 0.001)
+        .unwrap();
+    smile.install().unwrap();
+    let pin = smile.planned(first).unwrap().mv_machine;
+    drive(&mut smile, &mut w, 20.0, 45);
+    smile.retire(first).unwrap();
+    drive(&mut smile, &mut w, 20.0, 20);
+
+    // Resurrect the identical sharing: storage must re-materialize and the
+    // view must be exact from the re-seed onward.
+    let again = smile
+        .submit_live(
+            s6.app,
+            s6.query,
+            SimDuration::from_secs(15),
+            0.001,
+            Some(pin),
+        )
+        .unwrap();
+    drive(&mut smile, &mut w, 20.0, 60);
+    assert_eq!(
+        smile.mv_contents(again).unwrap().sorted_entries(),
+        smile.expected_mv_contents(again).unwrap().sorted_entries()
+    );
+}
+
+#[test]
+fn live_submit_before_install_is_rejected() {
+    let mut smile = Smile::new(SmileConfig::with_machines(2));
+    let w = standard_setup(&mut smile, TwitterConfig::default(), 100).unwrap();
+    let s = paper_sharings(&w.rels())[4].clone();
+    assert!(smile
+        .submit_live(s.app, s.query, SimDuration::from_secs(20), 0.001, None)
+        .is_err());
+}

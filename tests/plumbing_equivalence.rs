@@ -1,0 +1,100 @@
+//! Plumbing preserves semantics: running the same workload through the
+//! merged-only global plan and through the hill-climbed plan must produce
+//! identical MV contents for every sharing — plumbing may only change *how*
+//! updates travel, never *what* arrives.
+
+use smile::core::platform::{Smile, SmileConfig};
+use smile::types::{MachineId, SimDuration};
+use smile::workload::rates::{RateIntegrator, RateTrace};
+use smile::workload::sharings::paper_sharings;
+use smile::workload::twitter::{standard_setup, TwitterConfig};
+
+/// Overlapping sharings that give plumbing real work.
+const PICK: [usize; 8] = [2, 3, 4, 5, 9, 12, 18, 19];
+
+fn run(hill_climb: bool) -> Vec<(usize, Vec<(smile::types::Tuple, i64)>)> {
+    let mut config = SmileConfig::with_machines(6);
+    config.hill_climb = hill_climb;
+    let mut smile = Smile::new(config);
+    let mut workload = standard_setup(&mut smile, TwitterConfig::default(), 2_000).unwrap();
+    let mut ids = Vec::new();
+    for (pin, s) in paper_sharings(&workload.rels())
+        .into_iter()
+        .filter(|s| PICK.contains(&s.index))
+        .enumerate()
+    {
+        let m = MachineId::new(pin as u32 % 6);
+        let id = smile
+            .submit_pinned(s.app, s.query, SimDuration::from_secs(30), 0.001, Some(m))
+            .unwrap();
+        ids.push((s.index, id));
+    }
+    smile.install().unwrap();
+
+    let mut rate = RateIntegrator::new(RateTrace::Constant(40.0));
+    let end = smile.now() + SimDuration::from_secs(120);
+    while smile.now() < end {
+        let n = rate.tick(smile.now(), SimDuration::from_secs(1));
+        for (rel, batch) in workload.tweets(n, smile.now()) {
+            smile.ingest(rel, batch).unwrap();
+        }
+        smile.step().unwrap();
+    }
+    // Settle: one final full push per sharing by idling past the SLA window.
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    ids.into_iter()
+        .map(|(index, id)| {
+            // Also assert each run individually matches its own ground truth.
+            let got = smile.mv_contents(id).unwrap();
+            let want = smile.expected_mv_contents(id).unwrap();
+            assert_eq!(
+                got.sorted_entries(),
+                want.sorted_entries(),
+                "S{index} diverged from ground truth (hill_climb={hill_climb})"
+            );
+            (index, got.sorted_entries())
+        })
+        .collect()
+}
+
+#[test]
+fn hill_climbed_plan_produces_identical_views() {
+    let plain = run(false);
+    let climbed = run(true);
+    assert_eq!(plain.len(), climbed.len());
+    for ((ia, va), (ib, vb)) in plain.iter().zip(&climbed) {
+        assert_eq!(ia, ib);
+        assert_eq!(va, vb, "S{ia}: plumbing changed MV contents");
+    }
+}
+
+#[test]
+fn hill_climbing_shrinks_or_keeps_the_plan() {
+    let build = |hc: bool| {
+        let mut config = SmileConfig::with_machines(6);
+        config.hill_climb = hc;
+        let mut smile = Smile::new(config);
+        let workload = standard_setup(&mut smile, TwitterConfig::default(), 1_000).unwrap();
+        for (pin, s) in paper_sharings(&workload.rels())
+            .into_iter()
+            .filter(|s| PICK.contains(&s.index))
+            .enumerate()
+        {
+            let m = MachineId::new(pin as u32 % 6);
+            smile
+                .submit_pinned(s.app, s.query, SimDuration::from_secs(30), 0.001, Some(m))
+                .unwrap();
+        }
+        smile.install().unwrap();
+        let plan = &smile.executor.as_ref().unwrap().global.plan;
+        (plan.vertex_count(), plan.edge_count())
+    };
+    let (v_plain, e_plain) = build(false);
+    let (v_hc, e_hc) = build(true);
+    assert!(
+        v_hc <= v_plain,
+        "plumbing grew vertices: {v_plain} -> {v_hc}"
+    );
+    assert!(e_hc <= e_plain, "plumbing grew edges: {e_plain} -> {e_hc}");
+}

@@ -56,6 +56,8 @@ pub struct ExecConfig {
     pub compaction_margin: SimDuration,
     /// Command dispatch latency (executor → agent).
     pub command_latency: SimDuration,
+    /// How transiently-failed pushes are retried.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecConfig {
@@ -69,8 +71,76 @@ impl Default for ExecConfig {
             compaction_period: SimDuration::from_secs(30),
             compaction_margin: SimDuration::from_secs(10),
             command_latency: SimDuration::from_millis(5),
+            retry: RetryPolicy::default(),
         }
     }
+}
+
+/// Retry/backoff policy for pushes that fail with a transient fault
+/// (machine down, delta lost in transit, acknowledgement lost).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Attempts per push including the first; `1` disables retries.
+    pub max_attempts: u32,
+    /// Detection timeout before a failed attempt is retried (the executor
+    /// waits this long for the acknowledgement that never comes).
+    pub timeout: SimDuration,
+    /// Backoff added on top of the timeout before the first retry.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied to the backoff for each further retry.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            timeout: SimDuration::from_secs(2),
+            backoff_base: SimDuration::from_millis(500),
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay between a failed attempt number `attempt` (1-based) and the
+    /// next one: detection timeout plus exponential backoff.
+    pub fn delay_after(&self, attempt: u32) -> SimDuration {
+        self.timeout
+            + self
+                .backoff_base
+                .mul_f64(self.backoff_multiplier.powi(attempt.saturating_sub(1) as i32))
+    }
+}
+
+/// Fault-recovery statistics the executor accumulates (merged into the
+/// platform-level `FaultReport`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecFaultStats {
+    /// Push attempts that failed transiently and were rescheduled.
+    pub pushes_retried: u64,
+    /// Pushes abandoned after exhausting the retry budget (a later push
+    /// re-covers their window).
+    pub pushes_abandoned: u64,
+    /// Pushes deferred at scheduling time because a machine they need was
+    /// down.
+    pub pushes_deferred: u64,
+    /// Delta batches a retry re-shipped that were suppressed by batch-id
+    /// deduplication (the first attempt had landed).
+    pub batches_deduped: u64,
+}
+
+/// A push attempt scheduled for re-execution after a transient fault.
+#[derive(Clone, Copy, Debug)]
+struct PendingRetry {
+    /// When the retry fires.
+    due: Timestamp,
+    /// Sharing slot index.
+    idx: usize,
+    /// The original push target (unchanged across retries).
+    target: Timestamp,
+    /// Attempt number this retry will be (1-based).
+    attempt: u32,
 }
 
 /// One completed PUSH, as recorded for the Figure 7 analysis.
@@ -144,6 +214,10 @@ pub struct Executor {
     exec_sub: SubscriberId,
     last_heartbeat: Option<Timestamp>,
     last_compaction: Timestamp,
+    /// Transiently-failed pushes awaiting their backoff.
+    pending_retries: Vec<PendingRetry>,
+    /// Fault-recovery statistics.
+    pub fault_stats: ExecFaultStats,
     /// Total tuples moved across all edges (snapshot-module metric).
     pub tuples_moved: u64,
     /// Tuples moved attributed per sharing.
@@ -231,6 +305,8 @@ impl Executor {
             exec_sub,
             last_heartbeat: None,
             last_compaction: Timestamp::ZERO,
+            pending_retries: Vec::new(),
+            fault_stats: ExecFaultStats::default(),
             tuples_moved: 0,
             tuples_per_sharing: HashMap::new(),
             push_records: Vec::new(),
@@ -344,10 +420,30 @@ impl Executor {
         self.drain_events(now);
         self.heartbeat_round(cluster, now);
         self.poll_bus(now);
+        self.run_due_retries(cluster, now)?;
         self.schedule_pushes(cluster, now)?;
         if now - self.last_compaction >= self.config.compaction_period {
             self.compact(cluster, now)?;
             self.last_compaction = now;
+        }
+        Ok(())
+    }
+
+    /// Re-attempts every push whose backoff expired. Retries are processed
+    /// in due order (ties by sharing slot) for determinism.
+    fn run_due_retries(&mut self, cluster: &mut Cluster, now: Timestamp) -> Result<()> {
+        let mut due: Vec<PendingRetry> = Vec::new();
+        self.pending_retries.retain(|r| {
+            if r.due <= now {
+                due.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|r| (r.due, r.idx));
+        for r in due {
+            self.attempt_push(cluster, r.idx, r.target, now, r.attempt)?;
         }
         Ok(())
     }
@@ -396,8 +492,10 @@ impl Executor {
         }
     }
 
-    /// Agents publish heartbeats for every base relation vertex.
-    fn heartbeat_round(&mut self, cluster: &Cluster, now: Timestamp) {
+    /// Agents publish heartbeats for every base relation vertex. A crashed
+    /// machine's agent publishes nothing, and every heartbeat rides the
+    /// fault-prone bus (loss, duplication, latency spikes).
+    fn heartbeat_round(&mut self, cluster: &mut Cluster, now: Timestamp) {
         if self
             .last_heartbeat
             .is_some_and(|t| now - t < self.config.heartbeat_period)
@@ -408,18 +506,26 @@ impl Executor {
         let mut beats = Vec::new();
         for v in self.global.plan.vertices() {
             if v.is_base && v.kind == VertexKind::Relation {
-                // A base relation is consistent with itself as of the
-                // moment the agent reads it; report the machine clock.
-                let ts = cluster.clock.read(v.machine, now);
-                beats.push(AgentMsg::Heartbeat {
-                    machine: v.machine,
-                    vertex: v.id,
-                    ts,
-                });
+                beats.push((v.machine, v.id));
             }
         }
-        for b in beats {
-            self.bus.publish(now, TOPIC_TO_EXECUTOR, b);
+        for (machine, vertex) in beats {
+            if cluster.faults.machine_down(machine, now) {
+                continue;
+            }
+            // A base relation is consistent with itself as of the moment
+            // the agent reads it; report the machine clock.
+            let ts = cluster.clock.read(machine, now);
+            self.bus.publish_faulty(
+                now,
+                TOPIC_TO_EXECUTOR,
+                AgentMsg::Heartbeat {
+                    machine,
+                    vertex,
+                    ts,
+                },
+                &mut cluster.faults,
+            );
         }
     }
 
@@ -486,6 +592,19 @@ impl Executor {
             if min_src <= mv_data_ts {
                 continue;
             }
+            // Crash-aware re-planning: a push that needs a down machine is
+            // deferred to a later tick instead of being fired into a
+            // guaranteed timeout (the staleness it accrues meanwhile is
+            // real and shows up in the snapshot audit).
+            let needs_down_machine = rt
+                .order
+                .iter()
+                .chain(rt.srcs.iter())
+                .any(|&v| cluster.faults.machine_down(self.global.plan.vertex(v).machine, now));
+            if needs_down_machine {
+                self.fault_stats.pushes_deferred += 1;
+                continue;
+            }
             let target = self.choose_target(&rt, mv_data_ts, min_src, now);
             self.start_push(cluster, idx, target, now)?;
         }
@@ -538,6 +657,22 @@ impl Executor {
         target: Timestamp,
         now: Timestamp,
     ) -> Result<Timestamp> {
+        self.attempt_push(cluster, idx, target, now, 1)
+    }
+
+    /// One attempt (1-based `attempt`) of a push. A transient fault either
+    /// schedules a retry after the policy's timeout + backoff — the push
+    /// stays in flight, vertices already advanced keep their progress — or,
+    /// with the retry budget exhausted, abandons the push so a fresh one
+    /// can be planned around whatever is broken.
+    fn attempt_push(
+        &mut self,
+        cluster: &mut Cluster,
+        idx: usize,
+        target: Timestamp,
+        now: Timestamp,
+        attempt: u32,
+    ) -> Result<Timestamp> {
         let rt = self.sharings[idx].clone();
         let staleness_before = now - self.visible_ts[rt.mv.index()];
         let window_secs = (target - self.data_ts[rt.mv.index()]).as_secs_f64();
@@ -573,7 +708,7 @@ impl Executor {
                 .unwrap_or(now)
                 .max(now + self.config.command_latency);
             let from = self.data_ts[v.index()];
-            let run = push::run_edge(
+            let run = match push::run_edge(
                 cluster,
                 &self.global.plan,
                 &edge,
@@ -582,7 +717,35 @@ impl Executor {
                 submit,
                 &self.model,
                 rt.id,
-            )?;
+            ) {
+                Ok(run) => run,
+                Err(SmileError::Transient { .. }) => {
+                    // Vertices completed before the fault keep their
+                    // progress (their Commit events are already queued);
+                    // the retry resumes from this vertex.
+                    self.tuples_moved += tuples_total;
+                    *self.tuples_per_sharing.entry(rt.id).or_default() += tuples_total;
+                    if attempt >= self.config.retry.max_attempts {
+                        self.fault_stats.pushes_abandoned += 1;
+                        self.sharings[idx].in_flight = false;
+                        return Ok(now);
+                    }
+                    self.fault_stats.pushes_retried += 1;
+                    let due = now + self.config.retry.delay_after(attempt);
+                    self.pending_retries.push(PendingRetry {
+                        due,
+                        idx,
+                        target,
+                        attempt: attempt + 1,
+                    });
+                    self.sharings[idx].in_flight = true;
+                    return Ok(due);
+                }
+                Err(e) => return Err(e),
+            };
+            if run.deduped {
+                self.fault_stats.batches_deduped += 1;
+            }
             self.data_ts[v.index()] = target;
             ready.insert(v, run.end);
             tuples_total += run.tuples;

@@ -25,7 +25,7 @@ use crate::plan::timecost::TimeCostModel;
 use smile_sim::Cluster;
 use smile_storage::delta::{DeltaBatch, DeltaEntry};
 use smile_storage::{wal, Predicate};
-use smile_types::{Result, SharingId, SmileError, Timestamp, Tuple, VertexId};
+use smile_types::{MachineId, Result, SharingId, SmileError, Timestamp, Tuple, VertexId};
 
 /// Outcome of executing one edge.
 #[derive(Clone, Copy, Debug)]
@@ -34,12 +34,44 @@ pub struct EdgeRun {
     pub end: Timestamp,
     /// Tuples moved (input window for copies/applies, outputs for joins).
     pub tuples: u64,
+    /// True iff the output batch was suppressed by batch-id deduplication
+    /// (a retry re-shipping a window that already landed).
+    pub deduped: bool,
 }
 
 fn slot_of(plan: &Plan, v: VertexId) -> Result<smile_types::RelationId> {
     plan.vertex(v)
         .slot
         .ok_or_else(|| SmileError::Internal(format!("vertex {v} has no storage slot")))
+}
+
+/// Fails with a retryable [`SmileError::Transient`] when the machine is
+/// inside a scheduled crash interval at `at`.
+fn check_up(cluster: &mut Cluster, machine: MachineId, at: Timestamp) -> Result<()> {
+    if cluster.faults.machine_down(machine, at) {
+        return Err(SmileError::Transient {
+            detail: format!("machine {machine} is down"),
+        });
+    }
+    Ok(())
+}
+
+/// Identity of the batch one push edge produces for the window `(from, to]`
+/// — stable across retries, distinct across edges and windows (FNV-1a over
+/// the output vertex and the window bounds).
+fn batch_id(output: VertexId, from: Timestamp, to: Timestamp) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in [
+        output.index() as u64,
+        (from - Timestamp::ZERO).as_micros(),
+        (to - Timestamp::ZERO).as_micros(),
+    ] {
+        for byte in part.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 fn apply_filter_projection(
@@ -125,6 +157,8 @@ fn run_copy(
     let dst_v = plan.vertex(edge.output);
     let src_slot = slot_of(plan, src_v.id)?;
     let dst_slot = slot_of(plan, dst_v.id)?;
+    check_up(cluster, src_v.machine, submit)?;
+    check_up(cluster, dst_v.machine, submit)?;
 
     let raw = cluster
         .machine(src_v.machine)?
@@ -141,6 +175,12 @@ fn run_copy(
             .machine_mut(src_v.machine)?
             .send(submit, bytes.len() as u64);
         cluster.ledger.charge(usage, sharings);
+        if cluster.faults.drop_delta(submit) {
+            // The NIC time was spent, but the batch never arrives.
+            return Err(SmileError::Transient {
+                detail: format!("delta batch for vertex {} lost in transit", dst_v.id),
+            });
+        }
         // The WAL round-trip is the real data path: decode on arrival.
         let decoded = wal::decode(bytes)?;
         debug_assert_eq!(decoded, batch);
@@ -150,13 +190,24 @@ fn run_copy(
     let (res, usage) = cluster.machine_mut(dst_v.machine)?.run_cpu(arrive, service);
     cluster.ledger.charge(usage, sharings);
     let batch = apply_aggregate(cluster, dst_v.machine, dst_slot, batch, edge)?;
-    cluster
-        .machine_mut(dst_v.machine)?
-        .db
-        .append_delta(dst_slot, batch)?;
+    let appended = cluster.machine_mut(dst_v.machine)?.db.append_delta_dedup(
+        dst_slot,
+        batch,
+        batch_id(dst_v.id, from, to),
+        dst_v.id.index() as u64,
+        to,
+    )?;
+    if cluster.faults.ack_lost(submit) {
+        // The batch landed but the completion message did not; the retry
+        // will re-ship and be absorbed by the batch-id dedup above.
+        return Err(SmileError::Transient {
+            detail: format!("acknowledgement for vertex {} push lost", dst_v.id),
+        });
+    }
     Ok(EdgeRun {
         end: res.end,
         tuples: n,
+        deduped: !appended,
     })
 }
 
@@ -188,7 +239,10 @@ fn run_apply(
 ) -> Result<EdgeRun> {
     let out_v = plan.vertex(edge.output);
     let slot = slot_of(plan, out_v.id)?;
+    check_up(cluster, out_v.machine, submit)?;
     let machine = cluster.machine_mut(out_v.machine)?;
+    // `apply_pending` is naturally idempotent: it only moves the table
+    // forward from its current timestamp, so a retry re-applies nothing.
     let n = machine.db.apply_pending(slot, to)? as u64;
     let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
     let (res, usage) = machine.run_cpu(submit, service);
@@ -196,6 +250,7 @@ fn run_apply(
     Ok(EdgeRun {
         end: res.end,
         tuples: n,
+        deduped: false,
     })
 }
 
@@ -217,6 +272,7 @@ fn run_join(
     let delta_v = plan.vertex(edge.inputs[0]);
     let rel_v = plan.vertex(edge.inputs[1]);
     let out_v = plan.vertex(edge.output);
+    check_up(cluster, out_v.machine, submit)?;
     debug_assert_eq!(delta_v.machine, out_v.machine);
     debug_assert_eq!(rel_v.machine, out_v.machine);
     debug_assert_eq!(rel_v.kind, VertexKind::Relation);
@@ -324,13 +380,17 @@ fn run_join(
     let machine = cluster.machine_mut(out_v.machine)?;
     let (res, usage) = machine.run_cpu(submit, service);
     cluster.ledger.charge(usage, sharings);
-    cluster
-        .machine_mut(out_v.machine)?
-        .db
-        .append_delta(out_slot, batch)?;
+    let appended = cluster.machine_mut(out_v.machine)?.db.append_delta_dedup(
+        out_slot,
+        batch,
+        batch_id(out_v.id, from, to),
+        out_v.id.index() as u64,
+        to,
+    )?;
     Ok(EdgeRun {
         end: res.end,
         tuples: n,
+        deduped: !appended,
     })
 }
 
@@ -347,6 +407,7 @@ fn run_union(
 ) -> Result<EdgeRun> {
     let out_v = plan.vertex(edge.output);
     let out_slot = slot_of(plan, out_v.id)?;
+    check_up(cluster, out_v.machine, submit)?;
     let mut merged: Vec<DeltaEntry> = Vec::new();
     for &input in &edge.inputs {
         let in_v = plan.vertex(input);
@@ -372,12 +433,16 @@ fn run_union(
         DeltaBatch { entries: merged },
         edge,
     )?;
-    cluster
-        .machine_mut(out_v.machine)?
-        .db
-        .append_delta(out_slot, batch)?;
+    let appended = cluster.machine_mut(out_v.machine)?.db.append_delta_dedup(
+        out_slot,
+        batch,
+        batch_id(out_v.id, from, to),
+        out_v.id.index() as u64,
+        to,
+    )?;
     Ok(EdgeRun {
         end: res.end,
         tuples: n,
+        deduped: !appended,
     })
 }

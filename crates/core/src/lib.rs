@@ -32,5 +32,6 @@ pub mod sharing;
 pub mod snapshot;
 
 pub use catalog::Catalog;
-pub use platform::{Smile, SmileConfig};
+pub use executor::{ExecConfig, RetryPolicy};
+pub use platform::{FaultReport, Smile, SmileConfig};
 pub use sharing::Sharing;

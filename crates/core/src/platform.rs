@@ -24,7 +24,7 @@ use crate::plan::dag::{DeltaSide, EdgeOp, VertexKind};
 use crate::plan::timecost::TimeCostModel;
 use crate::sharing::Sharing;
 use crate::snapshot::SnapshotModule;
-use smile_sim::{Cluster, MachineConfig, PriceSheet};
+use smile_sim::{Cluster, FaultProfile, MachineConfig, PriceSheet};
 use smile_storage::spj::RelationProvider;
 use smile_storage::{DeltaBatch, SpjQuery, ZSet};
 use smile_types::{
@@ -56,6 +56,9 @@ pub struct SmileConfig {
     /// admissible else DPT). `Some(..)` forces one objective (used by the
     /// Figure 12 algorithm comparison).
     pub force_objective: Option<Objective>,
+    /// Fault-injection profile (disabled by default; see
+    /// [`FaultProfile::chaos`] for a hostile preset).
+    pub faults: FaultProfile,
 }
 
 impl SmileConfig {
@@ -72,8 +75,41 @@ impl SmileConfig {
             hill_climb_iterations: 64,
             capacity: 1.0,
             force_objective: None,
+            faults: FaultProfile::disabled(),
         }
     }
+}
+
+/// Summary of the faults injected into a run and the recovery work they
+/// caused. Derived `Debug` output is byte-identical across runs with the
+/// same seed and workload, which the robustness suite asserts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Machine crashes scheduled by the injector.
+    pub crashes: u64,
+    /// Delta batches lost in transit.
+    pub deltas_dropped: u64,
+    /// Acknowledgements lost after a batch landed.
+    pub acks_lost: u64,
+    /// Pub/sub messages (heartbeats) lost.
+    pub messages_lost: u64,
+    /// Pub/sub messages duplicated.
+    pub duplicates: u64,
+    /// Pub/sub latency spikes.
+    pub latency_spikes: u64,
+    /// Push attempts retried after a transient fault.
+    pub pushes_retried: u64,
+    /// Pushes abandoned after exhausting the retry budget.
+    pub pushes_abandoned: u64,
+    /// Pushes deferred because a machine they needed was down.
+    pub pushes_deferred: u64,
+    /// Retried delta batches suppressed by batch-id deduplication.
+    pub batches_deduped: u64,
+    /// SLA violations observed by the snapshot auditor.
+    pub sla_violations: u64,
+    /// Violations whose staleness window overlapped an injected fault
+    /// (the penalty is attributable to the fault, not the scheduler).
+    pub sla_violations_attributable: u64,
 }
 
 /// The SMILE platform.
@@ -106,6 +142,7 @@ impl Smile {
     pub fn new(config: SmileConfig) -> Self {
         let mut cluster = Cluster::with_configs(vec![config.machine_config; config.machines]);
         cluster.prices = config.prices;
+        cluster.set_fault_profile(config.faults);
         Self {
             cluster,
             catalog: Catalog::new(),
@@ -375,6 +412,9 @@ impl Smile {
             .executor
             .as_mut()
             .ok_or_else(|| SmileError::Internal("step before install".into()))?;
+        // Crashes due now take machines out of service before the executor
+        // plans around them.
+        self.cluster.apply_faults(self.now);
         executor.tick(&mut self.cluster, self.now)?;
         self.snapshot
             .maybe_record(executor, &mut self.cluster, self.now);
@@ -454,6 +494,52 @@ impl Smile {
     /// Total platform dollars so far.
     pub fn total_dollars(&self) -> f64 {
         self.cluster.total_dollars()
+    }
+
+    /// Assembles the [`FaultReport`] for the run so far: injector tallies,
+    /// the executor's recovery statistics, and the snapshot auditor's SLA
+    /// violations split by whether an injected fault was active inside the
+    /// violating staleness window.
+    pub fn fault_report(&self) -> FaultReport {
+        let c = self.cluster.faults.counters();
+        let stats = self
+            .executor
+            .as_ref()
+            .map(|e| e.fault_stats)
+            .unwrap_or_default();
+        let mut sla_violations = 0u64;
+        let mut attributable = 0u64;
+        for r in &self.snapshot.records {
+            for s in &r.sharings {
+                if !s.violated {
+                    continue;
+                }
+                sla_violations += 1;
+                // The MV last advanced at `r.at − staleness`; any fault
+                // active since then plausibly caused the violation.
+                if self
+                    .cluster
+                    .faults
+                    .fault_in_window(r.at - s.staleness, r.at)
+                {
+                    attributable += 1;
+                }
+            }
+        }
+        FaultReport {
+            crashes: c.crashes,
+            deltas_dropped: c.deltas_dropped,
+            acks_lost: c.acks_lost,
+            messages_lost: c.messages_lost,
+            duplicates: c.duplicates,
+            latency_spikes: c.latency_spikes,
+            pushes_retried: stats.pushes_retried,
+            pushes_abandoned: stats.pushes_abandoned,
+            pushes_deferred: stats.pushes_deferred,
+            batches_deduped: stats.batches_deduped,
+            sla_violations,
+            sla_violations_attributable: attributable,
+        }
     }
 }
 

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this crate keeps the
+//! repo's benches compiling and runnable with the same source code. It is a
+//! plain timing loop — median of a few short runs printed to stdout — not a
+//! statistical harness; numbers are indicative only.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported for parity with criterion's API.
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortizes setup; ignored by this stand-in.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Runs the measured closures.
+pub struct Bencher {
+    /// Median duration of one iteration, recorded by the last `iter*` call.
+    sampled: Option<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly within the time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut samples = Vec::new();
+        let started = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            samples.push(t.elapsed());
+            if started.elapsed() >= self.budget || samples.len() >= 32 {
+                break;
+            }
+        }
+        self.record(samples);
+    }
+
+    /// Times `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::new();
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed());
+            if started.elapsed() >= self.budget || samples.len() >= 32 {
+                break;
+            }
+        }
+        self.record(samples);
+    }
+
+    fn record(&mut self, mut samples: Vec<Duration>) {
+        samples.sort_unstable();
+        self.sampled = samples.get(samples.len() / 2).copied();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API parity; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Accepted for API parity.
+    pub fn warm_up_time(&mut self, _d: Duration) {}
+
+    /// Caps how long each bench in the group runs.
+    pub fn measurement_time(&mut self, d: Duration) {
+        self.budget = d.min(Duration::from_secs(5));
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R)
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sampled: None,
+            budget: self.budget,
+        };
+        routine(&mut b);
+        self.report(&id, &b);
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I, R>(&mut self, id: BenchmarkId, input: &I, mut routine: R)
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sampled: None,
+            budget: self.budget,
+        };
+        routine(&mut b, input);
+        self.report(&id, &b);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let Some(d) = b.sampled else {
+            println!("{}/{}: no samples", self.name, id.label);
+            return;
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) if !d.is_zero() => println!(
+                "{}/{}: {:?}/iter ({:.0} elem/s)",
+                self.name,
+                id.label,
+                d,
+                n as f64 / d.as_secs_f64()
+            ),
+            Some(Throughput::Bytes(n)) if !d.is_zero() => println!(
+                "{}/{}: {:?}/iter ({:.0} B/s)",
+                self.name,
+                id.label,
+                d,
+                n as f64 / d.as_secs_f64()
+            ),
+            _ => println!("{}/{}: {:?}/iter", self.name, id.label, d),
+        }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            budget: Duration::from_millis(300),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` under `id`, outside any group.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.label.clone());
+        g.bench_function(id, routine);
+        g.finish();
+        self
+    }
+}
+
+/// Declares a bench entry point running the listed target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        g.measurement_time(Duration::from_millis(20));
+        g.bench_function("sum", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+            b.iter_batched(|| vec![n; 8], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

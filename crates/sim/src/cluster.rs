@@ -1,6 +1,7 @@
 //! The machine fleet.
 
 use crate::clock::DistributedClock;
+use crate::faults::{FaultInjector, FaultProfile};
 use crate::machine::{Machine, MachineConfig};
 use crate::meter::UsageLedger;
 use crate::pricing::PriceSheet;
@@ -17,6 +18,9 @@ pub struct Cluster {
     pub prices: PriceSheet,
     /// Per-sharing resource attribution.
     pub ledger: UsageLedger,
+    /// Seeded fault source consulted by every fault-prone operation
+    /// (disabled unless a profile is installed).
+    pub faults: FaultInjector,
 }
 
 impl Cluster {
@@ -39,6 +43,23 @@ impl Cluster {
             clock: DistributedClock::perfect(n),
             prices: PriceSheet::default(),
             ledger: UsageLedger::new(),
+            faults: FaultInjector::disabled(n),
+        }
+    }
+
+    /// Installs a fault profile, replacing the injector (and its history).
+    pub fn set_fault_profile(&mut self, profile: FaultProfile) {
+        self.faults = FaultInjector::new(profile, self.machines.len());
+    }
+
+    /// Applies crash faults due at `now`: every machine currently inside a
+    /// scheduled down interval has its resources blocked until its restart,
+    /// so work already queued there stalls through the outage.
+    pub fn apply_faults(&mut self, now: Timestamp) {
+        for i in 0..self.machines.len() {
+            if let Some(until) = self.faults.down_until(MachineId::new(i as u32), now) {
+                self.machines[i].outage(until);
+            }
         }
     }
 
@@ -132,6 +153,37 @@ mod tests {
             .unwrap()
             .run_cpu(now, SimDuration::from_secs(5));
         assert_eq!(c.max_backlog(now), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn crash_outage_blocks_machine_resources_until_restart() {
+        let mut c = Cluster::homogeneous(1);
+        c.set_fault_profile(FaultProfile::chaos(5));
+        // Find an instant where machine 0 is down.
+        let mut down_at = None;
+        for s in 0..3600 {
+            let t = Timestamp::from_secs(s);
+            if let Some(until) = c.faults.down_until(MachineId::new(0), t) {
+                down_at = Some((t, until));
+                break;
+            }
+        }
+        let (t, until) = down_at.expect("no crash in an hour of chaos");
+        c.apply_faults(t);
+        let m = c.machine_mut(MachineId::new(0)).unwrap();
+        let (res, _) = m.run_cpu(t, SimDuration::from_secs(1));
+        assert!(res.start >= until, "work ran during the outage");
+    }
+
+    #[test]
+    fn disabled_faults_leave_machines_untouched() {
+        let mut c = Cluster::homogeneous(2);
+        c.apply_faults(Timestamp::from_secs(10));
+        let (res, _) = c
+            .machine_mut(MachineId::new(0))
+            .unwrap()
+            .run_cpu(Timestamp::from_secs(10), SimDuration::from_secs(1));
+        assert_eq!(res.start, Timestamp::from_secs(10));
     }
 
     #[test]

@@ -17,13 +17,17 @@
 //! * a **distributed clock** with bounded per-machine skew and periodic
 //!   resynchronization;
 //! * a generic **event queue** with deterministic FIFO tie-breaking, so
-//!   every simulation run is exactly reproducible.
+//!   every simulation run is exactly reproducible;
+//! * seeded **fault injection** — machine crash/restart schedules, delta
+//!   and message loss, duplication and latency spikes — so recovery paths
+//!   can be exercised reproducibly.
 
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod cluster;
 pub mod event;
+pub mod faults;
 pub mod machine;
 pub mod meter;
 pub mod pricing;
@@ -32,6 +36,7 @@ pub mod pubsub;
 pub use clock::DistributedClock;
 pub use cluster::Cluster;
 pub use event::EventQueue;
+pub use faults::{FaultCounters, FaultEvent, FaultInjector, FaultProfile};
 pub use machine::{Machine, MachineConfig};
 pub use meter::{ResourceUsage, UsageLedger};
 pub use pricing::PriceSheet;

@@ -142,6 +142,14 @@ impl Machine {
         usage
     }
 
+    /// Takes the machine out of service until `until` (a crash): the CPU
+    /// and NIC accept no new work before the restart, so jobs submitted
+    /// during the outage queue behind it.
+    pub fn outage(&mut self, until: Timestamp) {
+        self.cpu_free_at = self.cpu_free_at.max(until);
+        self.nic_free_at = self.nic_free_at.max(until);
+    }
+
     /// When the CPU next frees up (load signal for schedulers).
     pub fn cpu_free_at(&self) -> Timestamp {
         self.cpu_free_at

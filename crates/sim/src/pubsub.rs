@@ -6,6 +6,7 @@
 //! simulated bus delivers messages after a fixed latency; subscribers poll
 //! their mailboxes, which matches the tick-driven executor design.
 
+use crate::faults::FaultInjector;
 use smile_types::{SimDuration, Timestamp};
 use std::collections::{HashMap, VecDeque};
 
@@ -62,6 +63,28 @@ impl<M: Clone> PubSub<M> {
         }
         self.delivered += subs.len() as u64;
         subs.len()
+    }
+
+    /// Publishes through the fault injector: the message may be lost
+    /// outright, delayed by a latency spike, or delivered twice (the second
+    /// copy one extra bus latency later). With a disabled injector this is
+    /// exactly [`PubSub::publish`]. Returns the copies enqueued.
+    pub fn publish_faulty(
+        &mut self,
+        now: Timestamp,
+        topic: &str,
+        msg: M,
+        faults: &mut FaultInjector,
+    ) -> usize {
+        if faults.message_lost(now) {
+            return 0;
+        }
+        let delayed = now + faults.latency_spike(now);
+        let mut n = self.publish(delayed, topic, msg.clone());
+        if faults.duplicated(now) {
+            n += self.publish(delayed + self.latency, topic, msg);
+        }
+        n
     }
 
     /// Drains every message delivered to `sub` by time `now`, in publish
@@ -127,6 +150,41 @@ mod tests {
             bus.publish(Timestamp::from_millis(i), "t", i as u32);
         }
         assert_eq!(bus.poll(sub, Timestamp::from_secs(1)), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn faulty_publish_with_disabled_injector_is_plain_publish() {
+        let mut faults = crate::faults::FaultInjector::disabled(1);
+        let mut bus: PubSub<u32> = PubSub::new(SimDuration::from_millis(10));
+        let sub = bus.subscribe("t");
+        assert_eq!(bus.publish_faulty(Timestamp::ZERO, "t", 9, &mut faults), 1);
+        let at = Timestamp::ZERO + SimDuration::from_millis(10);
+        assert_eq!(bus.poll(sub, at), vec![9]);
+        assert!(faults.events.is_empty());
+    }
+
+    #[test]
+    fn faulty_publish_can_lose_delay_and_duplicate() {
+        use crate::faults::{FaultInjector, FaultProfile};
+        let mut profile = FaultProfile::disabled();
+        profile.message_loss = 1.0;
+        let mut faults = FaultInjector::new(profile, 1);
+        let mut bus: PubSub<u32> = PubSub::new(SimDuration::ZERO);
+        let sub = bus.subscribe("t");
+        assert_eq!(bus.publish_faulty(Timestamp::ZERO, "t", 1, &mut faults), 0);
+        assert!(bus.poll(sub, Timestamp::MAX).is_empty());
+
+        let mut profile = FaultProfile::disabled();
+        profile.duplicate = 1.0;
+        profile.spike = 1.0;
+        profile.spike_delay = SimDuration::from_millis(100);
+        let mut faults = FaultInjector::new(profile, 1);
+        assert_eq!(bus.publish_faulty(Timestamp::ZERO, "t", 2, &mut faults), 2);
+        // Spiked: nothing arrives at the nominal (zero-latency) instant.
+        assert!(bus.poll(sub, Timestamp::ZERO).is_empty());
+        assert_eq!(bus.poll(sub, Timestamp::from_secs(1)), vec![2, 2]);
+        assert_eq!(faults.counters().duplicates, 1);
+        assert_eq!(faults.counters().latency_spikes, 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::stats::RelationStats;
 use crate::table::Table;
 use crate::zset::ZSet;
 use smile_types::{RelationId, Result, Schema, SmileError, Timestamp};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One relation slot: materialized contents plus the captured delta log and
 /// statistics.
@@ -27,6 +27,15 @@ pub struct RelationSlot {
     pub delta: DeltaTable,
     /// Statistics for cost estimation.
     pub stats: RelationStats,
+    /// Ids of push batches already appended (see
+    /// [`Database::append_delta_dedup`]); one id per push edge per window,
+    /// so the set stays small relative to the data.
+    pub applied_batches: HashSet<u64>,
+    /// Per-producer high-water mark of shipped window ends: entries at or
+    /// below the mark already landed and are clipped from re-shipments
+    /// whose window overlaps (a retried-then-abandoned push followed by a
+    /// wider one).
+    pub shipped_through: HashMap<u64, Timestamp>,
 }
 
 /// A single machine's database instance.
@@ -54,6 +63,8 @@ impl Database {
                 table: Table::new(schema),
                 delta: DeltaTable::new(),
                 stats: RelationStats::new(),
+                applied_batches: HashSet::new(),
+                shipped_through: HashMap::new(),
             },
         );
         Ok(())
@@ -123,6 +134,44 @@ impl Database {
         }
         slot.delta.append_batch(batch);
         Ok(())
+    }
+
+    /// **Executor path**: idempotent variant of [`Database::append_delta`]
+    /// for retried pushes. `batch_id` identifies the push work that produced
+    /// the batch (edge output + window); a batch whose id already landed —
+    /// the first attempt succeeded but its acknowledgement was lost — is
+    /// skipped outright. A *different* window from the same `producer` that
+    /// overlaps what already landed (an abandoned push followed by a wider
+    /// one) has the landed prefix clipped via the per-producer
+    /// `shipped_through` watermark. Either way retried pushes never
+    /// double-apply z-set deltas. Returns `true` when anything was
+    /// appended, `false` when the batch was fully deduplicated.
+    pub fn append_delta_dedup(
+        &mut self,
+        rel: RelationId,
+        mut batch: DeltaBatch,
+        batch_id: u64,
+        producer: u64,
+        through: Timestamp,
+    ) -> Result<bool> {
+        let slot = self.slot_mut(rel)?;
+        if !slot.applied_batches.insert(batch_id) {
+            return Ok(false);
+        }
+        let mark = slot
+            .shipped_through
+            .entry(producer)
+            .or_insert(Timestamp::ZERO);
+        if through <= *mark {
+            return Ok(false);
+        }
+        if *mark > Timestamp::ZERO {
+            let mark = *mark;
+            batch.entries.retain(|e| e.ts > mark);
+        }
+        *mark = through;
+        self.append_delta(rel, batch)?;
+        Ok(true)
     }
 
     /// **Executor path**: applies the pending delta window

@@ -46,6 +46,13 @@ pub enum SmileError {
     WalCorrupt(String),
     /// A query referenced a column that does not exist.
     UnknownColumn(String),
+    /// A push operation failed for a recoverable reason — the target
+    /// machine is down, a shipped delta was lost, or an acknowledgement
+    /// never arrived. The executor retries these with backoff.
+    Transient {
+        /// What failed.
+        detail: String,
+    },
     /// Catch-all for invariant violations with context.
     Internal(String),
 }
@@ -75,6 +82,7 @@ impl fmt::Display for SmileError {
             SmileError::InvalidPlan(d) => write!(f, "invalid sharing plan: {d}"),
             SmileError::WalCorrupt(d) => write!(f, "corrupt WAL stream: {d}"),
             SmileError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            SmileError::Transient { detail } => write!(f, "transient fault: {detail}"),
             SmileError::Internal(d) => write!(f, "internal invariant violated: {d}"),
         }
     }

@@ -12,4 +12,6 @@ pub use smile_storage as storage;
 pub use smile_types as types;
 pub use smile_workload as workload;
 
-pub use smile_core::platform::{Smile, SmileConfig};
+pub use smile_core::executor::RetryPolicy;
+pub use smile_core::platform::{FaultReport, Smile, SmileConfig};
+pub use smile_sim::FaultProfile;

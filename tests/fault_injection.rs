@@ -1,0 +1,197 @@
+//! Fault injection end-to-end: under a seeded schedule of machine crashes,
+//! delta drops, lost acknowledgements and heartbeat loss, the executor's
+//! retry/backoff layer must recover — MVs converge to ground truth, retried
+//! shipments never double-apply deltas, and any SLA violation the faults
+//! cause is penalized in the sharing's dollars rather than passing
+//! silently.
+
+use smile::core::catalog::BaseStats;
+use smile::core::platform::{Smile, SmileConfig};
+use smile::sim::FaultProfile;
+use smile::storage::delta::{DeltaBatch, DeltaEntry};
+use smile::storage::join::JoinOn;
+use smile::storage::{Predicate, SpjQuery};
+use smile::types::{
+    tuple, Column, ColumnType, MachineId, RelationId, Schema, SharingId, SimDuration,
+};
+
+fn schema(cols: &[(&str, ColumnType)], key: Vec<usize>) -> Schema {
+    Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(), key)
+}
+
+/// Two machines, one cross-machine joined sharing, fault profile as given.
+fn build(faults: FaultProfile, sla_secs: u64) -> (Smile, RelationId, RelationId, SharingId) {
+    let mut config = SmileConfig::with_machines(2);
+    config.faults = faults;
+    let mut smile = Smile::new(config);
+    let a = smile
+        .register_base(
+            "a",
+            schema(&[("k", ColumnType::I64)], vec![0]),
+            MachineId::new(0),
+            BaseStats {
+                update_rate: 5.0,
+                cardinality: 100.0,
+                tuple_bytes: 16.0,
+                distinct: vec![100.0],
+            },
+        )
+        .unwrap();
+    let b = smile
+        .register_base(
+            "b",
+            schema(&[("k", ColumnType::I64), ("v", ColumnType::I64)], vec![0]),
+            MachineId::new(1),
+            BaseStats {
+                update_rate: 5.0,
+                cardinality: 100.0,
+                tuple_bytes: 16.0,
+                distinct: vec![100.0, 50.0],
+            },
+        )
+        .unwrap();
+    let q = SpjQuery::scan(a).join(b, JoinOn::on(0, 0), Predicate::True);
+    let id = smile
+        .submit("t", q, SimDuration::from_secs(sla_secs), 0.01)
+        .unwrap();
+    smile.install().unwrap();
+    (smile, a, b, id)
+}
+
+/// One insert into each base per tick, then a tick.
+fn feed(smile: &mut Smile, a: RelationId, b: RelationId, ticks: u64) {
+    for s in 0..ticks {
+        let now = smile.now();
+        smile
+            .ingest(
+                a,
+                DeltaBatch {
+                    entries: vec![DeltaEntry::insert(tuple![(s % 20) as i64], now)],
+                },
+            )
+            .unwrap();
+        smile
+            .ingest(
+                b,
+                DeltaBatch {
+                    entries: vec![DeltaEntry::insert(tuple![(s % 20) as i64, s as i64], now)],
+                },
+            )
+            .unwrap();
+        smile.step().unwrap();
+    }
+}
+
+#[test]
+fn mv_converges_to_ground_truth_under_seeded_chaos() {
+    let (mut smile, a, b, id) = build(FaultProfile::chaos(1234), 20);
+    feed(&mut smile, a, b, 300);
+    // Quiet tail: no more ingest, faults keep firing, recovery completes.
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    let report = smile.fault_report();
+    assert!(report.crashes >= 1, "no crashes injected: {report:?}");
+    assert!(
+        report.pushes_retried >= 1,
+        "no push ever retried: {report:?}"
+    );
+    assert!(
+        report.deltas_dropped + report.acks_lost >= 1,
+        "no delta-level fault fired: {report:?}"
+    );
+
+    // Recovery: the MV kept advancing across the whole faulty run...
+    let executor = smile.executor.as_ref().unwrap();
+    let mv_ts = executor.mv_ts(id).unwrap();
+    assert!(
+        mv_ts.as_secs_f64() > 290.0,
+        "MV stuck at {mv_ts} after 360 s of run"
+    );
+    // ...and is exactly the query over base snapshots at its own timestamp:
+    // retries and re-shipments never double-applied a delta.
+    let got = smile.mv_contents(id).unwrap();
+    let want = smile.expected_mv_contents(id).unwrap();
+    assert!(!want.is_empty());
+    assert_eq!(got.sorted_entries(), want.sorted_entries());
+}
+
+#[test]
+fn lost_acknowledgements_are_absorbed_by_batch_dedup() {
+    // Every cross-machine shipment loses its ack: each push needs the full
+    // retry ladder and every successful retry re-ships a landed batch.
+    let mut profile = FaultProfile::disabled();
+    profile.seed = 7;
+    profile.ack_loss = 0.5;
+    let (mut smile, a, b, id) = build(profile, 20);
+    feed(&mut smile, a, b, 300);
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    let report = smile.fault_report();
+    assert!(report.acks_lost >= 1, "ack loss never fired: {report:?}");
+    assert!(report.pushes_retried >= 1, "no retries: {report:?}");
+    assert!(
+        report.batches_deduped >= 1,
+        "dedup never suppressed a re-shipped batch: {report:?}"
+    );
+    let got = smile.mv_contents(id).unwrap();
+    let want = smile.expected_mv_contents(id).unwrap();
+    assert!(!want.is_empty());
+    assert_eq!(
+        got.sorted_entries(),
+        want.sorted_entries(),
+        "double-applied deltas under ack loss"
+    );
+}
+
+#[test]
+fn fault_caused_sla_violations_are_penalized_not_silent() {
+    // Long, frequent outages against a tight SLA: violations are
+    // unavoidable, and each one must be charged to the sharing.
+    let mut profile = FaultProfile::chaos(99);
+    profile.crash_period = SimDuration::from_secs(30);
+    profile.crash_downtime = SimDuration::from_secs(15);
+    let (mut smile, a, b, id) = build(profile, 10);
+    feed(&mut smile, a, b, 300);
+
+    let report = smile.fault_report();
+    assert!(
+        report.sla_violations >= 1,
+        "outages never violated the 10s SLA: {report:?}"
+    );
+    assert!(
+        report.sla_violations_attributable >= 1,
+        "violations not attributed to faults: {report:?}"
+    );
+    assert!(
+        report.pushes_deferred >= 1,
+        "scheduler never re-planned around a down machine: {report:?}"
+    );
+    // No silent violation: the auditor charged real dollars for them.
+    let penalties = smile.cluster.ledger.penalty(id);
+    assert!(
+        penalties > 0.0,
+        "SLA violated {} times but no penalty charged",
+        report.sla_violations
+    );
+    assert!(
+        smile.sharing_dollars(id) >= penalties,
+        "sharing dollars exclude the SLA penalties"
+    );
+}
+
+#[test]
+fn disabled_faults_report_all_zero() {
+    let (mut smile, a, b, _id) = build(FaultProfile::disabled(), 20);
+    feed(&mut smile, a, b, 120);
+    let report = smile.fault_report();
+    assert_eq!(
+        report,
+        smile::FaultReport {
+            sla_violations: report.sla_violations,
+            ..Default::default()
+        },
+        "faults fired with a disabled profile"
+    );
+    assert_eq!(report.sla_violations_attributable, 0);
+    assert!(smile.cluster.faults.events.is_empty());
+}

@@ -3,6 +3,7 @@
 //! loop detects slower pushes and schedules earlier.
 
 use smile::core::platform::{Smile, SmileConfig};
+use smile::sim::FaultProfile;
 use smile::types::{MachineId, SharingId, SimDuration};
 use smile::workload::rates::{RateIntegrator, RateTrace};
 use smile::workload::readload::ReadLoad;
@@ -16,8 +17,13 @@ struct Setup {
 }
 
 fn setup(feedback: bool) -> Setup {
+    setup_faulty(feedback, FaultProfile::disabled())
+}
+
+fn setup_faulty(feedback: bool, faults: FaultProfile) -> Setup {
     let mut config = SmileConfig::with_machines(4);
     config.exec.feedback = feedback;
+    config.faults = faults;
     let mut smile = Smile::new(config);
     let workload = standard_setup(&mut smile, TwitterConfig::default(), 1_500).unwrap();
     let slas = [20u64, 35, 70, 50];
@@ -122,4 +128,35 @@ fn executor_recovers_after_load_clears() {
             "{id} diverged during overload"
         );
     }
+}
+
+#[test]
+fn fault_schedule_is_deterministic_per_seed() {
+    // Same seed, same workload: the entire faulty run — the injected
+    // events, the retry bookkeeping, the SLA outcome and the MV contents —
+    // must replay byte-for-byte. A different seed must produce a different
+    // schedule.
+    let run = |seed: u64| {
+        let mut s = setup_faulty(true, FaultProfile::chaos(seed));
+        run_phases(&mut s, &[(8, 25.0), (16, 40.0)], 60);
+        let report = s.smile.fault_report();
+        let events = format!("{:?}", s.smile.cluster.faults.events);
+        let mvs: Vec<_> = s
+            .ids
+            .iter()
+            .map(|&id| s.smile.mv_contents(id).unwrap().sorted_entries())
+            .collect();
+        (format!("{report:?}"), events, mvs)
+    };
+    let first = run(42);
+    let second = run(42);
+    assert!(
+        !first.1.is_empty() && first.1 != "[]",
+        "chaos profile injected nothing"
+    );
+    assert_eq!(first.0, second.0, "FaultReport differs across replays");
+    assert_eq!(first.1, second.1, "fault event log differs across replays");
+    assert_eq!(first.2, second.2, "MV contents differ across replays");
+    let other = run(43);
+    assert_ne!(first.1, other.1, "different seeds produced identical faults");
 }

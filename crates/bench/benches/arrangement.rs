@@ -1,0 +1,121 @@
+//! Criterion microbenchmarks of the arrangement-backed delta hot path:
+//! probing a persistent index versus rebuilding a scan-side index per push,
+//! and the incremental maintenance cost of keeping arrangements fresh while
+//! deltas land.
+
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smile_storage::delta::{DeltaBatch, DeltaEntry};
+use smile_storage::{Database, ZSet};
+use smile_types::{tuple, Column, ColumnType, RelationId, Schema, Timestamp, Tuple};
+
+const REL: RelationId = RelationId(0);
+const KEYS: i64 = 977;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("k", ColumnType::I64),
+            Column::new("v", ColumnType::I64),
+        ],
+        vec![],
+    )
+}
+
+fn filled_db(rows: i64, indexed: bool) -> Database {
+    let mut db = Database::new();
+    db.create_relation(REL, schema()).unwrap();
+    let batch: DeltaBatch = (0..rows)
+        .map(|i| DeltaEntry::insert(tuple![i % KEYS, i], Timestamp::from_secs(1)))
+        .collect();
+    db.ingest(REL, batch).unwrap();
+    if indexed {
+        db.ensure_index(REL, &[0]).unwrap();
+    }
+    db
+}
+
+fn window(n: usize, offset: i64) -> ZSet {
+    (0..n as i64)
+        .map(|i| (tuple![(offset + i) % KEYS, offset + i], 1))
+        .collect()
+}
+
+/// The scan path's per-push work: index the whole snapshot, then probe it.
+fn scan_join(db: &Database, win: &ZSet) -> usize {
+    let table = &db.relation(REL).unwrap().table;
+    let mut scan_index: HashMap<Tuple, Vec<(&Tuple, i64)>> = HashMap::new();
+    for (row, w) in table.rows().iter() {
+        let key = Tuple::new(vec![row.values()[0].clone()]);
+        scan_index.entry(key).or_default().push((row, w));
+    }
+    let mut produced = 0usize;
+    for (t, w) in win.iter() {
+        let key = Tuple::new(vec![t.values()[0].clone()]);
+        if let Some(matches) = scan_index.get(&key) {
+            for &(row, rw) in matches {
+                black_box((row, w * rw));
+                produced += 1;
+            }
+        }
+    }
+    produced
+}
+
+/// The arrangement path's per-push work: probe the persistent index.
+fn probe_join(db: &Database, win: &ZSet) -> usize {
+    let table = &db.relation(REL).unwrap().table;
+    let mut produced = 0usize;
+    for (t, w) in win.iter() {
+        let key = Tuple::new(vec![t.values()[0].clone()]);
+        if let Some(matches) = table.probe_index(&[0], &key) {
+            for (row, &rw) in matches {
+                black_box((row, w * rw));
+                produced += 1;
+            }
+        }
+    }
+    produced
+}
+
+fn bench_probe_vs_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_window_50k");
+    let win = window(256, 1_000_000);
+    g.throughput(Throughput::Elements(256));
+    let idb = filled_db(50_000, true);
+    g.bench_with_input(BenchmarkId::new("arrangement_probe", 256), &win, |b, w| {
+        b.iter(|| probe_join(&idb, w));
+    });
+    let sdb = filled_db(50_000, false);
+    g.bench_with_input(BenchmarkId::new("scan_rebuild", 256), &win, |b, w| {
+        b.iter(|| scan_join(&sdb, w));
+    });
+    g.finish();
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_apply_50k");
+    for &indexed in &[true, false] {
+        let label = if indexed { "arranged" } else { "plain" };
+        g.throughput(Throughput::Elements(256));
+        g.bench_function(BenchmarkId::new(label, 256), |b| {
+            let mut db = filled_db(50_000, indexed);
+            let mut off = 1_000_000i64;
+            b.iter(|| {
+                let batch: DeltaBatch = (0..256)
+                    .map(|i| {
+                        DeltaEntry::insert(tuple![(off + i) % KEYS, off + i], Timestamp::from_secs(2))
+                    })
+                    .collect();
+                off += 256;
+                db.ingest(REL, batch).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe_vs_scan, bench_maintenance);
+criterion_main!(benches);

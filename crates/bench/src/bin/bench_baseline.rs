@@ -1,0 +1,368 @@
+//! Emits the `BENCH_0002.json` baseline: delta-apply throughput through the
+//! arrangement-backed join hot path versus the legacy scan-rebuild path,
+//! fig5-scale platform tick latency, and the arrangement hit-rate counters.
+//!
+//! Usage:
+//!   bench_baseline [--out PATH] [--quick]   measure and write the JSON
+//!   bench_baseline --validate PATH          schema-check an emitted JSON
+//!
+//! The JSON is hand-rolled (the container has no serde); `--validate`
+//! re-reads it with a matching hand-rolled extractor so CI can smoke-test
+//! both the emitter and the schema.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use smile_core::catalog::BaseStats;
+use smile_core::platform::{Smile, SmileConfig};
+use smile_storage::delta::{DeltaBatch, DeltaEntry};
+use smile_storage::join::JoinOn;
+use smile_storage::{Database, Predicate, SpjQuery};
+use smile_types::{
+    tuple, Column, ColumnType, MachineId, RelationId, Schema, SimDuration, Timestamp, Tuple,
+};
+
+const REL: RelationId = RelationId(0);
+const KEYS: i64 = 977;
+
+struct Config {
+    rows: i64,
+    batch: usize,
+    batches: usize,
+    ticks: u64,
+}
+
+impl Config {
+    fn fig5() -> Self {
+        // Fig. 5 calibrates per-operator costs on ~50k-row relations; the
+        // baseline replays that scale with 256-entry delta batches.
+        Config {
+            rows: 50_000,
+            batch: 256,
+            batches: 64,
+            ticks: 120,
+        }
+    }
+
+    fn quick() -> Self {
+        Config {
+            rows: 5_000,
+            batch: 256,
+            batches: 8,
+            ticks: 20,
+        }
+    }
+}
+
+fn schema2() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("k", ColumnType::I64),
+            Column::new("v", ColumnType::I64),
+        ],
+        vec![],
+    )
+}
+
+fn filled_db(rows: i64, indexed: bool) -> Database {
+    let mut db = Database::new();
+    db.create_relation(REL, schema2()).unwrap();
+    let batch: DeltaBatch = (0..rows)
+        .map(|i| DeltaEntry::insert(tuple![i % KEYS, i], Timestamp::from_secs(1)))
+        .collect();
+    db.ingest(REL, batch).unwrap();
+    if indexed {
+        db.ensure_index(REL, &[0]).unwrap();
+    }
+    db
+}
+
+fn delta_window(n: usize, offset: i64, ts: u64) -> DeltaBatch {
+    (0..n as i64)
+        .map(|i| DeltaEntry::insert(tuple![(offset + i) % KEYS, offset + i], Timestamp::from_secs(ts)))
+        .collect()
+}
+
+/// One batch through the scan path: rebuild a snapshot-side index, probe
+/// it, then land the delta (no arrangement to maintain).
+fn scan_apply(db: &mut Database, batch: DeltaBatch) -> usize {
+    let win = batch.to_zset();
+    let mut produced = 0usize;
+    {
+        let table = &db.relation(REL).unwrap().table;
+        let mut scan_index: HashMap<Tuple, Vec<(&Tuple, i64)>> = HashMap::new();
+        for (row, w) in table.rows().iter() {
+            let key = Tuple::new(vec![row.values()[0].clone()]);
+            scan_index.entry(key).or_default().push((row, w));
+        }
+        for (t, w) in win.iter() {
+            let key = Tuple::new(vec![t.values()[0].clone()]);
+            if let Some(matches) = scan_index.get(&key) {
+                for &(row, rw) in matches {
+                    std::hint::black_box((row, w * rw));
+                    produced += 1;
+                }
+            }
+        }
+    }
+    db.ingest(REL, batch).unwrap();
+    produced
+}
+
+/// One batch through the arrangement path: probe the persistent index,
+/// then land the delta (maintaining the arrangement in place).
+fn probe_apply(db: &mut Database, batch: DeltaBatch) -> usize {
+    let win = batch.to_zset();
+    let mut produced = 0usize;
+    {
+        let table = &db.relation(REL).unwrap().table;
+        for (t, w) in win.iter() {
+            let key = Tuple::new(vec![t.values()[0].clone()]);
+            if let Some(matches) = table.probe_index(&[0], &key) {
+                for (row, &rw) in matches {
+                    std::hint::black_box((row, w * rw));
+                    produced += 1;
+                }
+            }
+        }
+    }
+    db.ingest(REL, batch).unwrap();
+    produced
+}
+
+fn delta_apply_throughput(cfg: &Config, indexed: bool) -> f64 {
+    let mut db = filled_db(cfg.rows, indexed);
+    let total = cfg.batch * cfg.batches;
+    let start = Instant::now();
+    for b in 0..cfg.batches {
+        let off = cfg.rows + (b * cfg.batch) as i64;
+        let batch = delta_window(cfg.batch, off, 2);
+        if indexed {
+            probe_apply(&mut db, batch);
+        } else {
+            scan_apply(&mut db, batch);
+        }
+    }
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+struct TickStats {
+    p50_us: f64,
+    p95_us: f64,
+    max_us: f64,
+    ticks: u64,
+    probes: u64,
+    hits: u64,
+    misses: u64,
+    maintained: u64,
+    hit_rate: f64,
+    arrangements: u64,
+}
+
+/// Drives a two-machine platform with a cross-machine joined sharing and
+/// records the wall-clock latency of each `step()` plus the arrangement
+/// counters the run accumulated.
+fn tick_latency(cfg: &Config) -> TickStats {
+    let mut smile = Smile::new(SmileConfig::with_machines(2));
+    let stats = || BaseStats {
+        update_rate: 5.0,
+        cardinality: cfg.rows as f64,
+        tuple_bytes: 16.0,
+        distinct: vec![KEYS as f64, cfg.rows as f64],
+    };
+    let a = smile
+        .register_base("a", schema2(), MachineId::new(0), stats())
+        .unwrap();
+    let b = smile
+        .register_base("b", schema2(), MachineId::new(1), stats())
+        .unwrap();
+    let q = SpjQuery::scan(a).join(b, JoinOn::on(0, 0), Predicate::True);
+    smile
+        .submit("bench", q, SimDuration::from_secs(30), 0.01)
+        .unwrap();
+    smile.install().unwrap();
+
+    let mut lat_us = Vec::with_capacity(cfg.ticks as usize);
+    for s in 0..cfg.ticks {
+        let now = smile.now();
+        let k = (s % 64) as i64;
+        smile
+            .ingest(
+                a,
+                DeltaBatch {
+                    entries: vec![DeltaEntry::insert(tuple![k, s as i64], now)],
+                },
+            )
+            .unwrap();
+        smile
+            .ingest(
+                b,
+                DeltaBatch {
+                    entries: vec![DeltaEntry::insert(tuple![k, (s * 7) as i64], now)],
+                },
+            )
+            .unwrap();
+        let start = Instant::now();
+        smile.step().unwrap();
+        lat_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    lat_us.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    let meter = smile.arrangement_meter();
+    TickStats {
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        max_us: *lat_us.last().unwrap(),
+        ticks: cfg.ticks,
+        probes: meter.counters.probes,
+        hits: meter.counters.hits,
+        misses: meter.counters.misses,
+        maintained: meter.counters.maintained,
+        hit_rate: meter.hit_rate(),
+        arrangements: meter.arrangements,
+    }
+}
+
+fn emit_json(cfg: &Config, arr_tps: f64, scan_tps: f64, t: &TickStats) -> String {
+    format!(
+        r#"{{
+  "bench_id": "BENCH_0002",
+  "workload": {{
+    "relation_rows": {rows},
+    "batch_entries": {batch},
+    "batches": {batches}
+  }},
+  "delta_apply": {{
+    "arrangement_tuples_per_sec": {arr:.1},
+    "scan_tuples_per_sec": {scan:.1},
+    "speedup": {speedup:.2}
+  }},
+  "tick_latency": {{
+    "ticks": {ticks},
+    "p50_us": {p50:.1},
+    "p95_us": {p95:.1},
+    "max_us": {max:.1}
+  }},
+  "arrangement": {{
+    "arrangements": {arrs},
+    "probes": {probes},
+    "hits": {hits},
+    "misses": {misses},
+    "maintained": {maintained},
+    "hit_rate": {hr:.4}
+  }}
+}}
+"#,
+        rows = cfg.rows,
+        batch = cfg.batch,
+        batches = cfg.batches,
+        arr = arr_tps,
+        scan = scan_tps,
+        speedup = arr_tps / scan_tps,
+        ticks = t.ticks,
+        p50 = t.p50_us,
+        p95 = t.p95_us,
+        max = t.max_us,
+        arrs = t.arrangements,
+        probes = t.probes,
+        hits = t.hits,
+        misses = t.misses,
+        maintained = t.maintained,
+        hr = t.hit_rate,
+    )
+}
+
+/// Minimal extractor: the number that follows `"key":`. Every key in the
+/// schema is unique, so a flat scan is unambiguous.
+fn get_num(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if !json.contains("\"bench_id\": \"BENCH_0002\"") {
+        return Err("missing or wrong bench_id".into());
+    }
+    let num = |key: &str| get_num(&json, key).ok_or_else(|| format!("missing numeric {key}"));
+    for key in ["relation_rows", "batch_entries", "batches", "ticks", "arrangements"] {
+        if num(key)? <= 0.0 {
+            return Err(format!("{key} must be positive"));
+        }
+    }
+    let arr = num("arrangement_tuples_per_sec")?;
+    let scan = num("scan_tuples_per_sec")?;
+    let speedup = num("speedup")?;
+    if arr <= 0.0 || scan <= 0.0 {
+        return Err("throughputs must be positive".into());
+    }
+    if (speedup - arr / scan).abs() > 0.05 * speedup {
+        return Err(format!(
+            "speedup {speedup} inconsistent with {arr}/{scan}"
+        ));
+    }
+    for key in ["p50_us", "p95_us", "max_us", "probes", "hits", "misses", "maintained"] {
+        if num(key)? < 0.0 {
+            return Err(format!("{key} must be non-negative"));
+        }
+    }
+    let hr = num("hit_rate")?;
+    if !(0.0..=1.0).contains(&hr) {
+        return Err(format!("hit_rate {hr} outside [0, 1]"));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(i + 1).expect("--validate needs a path");
+        match validate(path) {
+            Ok(()) => println!("{path}: schema OK"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick { Config::quick() } else { Config::fig5() };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_0002.json".to_string());
+
+    eprintln!(
+        "delta-apply: {} batches of {} against {} rows...",
+        cfg.batches, cfg.batch, cfg.rows
+    );
+    let arr_tps = delta_apply_throughput(&cfg, true);
+    let scan_tps = delta_apply_throughput(&cfg, false);
+    eprintln!(
+        "  arrangement {arr_tps:.0} tuples/s, scan {scan_tps:.0} tuples/s ({:.1}x)",
+        arr_tps / scan_tps
+    );
+    eprintln!("tick latency: {} platform ticks...", cfg.ticks);
+    let ticks = tick_latency(&cfg);
+    eprintln!(
+        "  p50 {:.0} us, p95 {:.0} us, hit rate {:.3}",
+        ticks.p50_us, ticks.p95_us, ticks.hit_rate
+    );
+
+    let json = emit_json(&cfg, arr_tps, scan_tps, &ticks);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&out, &json).expect("write BENCH json");
+    println!("wrote {out}");
+}

@@ -32,7 +32,11 @@ use smile_types::{MachineId, Result, SharingId, SmileError, Timestamp, Tuple, Ve
 pub struct EdgeRun {
     /// Simulated completion time (queueing + service + wire).
     pub end: Timestamp,
-    /// Tuples moved (input window for copies/applies, outputs for joins).
+    /// Tuples this edge actually *moved* downstream: the input window for
+    /// copies/applies/unions, the produced outputs for joins. Snapshot rows
+    /// served from an arrangement probe are read in place and never counted
+    /// — their movement was already billed by the `CopyDelta`/`DeltaToRel`
+    /// edges that delivered them.
     pub tuples: u64,
     /// True iff the output batch was suppressed by batch-id deduplication
     /// (a retry re-shipping a window that already landed).
@@ -124,6 +128,7 @@ pub fn run_edge(
             delta_side,
             snapshot,
             snapshot_filter,
+            indexed,
         } => run_join(
             cluster,
             plan,
@@ -137,6 +142,7 @@ pub fn run_edge(
             *delta_side,
             *snapshot,
             snapshot_filter,
+            *indexed,
         ),
         EdgeOp::Union => run_union(cluster, plan, edge, from, to, submit, model, &sharings),
     }
@@ -268,6 +274,7 @@ fn run_join(
     delta_side: DeltaSide,
     snapshot: SnapshotSem,
     snapshot_filter: &Predicate,
+    indexed: bool,
 ) -> Result<EdgeRun> {
     let delta_v = plan.vertex(edge.inputs[0]);
     let rel_v = plan.vertex(edge.inputs[1]);
@@ -302,21 +309,24 @@ fn run_join(
     if !window.is_empty() {
         let slot_ref = machine.db.relation(rel_slot)?;
         let table = &slot_ref.table;
-        if !table.has_index(snap_cols) {
-            return Err(SmileError::Internal(format!(
-                "relation vertex {} lacks the secondary index {:?} its join edge probes",
-                rel_v.id, snap_cols
-            )));
-        }
         let concat = |d: &Tuple, s: &Tuple| match delta_side {
             DeltaSide::Left => d.concat(s),
             DeltaSide::Right => s.concat(d),
         };
-        // Main probe against the table's current contents via the index.
-        for e in &window.entries {
-            let key = e.tuple.project(delta_cols);
-            if let Some(bucket) = table.probe_index(snap_cols, &key) {
-                for (row, &w) in bucket {
+        if indexed {
+            // Main probe against the table's current contents through the
+            // persistent arrangement on the join key — maintained
+            // incrementally by delta application, shared by every edge
+            // probing the same (relation, key) pair, never rebuilt here.
+            let Some(arr) = table.arrangement(snap_cols) else {
+                return Err(SmileError::Internal(format!(
+                    "relation vertex {} lacks the arrangement on {:?} its join edge probes",
+                    rel_v.id, snap_cols
+                )));
+            };
+            for e in &window.entries {
+                let key = e.tuple.project(delta_cols);
+                for (row, &w) in arr.probe(&key) {
                     if !snapshot_filter.eval(row) {
                         continue;
                     }
@@ -327,6 +337,37 @@ fn run_join(
                             weight,
                             ts: e.ts,
                         });
+                    }
+                }
+            }
+        } else {
+            // Ablation path (`use_arrangements` off): rebuild a probe index
+            // from a full scan of the relation, once per push — the
+            // pre-arrangement behaviour the cost model prices as
+            // `Join { indexed: false }`.
+            let mut scan_index: std::collections::HashMap<Tuple, Vec<(&Tuple, i64)>> =
+                std::collections::HashMap::with_capacity(table.len());
+            for (t, w) in table.rows().iter() {
+                scan_index
+                    .entry(t.project(snap_cols))
+                    .or_default()
+                    .push((t, w));
+            }
+            for e in &window.entries {
+                let key = e.tuple.project(delta_cols);
+                if let Some(matches) = scan_index.get(&key) {
+                    for &(row, w) in matches {
+                        if !snapshot_filter.eval(row) {
+                            continue;
+                        }
+                        let weight = e.weight * w;
+                        if weight != 0 {
+                            outputs.push(DeltaEntry {
+                                tuple: concat(&e.tuple, row),
+                                weight,
+                                ts: e.ts,
+                            });
+                        }
                     }
                 }
             }
@@ -374,6 +415,11 @@ fn run_join(
     }
 
     let produced = outputs.len() as u64;
+    // Service time is billed on the work actually done — reading the window
+    // and writing the outputs, whichever dominates. The *moved* count below
+    // is `produced` only: the window was already counted by the edge that
+    // delivered it, and probe-served snapshot rows are read in place, so
+    // counting `n` again would double-bill them in the meter.
     let n = window_len.max(produced);
     let batch = DeltaBatch { entries: outputs };
     let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
@@ -389,7 +435,7 @@ fn run_join(
     )?;
     Ok(EdgeRun {
         end: res.end,
-        tuples: n,
+        tuples: produced,
         deduped: !appended,
     })
 }
@@ -445,4 +491,189 @@ fn run_union(
         tuples: n,
         deduped: !appended,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::sig::ExprSig;
+    use smile_storage::join::JoinOn;
+    use smile_storage::ZSet;
+    use smile_types::{tuple, Column, ColumnType, RelationId, Schema, SharingId};
+
+    fn two_cols() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("k", ColumnType::I64),
+                Column::new("v", ColumnType::I64),
+            ],
+            vec![],
+        )
+    }
+
+    fn four_cols() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("k", ColumnType::I64),
+                Column::new("v", ColumnType::I64),
+                Column::new("k2", ColumnType::I64),
+                Column::new("w", ColumnType::I64),
+            ],
+            vec![],
+        )
+    }
+
+    /// One machine, one Join edge: a 5-entry delta window probing a relation
+    /// in which only key 1 has (two) matching rows.
+    fn join_fixture(indexed: bool, build_index: bool) -> (Cluster, Plan, usize) {
+        let m = MachineId::new(0);
+        let mut cluster = Cluster::homogeneous(1);
+        let (d_slot, r_slot, o_slot) = (
+            RelationId::new(0),
+            RelationId::new(1),
+            RelationId::new(2),
+        );
+        let db = &mut cluster.machine_mut(m).unwrap().db;
+        db.create_relation(d_slot, two_cols()).unwrap();
+        db.create_relation(r_slot, two_cols()).unwrap();
+        db.create_relation(o_slot, four_cols()).unwrap();
+        // Window (0, 2s]: five entries, only key 1 matches the relation.
+        let ts = Timestamp::from_secs(2);
+        let batch: DeltaBatch = (1..=5)
+            .map(|k| DeltaEntry::insert(tuple![k, 100 + k], ts))
+            .collect();
+        db.append_delta(d_slot, batch).unwrap();
+        // Two rows under key 1, seeded current through `to` (no correction).
+        let rows: ZSet = [(tuple![1i64, 10i64], 1), (tuple![1i64, 11i64], 1)]
+            .into_iter()
+            .collect();
+        db.seed_relation(r_slot, rows, ts).unwrap();
+        if build_index {
+            db.ensure_index(r_slot, &[0]).unwrap();
+        }
+
+        let mut plan = Plan::new();
+        let vd = plan.add_vertex(
+            VertexKind::Delta,
+            ExprSig::Base(d_slot),
+            m,
+            two_cols(),
+            false,
+            None,
+            1.0,
+            0.0,
+            16.0,
+        );
+        let vr = plan.add_vertex(
+            VertexKind::Relation,
+            ExprSig::Base(r_slot),
+            m,
+            two_cols(),
+            false,
+            None,
+            1.0,
+            2.0,
+            16.0,
+        );
+        let vo = plan.add_vertex(
+            VertexKind::Delta,
+            ExprSig::Base(o_slot),
+            m,
+            four_cols(),
+            false,
+            None,
+            1.0,
+            0.0,
+            32.0,
+        );
+        plan.vertex_mut(vd).slot = Some(d_slot);
+        plan.vertex_mut(vr).slot = Some(r_slot);
+        plan.vertex_mut(vo).slot = Some(o_slot);
+        let e = plan
+            .add_edge(
+                EdgeOp::Join {
+                    on: JoinOn::on(0, 0),
+                    delta_side: DeltaSide::Left,
+                    snapshot: SnapshotSem::WindowEnd,
+                    snapshot_filter: Predicate::True,
+                    indexed,
+                },
+                vec![vd, vr],
+                vo,
+                Predicate::True,
+                None,
+                None,
+                1.0,
+                32.0,
+            )
+            .unwrap();
+        (cluster, plan, e)
+    }
+
+    fn run_fixture(cluster: &mut Cluster, plan: &Plan, e: usize) -> Result<EdgeRun> {
+        let model = TimeCostModel::paper_defaults();
+        run_edge(
+            cluster,
+            plan,
+            plan.edge(e),
+            Timestamp::ZERO,
+            Timestamp::from_secs(2),
+            Timestamp::from_secs(2),
+            &model,
+            SharingId::new(0),
+        )
+    }
+
+    /// The meter-correctness fix: a join reports only its *produced* tuples
+    /// as moved. The 5-entry window probes rows in place; before the fix
+    /// this run reported `max(window, produced) = 5`, double-billing the
+    /// window the CopyDelta edge had already counted as moved.
+    #[test]
+    fn join_counts_produced_tuples_not_window() {
+        let (mut cluster, plan, e) = join_fixture(true, true);
+        let run = run_fixture(&mut cluster, &plan, e).unwrap();
+        assert_eq!(run.tuples, 2, "only the two matched outputs moved");
+        assert!(!run.deduped);
+        // The output batch really landed.
+        let db = &cluster.machine(MachineId::new(0)).unwrap().db;
+        let out = db
+            .delta_window(RelationId::new(2), Timestamp::ZERO, Timestamp::from_secs(2))
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        // And the probes were metered on the arrangement: 5 probes, 1 key
+        // hit, 4 misses.
+        let c = db.arrangement_counters();
+        assert_eq!((c.probes, c.hits, c.misses), (5, 1, 4));
+    }
+
+    /// Scan mode (`indexed: false`) produces the same outputs with no
+    /// arrangement installed at all — the ablation path.
+    #[test]
+    fn scan_join_matches_probe_join_outputs() {
+        let (mut cluster, plan, e) = join_fixture(false, false);
+        let run = run_fixture(&mut cluster, &plan, e).unwrap();
+        assert_eq!(run.tuples, 2);
+        let db = &cluster.machine(MachineId::new(0)).unwrap().db;
+        assert_eq!(db.arrangement_count(), 0);
+        let out = db
+            .delta_window(RelationId::new(2), Timestamp::ZERO, Timestamp::from_secs(2))
+            .unwrap();
+        let got = out.to_zset().sorted_entries();
+        assert_eq!(
+            got,
+            vec![
+                (tuple![1i64, 101i64, 1i64, 10i64], 1),
+                (tuple![1i64, 101i64, 1i64, 11i64], 1),
+            ]
+        );
+    }
+
+    /// An indexed join without its arrangement is a hard install bug, not a
+    /// silent scan.
+    #[test]
+    fn indexed_join_without_arrangement_errors() {
+        let (mut cluster, plan, e) = join_fixture(true, false);
+        let err = run_fixture(&mut cluster, &plan, e).unwrap_err();
+        assert!(matches!(err, SmileError::Internal(_)));
+    }
 }

@@ -340,6 +340,7 @@ pub fn apply_plumbing(g: &GlobalPlan, p: &Plumbing) -> Result<GlobalPlan> {
                 delta_side,
                 snapshot,
                 snapshot_filter,
+                indexed,
             } = producer.op.clone()
             else {
                 return Err(SmileError::InvalidPlan(
@@ -411,6 +412,7 @@ pub fn apply_plumbing(g: &GlobalPlan, p: &Plumbing) -> Result<GlobalPlan> {
                         delta_side,
                         snapshot,
                         snapshot_filter,
+                        indexed,
                     },
                     vec![local_delta, *rel_src],
                     half_at_rel,

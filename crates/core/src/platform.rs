@@ -59,6 +59,11 @@ pub struct SmileConfig {
     /// Fault-injection profile (disabled by default; see
     /// [`FaultProfile::chaos`] for a hostile preset).
     pub faults: FaultProfile,
+    /// Whether join edges probe persistent arrangements (default). When
+    /// false every join push rebuilds its hash table from a full relation
+    /// scan — the pre-arrangement behaviour, kept as an ablation baseline
+    /// and priced accordingly by the cost model.
+    pub use_arrangements: bool,
 }
 
 impl SmileConfig {
@@ -76,6 +81,7 @@ impl SmileConfig {
             capacity: 1.0,
             force_objective: None,
             faults: FaultProfile::disabled(),
+            use_arrangements: true,
         }
     }
 }
@@ -242,6 +248,10 @@ impl Smile {
             }
             None => optimizer.plan_pair(&sharing)?.choose(&sharing)?,
         };
+        let mut planned = planned;
+        if !self.config.use_arrangements {
+            set_join_indexing(&mut planned.plan, false);
+        }
         self.next_sharing += 1;
         self.snapshot.register_penalty(id, penalty_per_tuple);
         self.sharings.push(sharing);
@@ -328,7 +338,10 @@ impl Smile {
         .with_committed(committed)
         .with_capacity(self.config.capacity)
         .with_mv_machine(mv_machine);
-        let planned = optimizer.plan_pair(&sharing)?.choose(&sharing)?;
+        let mut planned = optimizer.plan_pair(&sharing)?.choose(&sharing)?;
+        if !self.config.use_arrangements {
+            set_join_indexing(&mut planned.plan, false);
+        }
 
         let executor = self.executor.as_mut().expect("checked");
         executor.add_sharing(&sharing, &planned)?;
@@ -496,6 +509,12 @@ impl Smile {
         self.cluster.total_dollars()
     }
 
+    /// Fleet-wide arrangement statistics: probe hit/miss and incremental
+    /// maintenance counters summed over every machine's database.
+    pub fn arrangement_meter(&self) -> smile_sim::meter::ArrangementMeter {
+        self.cluster.arrangement_meter()
+    }
+
     /// Assembles the [`FaultReport`] for the run so far: injector tallies,
     /// the executor's recovery statistics, and the snapshot auditor's SLA
     /// violations split by whether an injected fault was active inside the
@@ -539,6 +558,22 @@ impl Smile {
             batches_deduped: stats.batches_deduped,
             sla_violations,
             sla_violations_attributable: attributable,
+        }
+    }
+}
+
+/// Forces every join edge of a single-sharing plan onto the arrangement
+/// probe path (`indexed: true`) or the full-scan ablation path. Must run
+/// before the plan is merged into the global plan — edge deduplication
+/// compares operators, so all plans in one platform must agree.
+fn set_join_indexing(plan: &mut crate::plan::dag::Plan, indexed: bool) {
+    for e in plan.edges_mut() {
+        if let EdgeOp::Join {
+            indexed: ref mut flag,
+            ..
+        } = e.op
+        {
+            *flag = indexed;
         }
     }
 }
@@ -604,11 +639,22 @@ fn materialize_into(
             created.push(v);
         }
     }
-    // Secondary indexes for join probes (idempotent).
+    // Arrangements for join probes (idempotent; edges on the same
+    // (relation, key) pair share one arrangement). Scan-mode edges
+    // (`indexed: false`) deliberately get none.
     for e in global.plan.edges().to_vec() {
-        let EdgeOp::Join { on, delta_side, .. } = &e.op else {
+        let EdgeOp::Join {
+            on,
+            delta_side,
+            indexed,
+            ..
+        } = &e.op
+        else {
             continue;
         };
+        if !indexed {
+            continue;
+        }
         let snap_cols = match delta_side {
             DeltaSide::Left => &on.right_cols,
             DeltaSide::Right => &on.left_cols,

@@ -396,6 +396,17 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l_, r_) = (&$left, &$right);
+        if !(l_ == r_) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l_,
+                r_
+            ));
+        }
+    }};
 }
 
 /// Uniform choice among strategies with a common value type.

@@ -111,6 +111,18 @@ impl Cluster {
         self.prices.dollars(&usage) + self.ledger.total_penalties()
     }
 
+    /// Fleet-wide arrangement statistics: every arrangement on every
+    /// relation of every machine, summed into one
+    /// [`crate::meter::ArrangementMeter`].
+    pub fn arrangement_meter(&self) -> crate::meter::ArrangementMeter {
+        let mut meter = crate::meter::ArrangementMeter::default();
+        for m in &self.machines {
+            meter.arrangements += m.db.arrangement_count() as u64;
+            meter.counters.add(&m.db.arrangement_counters());
+        }
+        meter
+    }
+
     /// The largest CPU backlog across machines (stability signal used by the
     /// Figure 11 capacity search: a growing backlog means the offered rate
     /// exceeds what the fleet can sustain).

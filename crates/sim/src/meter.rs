@@ -10,6 +10,29 @@
 use smile_types::{SharingId, SimDuration};
 use std::collections::HashMap;
 
+/// Re-exported so meter consumers read arrangement statistics through one
+/// module.
+pub use smile_storage::ArrangementCounters;
+
+/// Fleet-wide arrangement statistics, aggregated across every machine's
+/// database. Pairs with the dollar ledger: probe-served snapshot rows are
+/// read in place and intentionally absent from the "tuples moved" metric,
+/// so this meter is where that traffic becomes visible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArrangementMeter {
+    /// Number of arrangements installed across the fleet.
+    pub arrangements: u64,
+    /// Summed per-arrangement counters.
+    pub counters: ArrangementCounters,
+}
+
+impl ArrangementMeter {
+    /// Fraction of probes that hit a non-empty bucket (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        self.counters.hit_rate()
+    }
+}
+
 /// Accumulated resource consumption.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ResourceUsage {

@@ -1,0 +1,227 @@
+//! Shared arrangements: persistent hash-indexed operator state.
+//!
+//! An [`Arrangement`] indexes a relation's current z-set by a projection of
+//! its columns (the join key). It is built **once** when a join edge is
+//! installed and from then on maintained **incrementally** from the same
+//! delta entries that update the base rows — no per-push rebuild, no full
+//! scan. Every plan vertex that joins on the same `(relation, key columns)`
+//! pair probes the same arrangement, which is the storage-level half of the
+//! platform's plumbing story: merged sharings pay for index maintenance once
+//! and share the state (cf. "Shared Arrangements", McSherry et al., VLDB
+//! 2020).
+//!
+//! Probe-side statistics are kept in [`Cell`]s so read-only probes through a
+//! shared `&Table` still count; [`ArrangementCounters`] snapshots them for
+//! the simulator's meter.
+
+use crate::zset::ZSet;
+use smile_types::Tuple;
+use std::cell::Cell;
+use std::collections::HashMap;
+
+/// Snapshot of one arrangement's (or a fleet aggregate's) operational
+/// counters: probe traffic, hit rate, and maintenance volume.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArrangementCounters {
+    /// Index probes served (one per delta tuple on the probe side).
+    pub probes: u64,
+    /// Probes that found a non-empty bucket for the key.
+    pub hits: u64,
+    /// Probes that found no rows for the key.
+    pub misses: u64,
+    /// Delta entries folded into the index incrementally after the build.
+    pub maintained: u64,
+    /// Rows scanned by the one-time initial build.
+    pub built_rows: u64,
+}
+
+impl ArrangementCounters {
+    /// Accumulates `other` into `self` (fleet-wide aggregation).
+    pub fn add(&mut self, other: &ArrangementCounters) {
+        self.probes += other.probes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.maintained += other.maintained;
+        self.built_rows += other.built_rows;
+    }
+
+    /// Fraction of probes that hit a non-empty bucket (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+}
+
+/// A persistent hash index over a relation keyed by a column projection.
+///
+/// `index[key]` holds every current row whose projection onto `cols` equals
+/// `key`, with its z-set weight. Weight-zero rows are never stored — updates
+/// consolidate in place — so probing yields exactly the rows a scan of the
+/// consolidated relation would.
+#[derive(Clone, Debug)]
+pub struct Arrangement {
+    cols: Vec<usize>,
+    index: HashMap<Tuple, HashMap<Tuple, i64>>,
+    probes: Cell<u64>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    maintained: u64,
+    built_rows: u64,
+}
+
+impl Arrangement {
+    /// An empty arrangement keyed by `cols`.
+    pub fn new(cols: Vec<usize>) -> Self {
+        Self {
+            cols,
+            index: HashMap::new(),
+            probes: Cell::new(0),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            maintained: 0,
+            built_rows: 0,
+        }
+    }
+
+    /// Builds an arrangement keyed by `cols` from a relation's current rows
+    /// — the one-time cost paid at install; afterwards only [`update`]
+    /// touches it.
+    ///
+    /// [`update`]: Arrangement::update
+    pub fn build(cols: Vec<usize>, rows: &ZSet) -> Self {
+        let mut arr = Arrangement::new(cols);
+        for (t, w) in rows.iter() {
+            arr.index
+                .entry(t.project(&arr.cols))
+                .or_default()
+                .insert(t.clone(), w);
+            arr.built_rows += 1;
+        }
+        arr
+    }
+
+    /// The key columns this arrangement indexes.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Folds one delta entry into the index, consolidating in place: the
+    /// row's weight is adjusted and dropped from its bucket when it cancels
+    /// to zero (empty buckets are removed so misses stay cheap).
+    pub fn update(&mut self, tuple: &Tuple, weight: i64) {
+        if weight == 0 {
+            return;
+        }
+        self.maintained += 1;
+        let key = tuple.project(&self.cols);
+        let bucket = self.index.entry(key).or_default();
+        match bucket.get_mut(tuple) {
+            Some(w) => {
+                *w += weight;
+                if *w == 0 {
+                    bucket.remove(tuple);
+                }
+            }
+            None => {
+                bucket.insert(tuple.clone(), weight);
+            }
+        }
+        if bucket.is_empty() {
+            let key = tuple.project(&self.cols);
+            self.index.remove(&key);
+        }
+    }
+
+    /// Probes the index: every current row whose key projection equals
+    /// `key`, by reference. Counts the probe as a hit or miss.
+    pub fn probe(&self, key: &Tuple) -> &HashMap<Tuple, i64> {
+        static EMPTY: std::sync::OnceLock<HashMap<Tuple, i64>> = std::sync::OnceLock::new();
+        self.probes.set(self.probes.get() + 1);
+        match self.index.get(key) {
+            Some(bucket) => {
+                self.hits.set(self.hits.get() + 1);
+                bucket
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                EMPTY.get_or_init(HashMap::new)
+            }
+        }
+    }
+
+    /// Number of distinct keys currently indexed.
+    pub fn key_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of rows currently indexed (across all buckets).
+    pub fn row_count(&self) -> usize {
+        self.index.values().map(HashMap::len).sum()
+    }
+
+    /// True iff no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Drops all indexed rows but keeps the key columns and counters (used
+    /// when a relation copy is re-seeded).
+    pub fn clear(&mut self) {
+        self.index.clear();
+    }
+
+    /// Snapshot of the probe/maintenance counters.
+    pub fn counters(&self) -> ArrangementCounters {
+        ArrangementCounters {
+            probes: self.probes.get(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            maintained: self.maintained,
+            built_rows: self.built_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smile_types::tuple;
+
+    #[test]
+    fn build_then_probe() {
+        let rows = ZSet::from_tuples([tuple![1i64, "a"], tuple![1i64, "b"], tuple![2i64, "c"]]);
+        let arr = Arrangement::build(vec![0], &rows);
+        assert_eq!(arr.key_count(), 2);
+        assert_eq!(arr.row_count(), 3);
+        assert_eq!(arr.probe(&tuple![1i64]).len(), 2);
+        assert!(arr.probe(&tuple![9i64]).is_empty());
+        let c = arr.counters();
+        assert_eq!((c.probes, c.hits, c.misses, c.built_rows), (2, 1, 1, 3));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_consolidates_in_place() {
+        let mut arr = Arrangement::new(vec![0]);
+        arr.update(&tuple![1i64, "a"], 2);
+        arr.update(&tuple![1i64, "a"], -2);
+        // Cancelled to zero: row gone, bucket gone.
+        assert!(arr.is_empty());
+        assert_eq!(arr.counters().maintained, 2);
+        arr.update(&tuple![1i64, "a"], -1);
+        assert_eq!(arr.probe(&tuple![1i64]).get(&tuple![1i64, "a"]), Some(&-1));
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let mut arr = Arrangement::new(vec![0, 2]);
+        arr.update(&tuple![1i64, "x", 7i64], 1);
+        arr.update(&tuple![1i64, "y", 7i64], 1);
+        arr.update(&tuple![1i64, "y", 8i64], 1);
+        assert_eq!(arr.probe(&tuple![1i64, 7i64]).len(), 2);
+        assert_eq!(arr.probe(&tuple![1i64, 8i64]).len(), 1);
+    }
+}

@@ -73,12 +73,13 @@ impl DeltaBatch {
         self.entries.is_empty()
     }
 
-    /// Consolidates the batch into a z-set (timestamps dropped).
+    /// Consolidates the batch into a z-set (timestamps dropped). Weights are
+    /// summed first and cancelled entries swept once, not removed one by one.
     pub fn to_zset(&self) -> ZSet {
-        self.entries
-            .iter()
-            .map(|e| (e.tuple.clone(), e.weight))
-            .collect()
+        let mut z = ZSet::with_capacity(self.entries.len());
+        z.extend_unconsolidated(self.entries.iter().map(|e| (e.tuple.clone(), e.weight)));
+        z.consolidate();
+        z
     }
 
     /// Total payload bytes.

@@ -253,6 +253,23 @@ impl Database {
         self.relations.values().map(|s| s.table.byte_size()).sum()
     }
 
+    /// Number of arrangements installed across all relations.
+    pub fn arrangement_count(&self) -> usize {
+        self.relations
+            .values()
+            .map(|s| s.table.arrangements().count())
+            .sum()
+    }
+
+    /// Summed arrangement probe/maintenance counters across all relations.
+    pub fn arrangement_counters(&self) -> crate::arrangement::ArrangementCounters {
+        let mut total = crate::arrangement::ArrangementCounters::default();
+        for slot in self.relations.values() {
+            total.add(&slot.table.arrangement_counters());
+        }
+        total
+    }
+
     /// Total pending (not yet applied) delta entries across relations; used
     /// by the stability monitor of the scaling experiments (Figure 11).
     pub fn total_pending_entries(&self) -> usize {

@@ -175,7 +175,7 @@ mod tests {
 
             // Ground truth: J_new - J_old.
             let mut truth = join_zsets(&a_new, &b_new, &on);
-            truth.merge_owned(join_zsets(&a_old, &b_old, &on).negate());
+            truth.merge_owned(join_zsets(&a_old, &b_old, &on).negated());
 
             let inc = delta_join(&a_new, &da, &b_old, &db, &on);
             prop_assert_eq!(truth, inc);

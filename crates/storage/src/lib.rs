@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod arrangement;
 pub mod delta;
 pub mod engine;
 pub mod join;
@@ -32,6 +33,7 @@ pub mod wal;
 pub mod zset;
 
 pub use aggregate::{AggFunc, AggregateSpec};
+pub use arrangement::{Arrangement, ArrangementCounters};
 pub use delta::{DeltaBatch, DeltaEntry, DeltaTable};
 pub use engine::Database;
 pub use predicate::Predicate;

@@ -8,6 +8,7 @@
 //! view maintenance: subtract deltas newer than the requested snapshot, or
 //! add not-yet-applied deltas to look forward.
 
+use crate::arrangement::{Arrangement, ArrangementCounters};
 use crate::delta::{DeltaBatch, DeltaEntry, DeltaTable};
 use crate::zset::ZSet;
 use smile_types::{Schema, SmileError, Timestamp, Tuple};
@@ -23,10 +24,11 @@ pub struct Table {
     /// relation is a set (weights exactly one); lets update capture find the
     /// old image of a row in O(1).
     pk_index: HashMap<Tuple, Tuple>,
-    /// Secondary hash indexes on arbitrary column sets, maintained
-    /// incrementally; join edges declare the columns they probe at install
-    /// time so pushes never scan the full relation.
-    secondary: HashMap<Vec<usize>, HashMap<Tuple, HashMap<Tuple, i64>>>,
+    /// Shared arrangements keyed by column sets, maintained incrementally;
+    /// join edges declare the columns they probe at install time so pushes
+    /// never scan the full relation, and every edge probing the same key
+    /// shares one arrangement.
+    arrangements: HashMap<Vec<usize>, Arrangement>,
     /// The contents are consistent with the sources as of this timestamp —
     /// `TS(v)` in the paper's notation.
     ts: Timestamp,
@@ -39,7 +41,7 @@ impl Table {
             schema,
             rows: ZSet::new(),
             pk_index: HashMap::new(),
-            secondary: HashMap::new(),
+            arrangements: HashMap::new(),
             ts: Timestamp::ZERO,
         }
     }
@@ -111,50 +113,53 @@ impl Table {
                 self.pk_index.remove(&key);
             }
         }
-        for (cols, index) in &mut self.secondary {
-            let key = e.tuple.project(cols);
-            let bucket = index.entry(key).or_default();
-            let w = bucket.entry(e.tuple.clone()).or_insert(0);
-            *w += e.weight;
-            if *w == 0 {
-                bucket.remove(&e.tuple);
-            }
+        for arr in self.arrangements.values_mut() {
+            arr.update(&e.tuple, e.weight);
         }
         self.rows.add(e.tuple.clone(), e.weight);
     }
 
-    /// Builds (or rebuilds) a secondary hash index on `cols` from the
-    /// current contents; subsequent applies maintain it incrementally.
+    /// Builds an arrangement on `cols` from the current contents (idempotent
+    /// — an existing arrangement on the same key is shared, not rebuilt);
+    /// subsequent applies maintain it incrementally.
     pub fn ensure_index(&mut self, cols: &[usize]) {
-        if self.secondary.contains_key(cols) {
+        if self.arrangements.contains_key(cols) {
             return;
         }
-        let mut index: HashMap<Tuple, HashMap<Tuple, i64>> = HashMap::new();
-        for (t, w) in self.rows.iter() {
-            index
-                .entry(t.project(cols))
-                .or_default()
-                .insert(t.clone(), w);
-        }
-        self.secondary.insert(cols.to_vec(), index);
+        self.arrangements
+            .insert(cols.to_vec(), Arrangement::build(cols.to_vec(), &self.rows));
     }
 
-    /// Probes a secondary index: all current rows whose `cols` projection
-    /// equals `key`. Returns `None` when no index exists on `cols` (callers
-    /// fall back to a scan).
+    /// Probes the arrangement on `cols`: all current rows whose `cols`
+    /// projection equals `key`. Returns `None` when no arrangement exists on
+    /// `cols` (callers fall back to a scan). Counts toward the arrangement's
+    /// hit/miss statistics.
     pub fn probe_index(&self, cols: &[usize], key: &Tuple) -> Option<&HashMap<Tuple, i64>> {
-        static EMPTY: std::sync::OnceLock<HashMap<Tuple, i64>> = std::sync::OnceLock::new();
-        let index = self.secondary.get(cols)?;
-        Some(
-            index
-                .get(key)
-                .unwrap_or_else(|| EMPTY.get_or_init(HashMap::new)),
-        )
+        Some(self.arrangements.get(cols)?.probe(key))
     }
 
-    /// True iff a secondary index exists on exactly `cols`.
+    /// True iff an arrangement exists on exactly `cols`.
     pub fn has_index(&self, cols: &[usize]) -> bool {
-        self.secondary.contains_key(cols)
+        self.arrangements.contains_key(cols)
+    }
+
+    /// The arrangement on exactly `cols`, if one was installed.
+    pub fn arrangement(&self, cols: &[usize]) -> Option<&Arrangement> {
+        self.arrangements.get(cols)
+    }
+
+    /// Iterates over every arrangement installed on this table.
+    pub fn arrangements(&self) -> impl Iterator<Item = &Arrangement> {
+        self.arrangements.values()
+    }
+
+    /// Summed probe/maintenance counters across this table's arrangements.
+    pub fn arrangement_counters(&self) -> ArrangementCounters {
+        let mut total = ArrangementCounters::default();
+        for arr in self.arrangements.values() {
+            total.add(&arr.counters());
+        }
+        total
     }
 
     /// Snapshot of the contents as of timestamp `at`, reconstructed from the
@@ -171,7 +176,7 @@ impl Table {
         let mut snap = self.rows.clone();
         if at < self.ts {
             // Roll back: remove the effect of entries in (at, ts].
-            snap.merge_owned(delta.window(at, self.ts).to_zset().negate());
+            snap.merge_owned(delta.window(at, self.ts).to_zset().negated());
         } else if at > self.ts {
             // Roll forward: apply pending entries in (ts, at].
             snap.merge_owned(delta.window(self.ts, at).to_zset());
@@ -179,12 +184,13 @@ impl Table {
         Ok(snap)
     }
 
-    /// Clears all contents (used when re-seeding a copy).
+    /// Clears all contents (used when re-seeding a copy). Arrangements stay
+    /// installed (emptied) so the re-seed repopulates them incrementally.
     pub fn clear(&mut self) {
         self.rows = ZSet::new();
         self.pk_index.clear();
-        for index in self.secondary.values_mut() {
-            index.clear();
+        for arr in self.arrangements.values_mut() {
+            arr.clear();
         }
         self.ts = Timestamp::ZERO;
     }

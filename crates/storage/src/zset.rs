@@ -91,10 +91,22 @@ impl ZSet {
     }
 
     /// Merges `other` into `self` (group addition).
+    ///
+    /// Weight sums are deferred and cancelled entries swept once at the end
+    /// ([`consolidate`]) rather than removed one by one.
+    ///
+    /// [`consolidate`]: ZSet::consolidate
     pub fn merge(&mut self, other: &ZSet) {
-        for (t, w) in other.iter() {
-            self.add(t.clone(), w);
+        self.entries.reserve(other.entries.len());
+        for (t, &w) in &other.entries {
+            match self.entries.get_mut(t) {
+                Some(s) => *s += w,
+                None => {
+                    self.entries.insert(t.clone(), w);
+                }
+            }
         }
+        self.consolidate();
     }
 
     /// Merges an owned z-set, reusing its allocations.
@@ -103,16 +115,47 @@ impl ZSet {
             self.entries = other.entries;
             return;
         }
+        self.entries.reserve(other.entries.len());
         for (t, w) in other.entries {
-            self.add(t, w);
+            *self.entries.entry(t).or_insert(0) += w;
+        }
+        self.consolidate();
+    }
+
+    /// The group inverse, in place: every weight negated. No tuples are
+    /// cloned and the set of stored entries is unchanged (negation cannot
+    /// create zero weights).
+    pub fn negate_in_place(&mut self) {
+        for w in self.entries.values_mut() {
+            *w = -*w;
         }
     }
 
-    /// The group inverse: every weight negated.
-    pub fn negate(&self) -> ZSet {
-        ZSet {
-            entries: self.entries.iter().map(|(t, w)| (t.clone(), -w)).collect(),
+    /// Consuming negation — [`negate_in_place`] for call chains.
+    ///
+    /// [`negate_in_place`]: ZSet::negate_in_place
+    #[must_use]
+    pub fn negated(mut self) -> ZSet {
+        self.negate_in_place();
+        self
+    }
+
+    /// Bulk-loads raw `(tuple, weight)` pairs **without** dropping entries
+    /// whose weights cancel to zero — callers must [`consolidate`] before
+    /// the z-set is observed. Summing first and sweeping once is cheaper
+    /// than per-entry insert/remove churn on large batches.
+    ///
+    /// [`consolidate`]: ZSet::consolidate
+    pub fn extend_unconsolidated<I: IntoIterator<Item = (Tuple, i64)>>(&mut self, pairs: I) {
+        for (t, w) in pairs {
+            *self.entries.entry(t).or_insert(0) += w;
         }
+    }
+
+    /// Restores the invariant that weight-zero entries are never stored, in
+    /// place (single sweep, no clones).
+    pub fn consolidate(&mut self) {
+        self.entries.retain(|_, w| *w != 0);
     }
 
     /// Keeps only tuples satisfying `pred` (applied to the tuple, weight
@@ -162,9 +205,8 @@ impl ZSet {
 impl FromIterator<(Tuple, i64)> for ZSet {
     fn from_iter<I: IntoIterator<Item = (Tuple, i64)>>(iter: I) -> Self {
         let mut z = ZSet::new();
-        for (t, w) in iter {
-            z.add(t, w);
-        }
+        z.extend_unconsolidated(iter);
+        z.consolidate();
         z
     }
 }
@@ -198,9 +240,35 @@ mod tests {
     #[test]
     fn merge_with_negation_is_identity() {
         let mut z = ZSet::from_tuples([tuple![1i64], tuple![2i64], tuple![2i64]]);
-        let n = z.negate();
+        let n = z.clone().negated();
         z.merge(&n);
         assert!(z.is_empty());
+    }
+
+    #[test]
+    fn consolidation_drops_zero_weight_entries() {
+        let mut z = ZSet::new();
+        z.extend_unconsolidated([
+            (tuple![1i64], 2),
+            (tuple![1i64], -2),
+            (tuple![2i64], 1),
+            (tuple![3i64], 0),
+        ]);
+        z.consolidate();
+        assert_eq!(z.len(), 1);
+        assert_eq!(z.weight(&tuple![2i64]), 1);
+        assert!(z.iter().all(|(_, w)| w != 0));
+    }
+
+    #[test]
+    fn negate_in_place_flips_weights_without_resizing() {
+        let mut z = ZSet::new();
+        z.add(tuple![1i64], 3);
+        z.add(tuple![2i64], -1);
+        z.negate_in_place();
+        assert_eq!(z.weight(&tuple![1i64]), -3);
+        assert_eq!(z.weight(&tuple![2i64]), 1);
+        assert_eq!(z.len(), 2);
     }
 
     #[test]
@@ -254,7 +322,7 @@ mod tests {
         #[test]
         fn negate_is_inverse(a in arb_zset()) {
             let mut z = a.clone();
-            z.merge(&a.negate());
+            z.merge(&a.clone().negated());
             prop_assert!(z.is_empty());
         }
 

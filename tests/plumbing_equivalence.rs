@@ -98,3 +98,250 @@ fn hill_climbing_shrinks_or_keeps_the_plan() {
     );
     assert!(e_hc <= e_plain, "plumbing grew edges: {e_plain} -> {e_hc}");
 }
+
+// ---------------------------------------------------------------------------
+// Shared-arrangement plumbing: two sharings that join different delta
+// streams against the SAME snapshot relation on the SAME key must share one
+// persistent arrangement once merged, and the merged platform's MVs must be
+// byte-identical to what per-sharing platforms produce — with and without
+// fault injection.
+// ---------------------------------------------------------------------------
+
+use smile::core::catalog::BaseStats;
+use smile::sim::FaultProfile;
+use smile::storage::delta::{DeltaBatch, DeltaEntry};
+use smile::storage::join::JoinOn;
+use smile::storage::{Predicate, SpjQuery};
+use smile::types::{tuple, Column, ColumnType, RelationId, Schema, SharingId};
+
+fn base_schema(cols: &[(&str, ColumnType)], key: Vec<usize>) -> Schema {
+    Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(), key)
+}
+
+/// Two machines; delta streams `a1`/`a2` on machine 0, shared snapshot
+/// relation `b` on machine 1. `which` picks the sharings to submit
+/// (0 = a1⋈b, 1 = a2⋈b) so the same builder yields the merged platform
+/// and the per-sharing baselines.
+fn shared_platform(
+    faults: FaultProfile,
+    which: &[usize],
+) -> (Smile, Vec<SharingId>, [RelationId; 3]) {
+    let mut config = SmileConfig::with_machines(2);
+    config.faults = faults;
+    let mut smile = Smile::new(config);
+    let stats = || BaseStats {
+        update_rate: 5.0,
+        cardinality: 100.0,
+        tuple_bytes: 16.0,
+        distinct: vec![100.0, 50.0],
+    };
+    let a1 = smile
+        .register_base(
+            "a1",
+            base_schema(&[("k", ColumnType::I64), ("x", ColumnType::I64)], vec![0]),
+            MachineId::new(0),
+            stats(),
+        )
+        .unwrap();
+    let a2 = smile
+        .register_base(
+            "a2",
+            base_schema(&[("k", ColumnType::I64), ("y", ColumnType::I64)], vec![0]),
+            MachineId::new(0),
+            stats(),
+        )
+        .unwrap();
+    let b = smile
+        .register_base(
+            "b",
+            base_schema(&[("k", ColumnType::I64), ("v", ColumnType::I64)], vec![0]),
+            MachineId::new(1),
+            stats(),
+        )
+        .unwrap();
+    let mut ids = Vec::new();
+    for &i in which {
+        let src = if i == 0 { a1 } else { a2 };
+        let q = SpjQuery::scan(src).join(b, JoinOn::on(0, 0), Predicate::True);
+        let id = smile
+            .submit(
+                if i == 0 { "app1" } else { "app2" },
+                q,
+                SimDuration::from_secs(30),
+                0.01,
+            )
+            .unwrap();
+        ids.push(id);
+    }
+    smile.install().unwrap();
+    (smile, ids, [a1, a2, b])
+}
+
+/// Identical deterministic feed for every platform under comparison.
+fn feed_shared(smile: &mut Smile, rels: [RelationId; 3], ticks: u64) {
+    let [a1, a2, b] = rels;
+    for s in 0..ticks {
+        let now = smile.now();
+        let k = (s % 16) as i64;
+        for (rel, t) in [
+            (a1, tuple![k, s as i64]),
+            (a2, tuple![(s * 3 % 16) as i64, s as i64]),
+            (b, tuple![k, (s * 7) as i64]),
+        ] {
+            smile
+                .ingest(
+                    rel,
+                    DeltaBatch {
+                        entries: vec![DeltaEntry::insert(t, now)],
+                    },
+                )
+                .unwrap();
+        }
+        smile.step().unwrap();
+    }
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+}
+
+/// Total arrangements materialized for `rel` across every machine copy.
+fn arrangements_on(smile: &Smile, rel: RelationId) -> usize {
+    smile
+        .cluster
+        .machine_ids()
+        .into_iter()
+        .map(|m| {
+            let db = &smile.cluster.machine(m).unwrap().db;
+            db.relation(rel)
+                .map(|slot| slot.table.arrangements().count())
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+fn compare_merged_vs_unmerged(faults: impl Fn() -> FaultProfile) {
+    let (mut merged, mids, rels) = shared_platform(faults(), &[0, 1]);
+    let (mut solo1, sids1, rels1) = shared_platform(faults(), &[0]);
+    let (mut solo2, sids2, rels2) = shared_platform(faults(), &[1]);
+    feed_shared(&mut merged, rels, 200);
+    feed_shared(&mut solo1, rels1, 200);
+    feed_shared(&mut solo2, rels2, 200);
+
+    for (smile, id, tag) in [
+        (&merged, mids[0], "merged S0"),
+        (&merged, mids[1], "merged S1"),
+        (&solo1, sids1[0], "solo S0"),
+        (&solo2, sids2[0], "solo S1"),
+    ] {
+        let got = smile.mv_contents(id).unwrap();
+        let want = smile.expected_mv_contents(id).unwrap();
+        assert!(!want.is_empty(), "{tag}: empty ground truth");
+        assert_eq!(
+            got.sorted_entries(),
+            want.sorted_entries(),
+            "{tag} diverged from ground truth"
+        );
+    }
+
+    // Byte-identical MVs: merged plumbing changed how updates travel, not
+    // what arrived.
+    assert_eq!(
+        merged.mv_contents(mids[0]).unwrap().sorted_entries(),
+        solo1.mv_contents(sids1[0]).unwrap().sorted_entries(),
+        "sharing a1⋈b differs between merged and per-sharing platforms"
+    );
+    assert_eq!(
+        merged.mv_contents(mids[1]).unwrap().sorted_entries(),
+        solo2.mv_contents(sids2[0]).unwrap().sorted_entries(),
+        "sharing a2⋈b differs between merged and per-sharing platforms"
+    );
+
+    // One arrangement serves both sharings: merging did not add a second
+    // index to the shared relation, and the merged platform holds fewer
+    // arrangements than the two isolated platforms combined.
+    let b = rels[2];
+    assert_eq!(
+        arrangements_on(&merged, b),
+        arrangements_on(&solo1, b),
+        "merging duplicated the shared relation's arrangement"
+    );
+    let am = merged.arrangement_meter();
+    let a1m = solo1.arrangement_meter();
+    let a2m = solo2.arrangement_meter();
+    assert!(
+        am.arrangements < a1m.arrangements + a2m.arrangements,
+        "merged platform does not share arrangements: {} vs {} + {}",
+        am.arrangements,
+        a1m.arrangements,
+        a2m.arrangements
+    );
+    assert!(am.counters.probes > 0, "no arrangement probe ever served");
+    assert!(am.counters.hits > 0, "every arrangement probe missed");
+}
+
+#[test]
+fn merged_sharings_share_one_arrangement_and_match_unmerged_views() {
+    compare_merged_vs_unmerged(FaultProfile::disabled);
+}
+
+#[test]
+fn merged_sharings_match_unmerged_views_under_seeded_faults() {
+    compare_merged_vs_unmerged(|| FaultProfile::chaos(4242));
+}
+
+/// The `use_arrangements = false` ablation (every join edge downgraded to
+/// the scan path before merging) must change performance only: MVs stay
+/// byte-identical and no arrangement is ever materialized.
+#[test]
+fn scan_path_ablation_produces_identical_views_and_no_arrangements() {
+    let build = |use_arrangements: bool| {
+        let mut config = SmileConfig::with_machines(2);
+        config.use_arrangements = use_arrangements;
+        let mut smile = Smile::new(config);
+        let stats = || BaseStats {
+            update_rate: 5.0,
+            cardinality: 100.0,
+            tuple_bytes: 16.0,
+            distinct: vec![100.0, 50.0],
+        };
+        let a = smile
+            .register_base(
+                "a",
+                base_schema(&[("k", ColumnType::I64), ("x", ColumnType::I64)], vec![0]),
+                MachineId::new(0),
+                stats(),
+            )
+            .unwrap();
+        let b = smile
+            .register_base(
+                "b",
+                base_schema(&[("k", ColumnType::I64), ("v", ColumnType::I64)], vec![0]),
+                MachineId::new(1),
+                stats(),
+            )
+            .unwrap();
+        let q = SpjQuery::scan(a).join(b, JoinOn::on(0, 0), Predicate::True);
+        let id = smile
+            .submit("abl", q, SimDuration::from_secs(30), 0.01)
+            .unwrap();
+        smile.install().unwrap();
+        feed_shared(&mut smile, [a, a, b], 120);
+        let got = smile.mv_contents(id).unwrap();
+        let want = smile.expected_mv_contents(id).unwrap();
+        assert!(!want.is_empty());
+        assert_eq!(
+            got.sorted_entries(),
+            want.sorted_entries(),
+            "ground-truth divergence (use_arrangements={use_arrangements})"
+        );
+        (got.sorted_entries(), smile.arrangement_meter())
+    };
+    let (mv_on, meter_on) = build(true);
+    let (mv_off, meter_off) = build(false);
+    assert_eq!(mv_on, mv_off, "scan ablation changed MV contents");
+    assert!(meter_on.arrangements > 0);
+    assert!(meter_on.counters.probes > 0);
+    assert_eq!(
+        meter_off.arrangements, 0,
+        "scan ablation still materialized arrangements"
+    );
+    assert_eq!(meter_off.counters.probes, 0);
+}

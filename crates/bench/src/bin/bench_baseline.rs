@@ -2,8 +2,17 @@
 //! arrangement-backed join hot path versus the legacy scan-rebuild path,
 //! fig5-scale platform tick latency, and the arrangement hit-rate counters.
 //!
+//! With `--workers` it instead emits the `BENCH_0003.json` parallel-push
+//! sweep: a fig5-scale fleet (8 machines, 8 cross-machine join sharings)
+//! driven once per worker count, asserting the results are identical and
+//! reporting both wall clock and the `WaveMeter` modeled makespan — the
+//! schedule replayed through an N-core host, which is the headline number
+//! because CI hosts may have a single core.
+//!
 //! Usage:
-//!   bench_baseline [--out PATH] [--quick]   measure and write the JSON
+//!   bench_baseline [--out PATH] [--quick]   measure and write BENCH_0002
+//!   bench_baseline --workers 1,2,4,8 [--out PATH] [--quick]
+//!                                           measure and write BENCH_0003
 //!   bench_baseline --validate PATH          schema-check an emitted JSON
 //!
 //! The JSON is hand-rolled (the container has no serde); `--validate`
@@ -225,6 +234,186 @@ fn tick_latency(cfg: &Config) -> TickStats {
     }
 }
 
+/// One worker count's measurement in the parallel-push sweep.
+struct SweepPoint {
+    workers: usize,
+    wall_secs: f64,
+    modeled_makespan_nanos: u128,
+}
+
+struct WaveStats {
+    machines: usize,
+    sharings: usize,
+    ticks: u64,
+    waves: u64,
+    jobs: u64,
+    busy_nanos: u128,
+    tuples_moved: u64,
+    points: Vec<SweepPoint>,
+}
+
+/// Drives a fig5-scale fleet — 8 machines in a ring, every machine's base
+/// joined with its neighbor's, so each sharing ships deltas both ways —
+/// once per worker count. Results must be byte-identical (asserted on the
+/// tuples-moved meter); the workers=1 run's wave profile is the reference
+/// schedule replayed through `WaveMeter::makespan_nanos`.
+fn push_wave_sweep(cfg: &Config, workers: &[usize]) -> WaveStats {
+    const MACHINES: usize = 8;
+    let run = |w: usize| -> (Smile, f64) {
+        let mut config = SmileConfig::with_machines(MACHINES);
+        config.exec.workers = w;
+        let mut smile = Smile::new(config);
+        let rels: Vec<RelationId> = (0..MACHINES)
+            .map(|m| {
+                smile
+                    .register_base(
+                        &format!("r{m}"),
+                        schema2(),
+                        MachineId::new(m as u32),
+                        BaseStats {
+                            update_rate: 32.0,
+                            cardinality: cfg.rows as f64,
+                            tuple_bytes: 16.0,
+                            distinct: vec![KEYS as f64, cfg.rows as f64],
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for m in 0..MACHINES {
+            let q = SpjQuery::scan(rels[m]).join(
+                rels[(m + 1) % MACHINES],
+                JoinOn::on(0, 0),
+                Predicate::True,
+            );
+            smile
+                .submit(&format!("s{m}"), q, SimDuration::from_secs(30), 0.01)
+                .unwrap();
+        }
+        smile.install().unwrap();
+        let start = Instant::now();
+        for s in 0..cfg.ticks {
+            let now = smile.now();
+            for (m, &rel) in rels.iter().enumerate() {
+                let batch: DeltaBatch = (0..32)
+                    .map(|i| {
+                        let k = ((s as i64) * 32 + i + m as i64) % KEYS;
+                        DeltaEntry::insert(tuple![k, s as i64], now)
+                    })
+                    .collect();
+                smile.ingest(rel, batch).unwrap();
+            }
+            smile.step().unwrap();
+        }
+        smile.run_idle(SimDuration::from_secs(60)).unwrap();
+        let wall = start.elapsed().as_secs_f64();
+        (smile, wall)
+    };
+
+    let mut points = Vec::new();
+    let mut reference: Option<(smile_sim::WaveMeter, u64)> = None;
+    for &w in workers {
+        let (smile, wall) = run(w);
+        let meter = smile.wave_meter();
+        let tuples = smile.executor.as_ref().unwrap().tuples_moved;
+        if let Some((_, ref_tuples)) = &reference {
+            assert_eq!(
+                tuples, *ref_tuples,
+                "workers={w} moved a different tuple count — nondeterminism"
+            );
+        } else {
+            reference = Some((meter, tuples));
+        }
+        points.push(SweepPoint {
+            workers: w,
+            wall_secs: wall,
+            modeled_makespan_nanos: 0,
+        });
+    }
+    let (meter, tuples_moved) = reference.expect("at least one worker count");
+    for p in &mut points {
+        p.modeled_makespan_nanos = meter.makespan_nanos(p.workers);
+    }
+    WaveStats {
+        machines: MACHINES,
+        sharings: MACHINES,
+        ticks: cfg.ticks,
+        waves: meter.waves,
+        jobs: meter.jobs,
+        busy_nanos: meter.busy_nanos,
+        tuples_moved,
+        points,
+    }
+}
+
+fn emit_wave_json(w: &WaveStats) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let serial = w
+        .points
+        .iter()
+        .find(|p| p.workers == 1)
+        .map(|p| p.modeled_makespan_nanos)
+        .unwrap_or(w.busy_nanos);
+    let sweep: Vec<String> = w
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                r#"    {{
+      "workers": {w},
+      "wall_secs": {wall:.3},
+      "modeled_makespan_nanos": {mk},
+      "modeled_speedup": {sp:.2}
+    }}"#,
+                w = p.workers,
+                wall = p.wall_secs,
+                mk = p.modeled_makespan_nanos,
+                sp = serial as f64 / p.modeled_makespan_nanos.max(1) as f64,
+            )
+        })
+        .collect();
+    let at4 = w
+        .points
+        .iter()
+        .find(|p| p.workers == 4)
+        .map(|p| serial as f64 / p.modeled_makespan_nanos.max(1) as f64)
+        .unwrap_or(0.0);
+    format!(
+        r#"{{
+  "bench_id": "BENCH_0003",
+  "workload": {{
+    "machines": {machines},
+    "sharings": {sharings},
+    "ticks": {ticks}
+  }},
+  "push_wave": {{
+    "waves": {waves},
+    "jobs": {jobs},
+    "busy_nanos": {busy},
+    "tuples_moved": {tuples},
+    "host_parallelism": {host},
+    "modeled_speedup_at_4": {at4:.2}
+  }},
+  "sweep": [
+{sweep}
+  ]
+}}
+"#,
+        machines = w.machines,
+        sharings = w.sharings,
+        ticks = w.ticks,
+        waves = w.waves,
+        jobs = w.jobs,
+        busy = w.busy_nanos,
+        tuples = w.tuples_moved,
+        host = host,
+        at4 = at4,
+        sweep = sweep.join(",\n"),
+    )
+}
+
 fn emit_json(cfg: &Config, arr_tps: f64, scan_tps: f64, t: &TickStats) -> String {
     format!(
         r#"{{
@@ -286,8 +475,43 @@ fn get_num(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Schema check for the BENCH_0003 parallel-push sweep. The ≥2× modeled
+/// speedup at four workers is the acceptance bar for the wave engine: the
+/// recorded schedule, replayed through four machine-partitioned workers,
+/// must at least halve the serial makespan.
+fn validate_0003(json: &str) -> Result<(), String> {
+    let num = |key: &str| get_num(json, key).ok_or_else(|| format!("missing numeric {key}"));
+    for key in [
+        "machines",
+        "sharings",
+        "ticks",
+        "waves",
+        "jobs",
+        "busy_nanos",
+        "tuples_moved",
+        "host_parallelism",
+    ] {
+        if num(key)? <= 0.0 {
+            return Err(format!("{key} must be positive"));
+        }
+    }
+    let at4 = num("modeled_speedup_at_4")?;
+    if at4 < 2.0 {
+        return Err(format!(
+            "modeled_speedup_at_4 is {at4:.2}, below the 2.0 acceptance bar"
+        ));
+    }
+    if !json.contains("\"workers\": 1") || !json.contains("\"workers\": 4") {
+        return Err("sweep must include workers 1 and 4".into());
+    }
+    Ok(())
+}
+
 fn validate(path: &str) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if json.contains("\"bench_id\": \"BENCH_0003\"") {
+        return validate_0003(&json);
+    }
     if !json.contains("\"bench_id\": \"BENCH_0002\"") {
         return Err("missing or wrong bench_id".into());
     }
@@ -336,6 +560,40 @@ fn main() {
 
     let quick = args.iter().any(|a| a == "--quick");
     let cfg = if quick { Config::quick() } else { Config::fig5() };
+
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        let list = args.get(i + 1).expect("--workers needs a comma list");
+        let workers: Vec<usize> = list
+            .split(',')
+            .map(|w| w.trim().parse().expect("worker counts must be integers"))
+            .collect();
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|j| args.get(j + 1).cloned())
+            .unwrap_or_else(|| "results/BENCH_0003.json".to_string());
+        eprintln!(
+            "push-wave sweep: 8 machines, 8 sharings, {} ticks, workers {list}...",
+            cfg.ticks
+        );
+        let stats = push_wave_sweep(&cfg, &workers);
+        for p in &stats.points {
+            eprintln!(
+                "  workers={} wall {:.2}s modeled makespan {:.1} ms",
+                p.workers,
+                p.wall_secs,
+                p.modeled_makespan_nanos as f64 / 1e6
+            );
+        }
+        let json = emit_wave_json(&stats);
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+        std::fs::write(&out, &json).expect("write BENCH json");
+        println!("wrote {out}");
+        return;
+    }
+
     let out = args
         .iter()
         .position(|a| a == "--out")

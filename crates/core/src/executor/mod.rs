@@ -21,15 +21,17 @@
 pub mod messages;
 pub mod push;
 pub mod seed;
+mod wave;
 
 use crate::multi::GlobalPlan;
 use crate::plan::cost::{critical_path, Scope};
-use crate::plan::dag::VertexKind;
+use crate::plan::dag::{EdgeOp, VertexKind};
 use crate::plan::timecost::TimeCostModel;
 use crate::sharing::Sharing;
 use messages::{AgentMsg, TOPIC_TO_EXECUTOR};
+use push::JobFaults;
 use smile_sim::pubsub::SubscriberId;
-use smile_sim::{Cluster, EventQueue, PubSub};
+use smile_sim::{Cluster, EventQueue, PubSub, WaveMeter};
 use smile_types::{
     MachineId, RelationId, Result, SharingId, SimDuration, SmileError, Timestamp, VertexId,
 };
@@ -58,6 +60,11 @@ pub struct ExecConfig {
     pub command_latency: SimDuration,
     /// How transiently-failed pushes are retried.
     pub retry: RetryPolicy,
+    /// Worker threads for wave execution. `1` runs the same engine inline
+    /// on the scheduler thread (the ablation baseline); results are
+    /// byte-identical at any value. Defaults to the host's available
+    /// parallelism, overridable with the `SMILE_WORKERS` env var.
+    pub workers: usize,
 }
 
 impl Default for ExecConfig {
@@ -72,8 +79,24 @@ impl Default for ExecConfig {
             compaction_margin: SimDuration::from_secs(10),
             command_latency: SimDuration::from_millis(5),
             retry: RetryPolicy::default(),
+            workers: default_workers(),
         }
     }
+}
+
+/// `SMILE_WORKERS` if set to a positive integer, else the host's available
+/// parallelism. The env override is what lets CI run the whole suite at
+/// several worker counts without touching any test.
+fn default_workers() -> usize {
+    std::env::var("SMILE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 /// Retry/backoff policy for pushes that fail with a transient fault
@@ -128,6 +151,9 @@ pub struct ExecFaultStats {
     /// Delta batches a retry re-shipped that were suppressed by batch-id
     /// deduplication (the first attempt had landed).
     pub batches_deduped: u64,
+    /// Stacked retries for the same sharing slot that were collapsed into
+    /// one attempt at the freshest target (the dropped duplicates).
+    pub retries_coalesced: u64,
 }
 
 /// A push attempt scheduled for re-execution after a transient fault.
@@ -143,8 +169,50 @@ struct PendingRetry {
     attempt: u32,
 }
 
-/// One completed PUSH, as recorded for the Figure 7 analysis.
+/// One push planned into the current tick's batch: sharing `idx` advancing
+/// its subgraph to `target`.
 #[derive(Clone, Copy, Debug)]
+struct BatchRequest {
+    /// Sharing slot index.
+    idx: usize,
+    /// The timestamp the push advances to.
+    target: Timestamp,
+    /// Attempt number (1-based; >1 for retries).
+    attempt: u32,
+    /// MV staleness when the push was issued.
+    staleness_before: SimDuration,
+    /// Critical-path prediction for the push (feedback calibration).
+    predicted: SimDuration,
+    /// The sharing's MV vertex.
+    mv: VertexId,
+    /// The sharing being advanced.
+    sharing: SharingId,
+}
+
+/// One edge job of a batch: advance `vertex` over `(from, to]` by running
+/// its producer edge. `deps` are earlier job indexes that must succeed (and
+/// complete, for submission timing) first: the previous job on the same
+/// vertex plus the latest job on each input.
+#[derive(Clone, Debug)]
+struct BatchJob {
+    /// The vertex this job advances.
+    vertex: VertexId,
+    /// Producer edge index in the global plan.
+    edge: usize,
+    /// Window start (exclusive).
+    from: Timestamp,
+    /// Window end (inclusive) — the request's target.
+    to: Timestamp,
+    /// Owning request's index in the batch.
+    req: usize,
+    /// Earlier jobs this one depends on (always lower indexes).
+    deps: Vec<usize>,
+    /// Topological wave this job runs in.
+    wave: usize,
+}
+
+/// One completed PUSH, as recorded for the Figure 7 analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PushRecord {
     /// The sharing pushed.
     pub sharing: SharingId,
@@ -224,6 +292,11 @@ pub struct Executor {
     pub tuples_per_sharing: HashMap<SharingId, u64>,
     /// Completed pushes (Figure 7 data).
     pub push_records: Vec<PushRecord>,
+    /// Host-side profile of the wave engine (throughput observability).
+    pub wave_meter: WaveMeter,
+    /// Per join edge id: the sibling half-join's output vertex, whose
+    /// coverage anchors this join's snapshot (consistency under skew).
+    anchor_of: HashMap<usize, VertexId>,
 }
 
 impl Executor {
@@ -292,6 +365,7 @@ impl Executor {
         let n = global.plan.vertex_count();
         let mut bus = PubSub::new(config.command_latency);
         let exec_sub = bus.subscribe(TOPIC_TO_EXECUTOR);
+        let anchor_of = global.plan.half_join_anchors();
         Ok(Self {
             global,
             model,
@@ -310,6 +384,8 @@ impl Executor {
             tuples_moved: 0,
             tuples_per_sharing: HashMap::new(),
             push_records: Vec::new(),
+            wave_meter: WaveMeter::default(),
+            anchor_of,
         })
     }
 
@@ -343,6 +419,7 @@ impl Executor {
         self.visible_ts.resize(after, Timestamp::ZERO);
         let rt = Self::build_rt(&self.global, sharing)?;
         self.sharings.push(rt);
+        self.anchor_of = self.global.plan.half_join_anchors();
         Ok((before..after).map(|i| VertexId::new(i as u32)).collect())
     }
 
@@ -415,13 +492,16 @@ impl Executor {
         self.sharings.iter().find(|r| r.id == id).map(|r| r.sla)
     }
 
-    /// One scheduler tick at simulated time `now`.
+    /// One scheduler tick at simulated time `now`: drain message/event
+    /// queues, plan every push that should fire this tick (due retries plus
+    /// newly triggered pushes) into one batch of edge jobs, then execute the
+    /// batch wave by wave on the worker pool.
     pub fn tick(&mut self, cluster: &mut Cluster, now: Timestamp) -> Result<()> {
         self.drain_events(now);
         self.heartbeat_round(cluster, now);
         self.poll_bus(now);
-        self.run_due_retries(cluster, now)?;
-        self.schedule_pushes(cluster, now)?;
+        let (requests, jobs) = self.plan_batch(cluster, now)?;
+        self.execute_batch(cluster, now, &requests, &jobs)?;
         if now - self.last_compaction >= self.config.compaction_period {
             self.compact(cluster, now)?;
             self.last_compaction = now;
@@ -429,9 +509,12 @@ impl Executor {
         Ok(())
     }
 
-    /// Re-attempts every push whose backoff expired. Retries are processed
-    /// in due order (ties by sharing slot) for determinism.
-    fn run_due_retries(&mut self, cluster: &mut Cluster, now: Timestamp) -> Result<()> {
+    /// Drains every retry whose backoff expired, in due order (ties by
+    /// sharing slot), coalescing stacked retries for the same slot into one
+    /// attempt at the freshest target — re-running the stale window too
+    /// would only be thrown away by batch dedup. Dropped duplicates are
+    /// counted in [`ExecFaultStats::retries_coalesced`].
+    fn collect_due_retries(&mut self, now: Timestamp) -> Vec<(usize, Timestamp, u32)> {
         let mut due: Vec<PendingRetry> = Vec::new();
         self.pending_retries.retain(|r| {
             if r.due <= now {
@@ -442,10 +525,17 @@ impl Executor {
             }
         });
         due.sort_by_key(|r| (r.due, r.idx));
+        let mut out: Vec<(usize, Timestamp, u32)> = Vec::new();
         for r in due {
-            self.attempt_push(cluster, r.idx, r.target, now, r.attempt)?;
+            if let Some(e) = out.iter_mut().find(|e| e.0 == r.idx) {
+                e.1 = e.1.max(r.target);
+                e.2 = e.2.max(r.attempt);
+                self.fault_stats.retries_coalesced += 1;
+            } else {
+                out.push((r.idx, r.target, r.attempt));
+            }
         }
-        Ok(())
+        out
     }
 
     fn drain_events(&mut self, now: Timestamp) {
@@ -471,22 +561,20 @@ impl Executor {
                     if self.config.feedback {
                         self.model.observe(predicted, actual);
                     }
-                    let id = self.sharings[idx].id;
+                    // `issued − staleness_before` is the MV timestamp the
+                    // push started from, so the advance is the target minus
+                    // that.
+                    let advanced = target - (issued - staleness_before);
                     self.push_records.push(PushRecord {
-                        sharing: id,
+                        sharing: self.sharings[idx].id,
                         issued,
                         completed: at,
                         target,
                         staleness_before,
                         staleness_after: at - target,
-                        advanced: SimDuration::ZERO, // fixed up below
+                        advanced,
                         tuples,
                     });
-                    // `advanced` = target − previous record's target for this
-                    // sharing (or the seed time); derive from staleness
-                    // fields: issued − staleness_before is the old MV ts.
-                    let last = self.push_records.last_mut().expect("just pushed");
-                    last.advanced = target - (issued - staleness_before);
                 }
             }
         }
@@ -555,16 +643,50 @@ impl Executor {
         Some((min, max))
     }
 
-    fn schedule_pushes(&mut self, cluster: &mut Cluster, now: Timestamp) -> Result<()> {
+    /// Plans everything that should fire this tick — due retries first,
+    /// then newly triggered pushes — into one batch: a list of requests
+    /// (one per sharing push) and the edge jobs that realize them, each job
+    /// tagged with its dependencies and topological wave.
+    ///
+    /// Planning runs against `plan_ts`, a shadow of `data_ts` advanced as
+    /// each request is planned, so a request sees exactly the vertex state
+    /// the serial scheduler would have seen after executing its
+    /// predecessors: a shared vertex an earlier request already covers is
+    /// not re-planned, only depended upon.
+    fn plan_batch(
+        &mut self,
+        cluster: &mut Cluster,
+        now: Timestamp,
+    ) -> Result<(Vec<BatchRequest>, Vec<BatchJob>)> {
+        let mut requests: Vec<BatchRequest> = Vec::new();
+        let mut jobs: Vec<BatchJob> = Vec::new();
+        let mut plan_ts = self.data_ts.clone();
+        let mut last_job_on: HashMap<VertexId, usize> = HashMap::new();
+        let mut busy: std::collections::HashSet<usize> = std::collections::HashSet::new();
+
+        for (idx, target, attempt) in self.collect_due_retries(now) {
+            busy.insert(idx);
+            self.push_request(
+                idx,
+                target,
+                attempt,
+                now,
+                &mut plan_ts,
+                &mut last_job_on,
+                &mut requests,
+                &mut jobs,
+            )?;
+        }
+
         for idx in 0..self.sharings.len() {
             let rt = self.sharings[idx].clone();
-            if rt.in_flight || rt.retired {
+            if rt.in_flight || rt.retired || busy.contains(&idx) {
                 continue;
             }
             let Some((min_src, _max_src)) = self.src_ts_range(&rt) else {
                 continue; // no heartbeats yet
             };
-            let mv_data_ts = self.data_ts[rt.mv.index()];
+            let mv_data_ts = plan_ts[rt.mv.index()];
             if min_src <= mv_data_ts {
                 continue; // nothing new to move
             }
@@ -606,7 +728,125 @@ impl Executor {
                 continue;
             }
             let target = self.choose_target(&rt, mv_data_ts, min_src, now);
-            self.start_push(cluster, idx, target, now)?;
+            self.push_request(
+                idx,
+                target,
+                1,
+                now,
+                &mut plan_ts,
+                &mut last_job_on,
+                &mut requests,
+                &mut jobs,
+            )?;
+        }
+
+        // Wave assignment: a job's wave is at least its vertex's wavefront
+        // within the batch's vertex subset, and strictly after every
+        // dependency's wave (deps always have lower job indexes, so one
+        // ascending pass settles everything).
+        if !jobs.is_empty() {
+            let mut subset: Vec<VertexId> = jobs.iter().map(|j| j.vertex).collect();
+            subset.sort();
+            subset.dedup();
+            let mut vwave: HashMap<VertexId, usize> = HashMap::new();
+            for (w, wave) in self.global.plan.wavefronts(&subset)?.into_iter().enumerate() {
+                for v in wave {
+                    vwave.insert(v, w);
+                }
+            }
+            for jid in 0..jobs.len() {
+                let mut w = vwave.get(&jobs[jid].vertex).copied().unwrap_or(0);
+                for &d in &jobs[jid].deps {
+                    w = w.max(jobs[d].wave + 1);
+                }
+                jobs[jid].wave = w;
+            }
+        }
+        Ok((requests, jobs))
+    }
+
+    /// Plans one push request (sharing `idx` advancing to `target`) into
+    /// edge jobs appended to the batch.
+    #[allow(clippy::too_many_arguments)]
+    fn push_request(
+        &self,
+        idx: usize,
+        target: Timestamp,
+        attempt: u32,
+        now: Timestamp,
+        plan_ts: &mut [Timestamp],
+        last_job_on: &mut HashMap<VertexId, usize>,
+        requests: &mut Vec<BatchRequest>,
+        jobs: &mut Vec<BatchJob>,
+    ) -> Result<()> {
+        let rt = &self.sharings[idx];
+        let staleness_before = now - self.visible_ts[rt.mv.index()];
+        let window_secs = (target - plan_ts[rt.mv.index()]).as_secs_f64();
+        let predicted = critical_path(
+            &self.global.plan,
+            Scope::Sharing(rt.id),
+            window_secs,
+            &self.model,
+        );
+        let req = requests.len();
+        requests.push(BatchRequest {
+            idx,
+            target,
+            attempt,
+            staleness_before,
+            predicted,
+            mv: rt.mv,
+            sharing: rt.id,
+        });
+        for &v in &rt.order {
+            if plan_ts[v.index()] >= target {
+                // Another request (this batch or an earlier tick) already
+                // advances this shared vertex far enough; depend on its job
+                // if it is in this batch, plan nothing.
+                continue;
+            }
+            let edge = self.global.plan.producer(v).ok_or_else(|| {
+                SmileError::Internal(format!("non-base vertex {v} has no producer"))
+            })?;
+            let mut deps: Vec<usize> = Vec::new();
+            if let Some(&d) = last_job_on.get(&v) {
+                deps.push(d);
+            }
+            for &i in &edge.inputs {
+                if let Some(&d) = last_job_on.get(&i) {
+                    if !deps.contains(&d) {
+                        deps.push(d);
+                    }
+                }
+            }
+            // Half-join pairing: each half's job also depends on the
+            // sibling half's latest job in the batch, so the two halves of
+            // one join advance in alternating waves. Serializing the pair
+            // lets `execute_batch` resolve the snapshot anchor at dispatch
+            // from the sibling's *landed* coverage, which keeps the join's
+            // output stream a clean `left@tl ⋈ right@tr` product under any
+            // partial-failure skew (no double-counted or dropped Δ⋈Δ
+            // cross-terms), and makes retries re-anchor correctly with no
+            // per-window history.
+            if let Some(sib) = self.anchor_of.get(&edge.id) {
+                if let Some(&d) = last_job_on.get(sib) {
+                    if !deps.contains(&d) {
+                        deps.push(d);
+                    }
+                }
+            }
+            let jid = jobs.len();
+            jobs.push(BatchJob {
+                vertex: v,
+                edge: edge.id,
+                from: plan_ts[v.index()],
+                to: target,
+                req,
+                deps,
+                wave: 0,
+            });
+            plan_ts[v.index()] = target;
+            last_job_on.insert(v, jid);
         }
         Ok(())
     }
@@ -649,134 +889,203 @@ impl Executor {
         best.unwrap_or(min_src)
     }
 
-    /// Issues the PUSH command sequence advancing sharing `idx` to `target`.
-    pub(crate) fn start_push(
+    /// Executes a planned batch wave by wave on the worker pool and merges
+    /// the outcomes back in canonical job order.
+    ///
+    /// Per wave, the coordinator makes every non-deterministic decision
+    /// up front, in job order: dependency-failure propagation, crash-window
+    /// checks at the submission time, and the shared fault-stream draws
+    /// (delta drop, then ack loss) for cross-machine copies. The wave then
+    /// runs on however many workers are configured, and the merge — ledger
+    /// charges, `data_ts` advances, commit events, retry decisions — is
+    /// single-threaded in job order. Nothing downstream can observe the
+    /// worker count.
+    ///
+    /// A request with a transiently-failed job keeps the progress of the
+    /// jobs that succeeded (their windows landed; a retry re-plans from the
+    /// advanced `data_ts` and batch dedup absorbs overlap) and is retried
+    /// or abandoned per the policy. Jobs depending on a failed job are
+    /// skipped without consuming fault draws — skipping is itself
+    /// deterministic, so the stream stays aligned at any worker count.
+    fn execute_batch(
         &mut self,
         cluster: &mut Cluster,
-        idx: usize,
-        target: Timestamp,
         now: Timestamp,
-    ) -> Result<Timestamp> {
-        self.attempt_push(cluster, idx, target, now, 1)
-    }
+        requests: &[BatchRequest],
+        jobs: &[BatchJob],
+    ) -> Result<()> {
+        if requests.is_empty() {
+            return Ok(());
+        }
+        let mut job_ok = vec![false; jobs.len()];
+        let mut job_end = vec![now; jobs.len()];
+        let mut req_failed = vec![false; requests.len()];
+        let mut req_tuples = vec![0u64; requests.len()];
+        // A fully-skipped push (everything shared and ahead) commits now.
+        let mut completion = vec![now; requests.len()];
+        let mut hard_error: Option<SmileError> = None;
 
-    /// One attempt (1-based `attempt`) of a push. A transient fault either
-    /// schedules a retry after the policy's timeout + backoff — the push
-    /// stays in flight, vertices already advanced keep their progress — or,
-    /// with the retry budget exhausted, abandons the push so a fresh one
-    /// can be planned around whatever is broken.
-    fn attempt_push(
-        &mut self,
-        cluster: &mut Cluster,
-        idx: usize,
-        target: Timestamp,
-        now: Timestamp,
-        attempt: u32,
-    ) -> Result<Timestamp> {
-        let rt = self.sharings[idx].clone();
-        let staleness_before = now - self.visible_ts[rt.mv.index()];
-        let window_secs = (target - self.data_ts[rt.mv.index()]).as_secs_f64();
-        let predicted = critical_path(
-            &self.global.plan,
-            Scope::Sharing(rt.id),
-            window_secs,
-            &self.model,
-        );
-
-        let mut ready: HashMap<VertexId, Timestamp> = HashMap::new();
-        let mut tuples_total = 0u64;
-        let mut completion = now;
-        for &v in &rt.order {
-            if self.data_ts[v.index()] >= target {
-                // Another sharing already advanced this shared vertex.
-                ready.insert(v, now);
+        let max_wave = jobs.iter().map(|j| j.wave).max().unwrap_or(0);
+        for wave in 0..=max_wave {
+            let mut dispatch: Vec<wave::WaveJob> = Vec::new();
+            for (jid, job) in jobs.iter().enumerate() {
+                if job.wave != wave {
+                    continue;
+                }
+                if req_failed[job.req] || job.deps.iter().any(|&d| !job_ok[d]) {
+                    // A failed dependency means this job would read a
+                    // window its producer never filled; fail the request
+                    // so the retry re-plans from true state.
+                    req_failed[job.req] = true;
+                    continue;
+                }
+                let edge = self.global.plan.edge(job.edge);
+                let submit = job
+                    .deps
+                    .iter()
+                    .map(|&d| job_end[d])
+                    .max()
+                    .unwrap_or(now)
+                    .max(now + self.config.command_latency);
+                let (ship_machine, exec_machine) = match &edge.op {
+                    EdgeOp::CopyDelta => {
+                        let src = self.global.plan.vertex(edge.inputs[0]).machine;
+                        let dst = self.global.plan.vertex(edge.output).machine;
+                        ((src != dst).then_some(src), dst)
+                    }
+                    _ => (None, self.global.plan.vertex(edge.output).machine),
+                };
+                if ship_machine
+                    .iter()
+                    .chain(std::iter::once(&exec_machine))
+                    .any(|&m| cluster.faults.machine_down(m, submit))
+                {
+                    // Crash windows are schedule-driven, not stream-driven:
+                    // failing here consumes no draws, same as the serial
+                    // `check_up` early return.
+                    req_failed[job.req] = true;
+                    continue;
+                }
+                let mut faults = JobFaults::default();
+                if matches!(edge.op, EdgeOp::CopyDelta) {
+                    if ship_machine.is_some() {
+                        faults.drop_delta = cluster.faults.drop_delta(submit);
+                    }
+                    if !faults.drop_delta {
+                        faults.ack_lost = cluster.faults.ack_lost(submit);
+                    }
+                }
+                // Half-join snapshot anchor: the sibling half's landed
+                // coverage as of this wave. The pairing dependency added at
+                // planning guarantees the sibling's current step ran in an
+                // earlier wave (or was skipped, failing this job's request),
+                // so `data_ts` is exact here at any worker count.
+                let anchor = self
+                    .anchor_of
+                    .get(&job.edge)
+                    .map(|sib| self.data_ts[sib.index()]);
+                dispatch.push(wave::WaveJob {
+                    job: jid,
+                    edge: job.edge,
+                    from: job.from,
+                    to: job.to,
+                    anchor,
+                    submit,
+                    faults,
+                    ship_machine: ship_machine.map(|m| m.index()),
+                    exec_machine: exec_machine.index(),
+                });
+            }
+            if dispatch.is_empty() {
                 continue;
             }
-            let edge = self
-                .global
-                .plan
-                .producer(v)
-                .ok_or_else(|| {
-                    SmileError::Internal(format!("non-base vertex {v} has no producer"))
-                })?
-                .clone();
-            let submit = edge
-                .inputs
-                .iter()
-                .filter_map(|i| ready.get(i).copied())
-                .max()
-                .unwrap_or(now)
-                .max(now + self.config.command_latency);
-            let from = self.data_ts[v.index()];
-            let run = match push::run_edge(
-                cluster,
+            let outcomes = wave::run_wave(
+                cluster.machines_mut(),
                 &self.global.plan,
-                &edge,
-                from,
-                target,
-                submit,
                 &self.model,
-                rt.id,
-            ) {
-                Ok(run) => run,
-                Err(SmileError::Transient { .. }) => {
-                    // Vertices completed before the fault keep their
-                    // progress (their Commit events are already queued);
-                    // the retry resumes from this vertex.
-                    self.tuples_moved += tuples_total;
-                    *self.tuples_per_sharing.entry(rt.id).or_default() += tuples_total;
-                    if attempt >= self.config.retry.max_attempts {
-                        self.fault_stats.pushes_abandoned += 1;
-                        self.sharings[idx].in_flight = false;
-                        return Ok(now);
-                    }
-                    self.fault_stats.pushes_retried += 1;
-                    let due = now + self.config.retry.delay_after(attempt);
-                    self.pending_retries.push(PendingRetry {
-                        due,
-                        idx,
-                        target,
-                        attempt: attempt + 1,
-                    });
-                    self.sharings[idx].in_flight = true;
-                    return Ok(due);
-                }
-                Err(e) => return Err(e),
-            };
-            if run.deduped {
-                self.fault_stats.batches_deduped += 1;
-            }
-            self.data_ts[v.index()] = target;
-            ready.insert(v, run.end);
-            tuples_total += run.tuples;
-            self.events.push(
-                run.end,
-                ExecEvent::Commit {
-                    vertex: v,
-                    ts: target,
-                },
+                &dispatch,
+                self.config.workers,
             );
-            if v == rt.mv {
-                completion = run.end;
+            let mut profile: Vec<(u32, u128)> = Vec::new();
+            for o in outcomes {
+                let job = &jobs[o.job];
+                let req = &requests[job.req];
+                for u in o.charges {
+                    cluster.ledger.charge(u, &[req.sharing]);
+                }
+                profile.extend(o.profile);
+                match o.result {
+                    Ok(run) => {
+                        if run.deduped {
+                            self.fault_stats.batches_deduped += 1;
+                        }
+                        job_ok[o.job] = true;
+                        job_end[o.job] = run.end;
+                        self.data_ts[job.vertex.index()] = job.to;
+                        req_tuples[job.req] += run.tuples;
+                        self.events.push(
+                            run.end,
+                            ExecEvent::Commit {
+                                vertex: job.vertex,
+                                ts: job.to,
+                            },
+                        );
+                        if job.vertex == req.mv {
+                            completion[job.req] = run.end;
+                        }
+                    }
+                    Err(SmileError::Transient { .. }) => {
+                        req_failed[job.req] = true;
+                    }
+                    Err(e) => {
+                        req_failed[job.req] = true;
+                        if hard_error.is_none() {
+                            hard_error = Some(e);
+                        }
+                    }
+                }
+            }
+            self.wave_meter.record_wave_jobs(&profile);
+        }
+
+        for (r, req) in requests.iter().enumerate() {
+            // Progress made before a fault is kept: the tuples moved and
+            // the commit events of successful jobs are already in.
+            self.tuples_moved += req_tuples[r];
+            *self.tuples_per_sharing.entry(req.sharing).or_default() += req_tuples[r];
+            if req_failed[r] {
+                if req.attempt >= self.config.retry.max_attempts {
+                    self.fault_stats.pushes_abandoned += 1;
+                    self.sharings[req.idx].in_flight = false;
+                } else {
+                    self.fault_stats.pushes_retried += 1;
+                    self.pending_retries.push(PendingRetry {
+                        due: now + self.config.retry.delay_after(req.attempt),
+                        idx: req.idx,
+                        target: req.target,
+                        attempt: req.attempt + 1,
+                    });
+                    self.sharings[req.idx].in_flight = true;
+                }
+            } else {
+                self.events.push(
+                    completion[r].max(now),
+                    ExecEvent::PushDone {
+                        idx: req.idx,
+                        issued: now,
+                        target: req.target,
+                        predicted: req.predicted,
+                        staleness_before: req.staleness_before,
+                        tuples: req_tuples[r],
+                    },
+                );
+                self.sharings[req.idx].in_flight = true;
             }
         }
-        // A fully-skipped push (everything shared and ahead) commits now.
-        completion = completion.max(now);
-        self.tuples_moved += tuples_total;
-        *self.tuples_per_sharing.entry(rt.id).or_default() += tuples_total;
-        self.events.push(
-            completion,
-            ExecEvent::PushDone {
-                idx,
-                issued: now,
-                target,
-                predicted,
-                staleness_before,
-                tuples: tuples_total,
-            },
-        );
-        self.sharings[idx].in_flight = true;
-        Ok(completion)
+        if let Some(e) = hard_error {
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Compacts every slot's delta log below the minimum timestamp its
@@ -797,12 +1106,18 @@ impl Executor {
             let e = bound.entry((v.machine, slot)).or_insert(Timestamp::MAX);
             *e = (*e).min(own);
         }
-        // Every edge may re-read its inputs back to its output's data_ts.
+        // Every edge may re-read its inputs back to its output's data_ts —
+        // and a half-join additionally corrects its snapshot relation back
+        // to its *sibling's* coverage, which lags its own after a partial
+        // failure, so the relation's log is pinned by both.
         for e in self.global.plan.edges() {
             if e.inputs.is_empty() {
                 continue; // detached
             }
-            let out_ts = self.data_ts[e.output.index()];
+            let mut out_ts = self.data_ts[e.output.index()];
+            if let Some(sib) = self.anchor_of.get(&e.id) {
+                out_ts = out_ts.min(self.data_ts[sib.index()]);
+            }
             for &input in &e.inputs {
                 let iv = self.global.plan.vertex(input);
                 let Some(slot) = iv.slot else { continue };
@@ -997,6 +1312,45 @@ mod tests {
         assert!(executor.staleness(SharingId::new(99), smile.now()).is_err());
         assert_eq!(executor.sla(id), Some(SimDuration::from_secs(20)));
         assert_eq!(executor.sla(SharingId::new(99)), None);
+    }
+
+    #[test]
+    fn due_retries_coalesce_to_the_freshest_target() {
+        let (mut smile, _a, _b, _id) = installed(true, 20);
+        let ex = smile.executor.as_mut().unwrap();
+        let t = Timestamp::from_secs;
+        ex.pending_retries = vec![
+            PendingRetry {
+                due: t(1),
+                idx: 0,
+                target: t(5),
+                attempt: 2,
+            },
+            PendingRetry {
+                due: t(2),
+                idx: 0,
+                target: t(7),
+                attempt: 3,
+            },
+            PendingRetry {
+                due: t(3),
+                idx: 0,
+                target: t(6),
+                attempt: 2,
+            },
+            // Not yet due: must survive untouched.
+            PendingRetry {
+                due: t(9),
+                idx: 0,
+                target: t(8),
+                attempt: 2,
+            },
+        ];
+        let due = ex.collect_due_retries(t(4));
+        assert_eq!(due, vec![(0, t(7), 3)], "one attempt at the max target");
+        assert_eq!(ex.fault_stats.retries_coalesced, 2);
+        assert_eq!(ex.pending_retries.len(), 1);
+        assert_eq!(ex.pending_retries[0].due, t(9));
     }
 
     #[test]

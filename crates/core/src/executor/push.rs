@@ -19,11 +19,30 @@
 //! the snapshot and the table's current state — so the big side is probed
 //! through its persistent secondary index and only the correction is
 //! materialized.
+//!
+//! ## Machine-local primitives
+//!
+//! Every operator except a cross-machine `CopyDelta` touches exactly one
+//! machine (plan validation enforces co-location), so the execution
+//! primitives here take `&mut Machine`, not the whole cluster. That is what
+//! lets the parallel wave engine ([`super::wave`]) hand disjoint machine
+//! partitions to worker threads: a cross-machine copy splits into
+//! [`ship_copy`] on the source machine and [`land_copy`] on the destination,
+//! exchanging immutable `Arc`-backed WAL bytes; everything else is
+//! [`run_local`] on the output's machine. Fault decisions (crash windows,
+//! delta drops, ack losses) are **not** drawn here — the coordinator
+//! pre-draws them in canonical order and passes the outcomes in as
+//! [`JobFaults`], keeping the seeded fault streams independent of the
+//! worker count. The original [`run_edge`] cluster-level entry point remains
+//! as the serial wrapper that draws faults inline, in the same order.
 
 use crate::plan::dag::{DeltaSide, Edge, EdgeOp, Plan, SnapshotSem, VertexKind};
 use crate::plan::timecost::TimeCostModel;
+use smile_sim::machine::Machine;
+use smile_sim::meter::ResourceUsage;
 use smile_sim::Cluster;
 use smile_storage::delta::{DeltaBatch, DeltaEntry};
+use smile_storage::wal::Bytes;
 use smile_storage::{wal, Predicate};
 use smile_types::{MachineId, Result, SharingId, SmileError, Timestamp, Tuple, VertexId};
 
@@ -41,6 +60,33 @@ pub struct EdgeRun {
     /// True iff the output batch was suppressed by batch-id deduplication
     /// (a retry re-shipping a window that already landed).
     pub deduped: bool,
+}
+
+/// Pre-drawn fault outcomes for one edge job. The coordinator consumes the
+/// shared fault stream in canonical job order *before* dispatching a wave,
+/// so these booleans — not the injector — are what the (possibly
+/// multi-threaded) execution sees.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct JobFaults {
+    /// A cross-machine delta batch is lost in transit after the NIC time
+    /// was spent.
+    pub drop_delta: bool,
+    /// The batch lands but its acknowledgement is lost; the retry re-ships
+    /// and is absorbed by batch-id dedup.
+    pub ack_lost: bool,
+}
+
+/// The source-machine half of a cross-machine `CopyDelta`: the filtered
+/// window encoded as WAL bytes and already pushed through the NIC.
+#[derive(Clone, Debug)]
+pub(crate) struct ShipOutput {
+    /// Encoded WAL bytes — an immutable, cheaply cloneable `Arc`-backed
+    /// buffer handed to the destination machine's worker.
+    pub bytes: Bytes,
+    /// Arrival time at the destination (NIC serialization + latency).
+    pub arrive: Timestamp,
+    /// The NIC usage to charge (spent even if the batch is then dropped).
+    pub usage: ResourceUsage,
 }
 
 fn slot_of(plan: &Plan, v: VertexId) -> Result<smile_types::RelationId> {
@@ -107,6 +153,10 @@ fn apply_filter_projection(
 /// `charge_to` — the sharing whose push *triggered* the work (shared
 /// vertices are advanced once and later pushes ride along for free, which
 /// is exactly the Figure 10 subsidy effect).
+///
+/// This is the serial cluster-level wrapper: it checks crash windows and
+/// draws the drop/ack faults inline, in the same stream order the batch
+/// coordinator uses, then delegates to the machine-local primitives.
 #[allow(clippy::too_many_arguments)]
 pub fn run_edge(
     cluster: &mut Cluster,
@@ -120,9 +170,132 @@ pub fn run_edge(
 ) -> Result<EdgeRun> {
     let sharings: Vec<SharingId> = vec![charge_to];
     let _ = &edge.sharings;
+    let mut charges: Vec<ResourceUsage> = Vec::new();
+    let result = match &edge.op {
+        EdgeOp::CopyDelta => {
+            let src_v = plan.vertex(edge.inputs[0]);
+            let dst_v = plan.vertex(edge.output);
+            check_up(cluster, src_v.machine, submit)?;
+            check_up(cluster, dst_v.machine, submit)?;
+            if src_v.machine != dst_v.machine {
+                let ship = {
+                    let src = cluster.machine_mut(src_v.machine)?;
+                    ship_copy(src, plan, edge, from, to, submit)?
+                };
+                // The NIC time was spent whether or not the batch arrives.
+                cluster.ledger.charge(ship.usage, &sharings);
+                if cluster.faults.drop_delta(submit) {
+                    return Err(SmileError::Transient {
+                        detail: format!("delta batch for vertex {} lost in transit", dst_v.id),
+                    });
+                }
+                let ack_lost = cluster.faults.ack_lost(submit);
+                let dst = cluster.machine_mut(dst_v.machine)?;
+                land_copy(
+                    dst,
+                    plan,
+                    edge,
+                    from,
+                    to,
+                    ship.bytes,
+                    ship.arrive,
+                    model,
+                    ack_lost,
+                    &mut charges,
+                )
+            } else {
+                let ack_lost = cluster.faults.ack_lost(submit);
+                let m = cluster.machine_mut(dst_v.machine)?;
+                run_local(
+                    m, plan, edge, from, to, None, submit, model, ack_lost, &mut charges,
+                )
+            }
+        }
+        _ => {
+            let out_v = plan.vertex(edge.output);
+            check_up(cluster, out_v.machine, submit)?;
+            let m = cluster.machine_mut(out_v.machine)?;
+            run_local(
+                m, plan, edge, from, to, None, submit, model, false, &mut charges,
+            )
+        }
+    };
+    for u in charges {
+        cluster.ledger.charge(u, &sharings);
+    }
+    result
+}
+
+/// Source-machine half of a cross-machine copy: read the window, filter and
+/// project it, encode WAL bytes and occupy the NIC. No fault is consulted —
+/// the caller decides (or has pre-drawn) whether the batch is dropped.
+pub(crate) fn ship_copy(
+    src: &mut Machine,
+    plan: &Plan,
+    edge: &Edge,
+    from: Timestamp,
+    to: Timestamp,
+    submit: Timestamp,
+) -> Result<ShipOutput> {
+    let src_slot = slot_of(plan, edge.inputs[0])?;
+    let raw = src.db.delta_window(src_slot, from, to)?;
+    let batch = apply_filter_projection(raw, &edge.filter, edge.projection.as_ref());
+    let bytes = wal::encode(&batch);
+    let (res, usage) = src.send(submit, bytes.len() as u64);
+    Ok(ShipOutput {
+        bytes,
+        arrive: res.end,
+        usage,
+    })
+}
+
+/// Destination-machine half of a cross-machine copy: decode the shipped WAL
+/// bytes and land the batch (CPU service, aggregation, idempotent append).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn land_copy(
+    dst: &mut Machine,
+    plan: &Plan,
+    edge: &Edge,
+    from: Timestamp,
+    to: Timestamp,
+    bytes: Bytes,
+    arrive: Timestamp,
+    model: &TimeCostModel,
+    ack_lost: bool,
+    charges: &mut Vec<ResourceUsage>,
+) -> Result<EdgeRun> {
+    // The WAL round-trip is the real data path: decode on arrival.
+    let batch = wal::decode(bytes)?;
+    finish_copy(dst, plan, edge, batch, arrive, from, to, model, ack_lost, charges)
+}
+
+/// Runs an edge whose every byte lives on one machine: a same-machine copy,
+/// a delta application, a join, or a union. `ack_lost` only applies to
+/// `CopyDelta` (the other operators have no acknowledgement fault in the
+/// model) and fires *after* the batch landed, matching the serial path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_local(
+    machine: &mut Machine,
+    plan: &Plan,
+    edge: &Edge,
+    from: Timestamp,
+    to: Timestamp,
+    anchor: Option<Timestamp>,
+    submit: Timestamp,
+    model: &TimeCostModel,
+    ack_lost: bool,
+    charges: &mut Vec<ResourceUsage>,
+) -> Result<EdgeRun> {
     match &edge.op {
-        EdgeOp::CopyDelta => run_copy(cluster, plan, edge, from, to, submit, model, &sharings),
-        EdgeOp::DeltaToRel => run_apply(cluster, plan, edge, to, submit, model, &sharings),
+        EdgeOp::CopyDelta => {
+            let src_slot = slot_of(plan, edge.inputs[0])?;
+            let raw = machine.db.delta_window(src_slot, from, to)?;
+            let batch = apply_filter_projection(raw, &edge.filter, edge.projection.as_ref());
+            finish_copy(
+                machine, plan, edge, batch, submit, from, to, model, ack_lost, charges,
+            )
+        }
+        EdgeOp::DeltaToRel => run_apply(machine, plan, edge, to, submit, model, charges),
         EdgeOp::Join {
             on,
             delta_side,
@@ -130,80 +303,55 @@ pub fn run_edge(
             snapshot_filter,
             indexed,
         } => run_join(
-            cluster,
+            machine,
             plan,
             edge,
             from,
             to,
+            anchor,
             submit,
             model,
-            &sharings,
+            charges,
             on,
             *delta_side,
             *snapshot,
             snapshot_filter,
             *indexed,
         ),
-        EdgeOp::Union => run_union(cluster, plan, edge, from, to, submit, model, &sharings),
+        EdgeOp::Union => run_union(machine, plan, edge, from, to, submit, model, charges),
     }
 }
 
+/// Shared tail of both copy variants: CPU service, aggregation against the
+/// output table, idempotent append, then the (possibly pre-drawn) ack loss.
 #[allow(clippy::too_many_arguments)]
-fn run_copy(
-    cluster: &mut Cluster,
+fn finish_copy(
+    dst: &mut Machine,
     plan: &Plan,
     edge: &Edge,
+    batch: DeltaBatch,
+    start: Timestamp,
     from: Timestamp,
     to: Timestamp,
-    submit: Timestamp,
     model: &TimeCostModel,
-    sharings: &[SharingId],
+    ack_lost: bool,
+    charges: &mut Vec<ResourceUsage>,
 ) -> Result<EdgeRun> {
-    let src_v = plan.vertex(edge.inputs[0]);
     let dst_v = plan.vertex(edge.output);
-    let src_slot = slot_of(plan, src_v.id)?;
     let dst_slot = slot_of(plan, dst_v.id)?;
-    check_up(cluster, src_v.machine, submit)?;
-    check_up(cluster, dst_v.machine, submit)?;
-
-    let raw = cluster
-        .machine(src_v.machine)?
-        .db
-        .delta_window(src_slot, from, to)?;
-    let batch = apply_filter_projection(raw, &edge.filter, edge.projection.as_ref());
     let n = batch.len() as u64;
-
-    // Ship WAL bytes across the wire when machines differ.
-    let mut arrive = submit;
-    if src_v.machine != dst_v.machine {
-        let bytes = wal::encode(&batch);
-        let (res, usage) = cluster
-            .machine_mut(src_v.machine)?
-            .send(submit, bytes.len() as u64);
-        cluster.ledger.charge(usage, sharings);
-        if cluster.faults.drop_delta(submit) {
-            // The NIC time was spent, but the batch never arrives.
-            return Err(SmileError::Transient {
-                detail: format!("delta batch for vertex {} lost in transit", dst_v.id),
-            });
-        }
-        // The WAL round-trip is the real data path: decode on arrival.
-        let decoded = wal::decode(bytes)?;
-        debug_assert_eq!(decoded, batch);
-        arrive = res.end;
-    }
     let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
-    let (res, usage) = cluster.machine_mut(dst_v.machine)?.run_cpu(arrive, service);
-    cluster.ledger.charge(usage, sharings);
-    let batch = apply_aggregate(cluster, dst_v.machine, dst_slot, batch, edge)?;
-    let appended = cluster.machine_mut(dst_v.machine)?.db.append_delta_dedup(
+    let (res, usage) = dst.run_cpu(start, service);
+    charges.push(usage);
+    let batch = apply_aggregate(dst, dst_slot, batch, edge)?;
+    let appended = dst.db.append_delta_dedup(
         dst_slot,
         batch,
         batch_id(dst_v.id, from, to),
         dst_v.id.index() as u64,
         to,
     )?;
-    if cluster.faults.ack_lost(submit) {
+    if ack_lost {
         // The batch landed but the completion message did not; the retry
         // will re-ship and be absorbed by the batch-id dedup above.
         return Err(SmileError::Transient {
@@ -221,8 +369,7 @@ fn run_copy(
 /// delta: the raw window is folded into aggregate-space delete/insert
 /// entries against the MV's current rows (the output slot is the MV's).
 fn apply_aggregate(
-    cluster: &Cluster,
-    machine: smile_types::MachineId,
+    machine: &Machine,
     slot: smile_types::RelationId,
     batch: DeltaBatch,
     edge: &Edge,
@@ -230,29 +377,27 @@ fn apply_aggregate(
     let Some(spec) = &edge.aggregate else {
         return Ok(batch);
     };
-    let table = &cluster.machine(machine)?.db.relation(slot)?.table;
+    let table = &machine.db.relation(slot)?.table;
     spec.delta_transform(&batch, |g| table.get_by_key(g))
 }
 
 fn run_apply(
-    cluster: &mut Cluster,
+    machine: &mut Machine,
     plan: &Plan,
     edge: &Edge,
     to: Timestamp,
     submit: Timestamp,
     model: &TimeCostModel,
-    sharings: &[SharingId],
+    charges: &mut Vec<ResourceUsage>,
 ) -> Result<EdgeRun> {
     let out_v = plan.vertex(edge.output);
     let slot = slot_of(plan, out_v.id)?;
-    check_up(cluster, out_v.machine, submit)?;
-    let machine = cluster.machine_mut(out_v.machine)?;
     // `apply_pending` is naturally idempotent: it only moves the table
     // forward from its current timestamp, so a retry re-applies nothing.
     let n = machine.db.apply_pending(slot, to)? as u64;
     let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
     let (res, usage) = machine.run_cpu(submit, service);
-    cluster.ledger.charge(usage, sharings);
+    charges.push(usage);
     Ok(EdgeRun {
         end: res.end,
         tuples: n,
@@ -262,14 +407,15 @@ fn run_apply(
 
 #[allow(clippy::too_many_arguments)]
 fn run_join(
-    cluster: &mut Cluster,
+    machine: &mut Machine,
     plan: &Plan,
     edge: &Edge,
     from: Timestamp,
     to: Timestamp,
+    anchor: Option<Timestamp>,
     submit: Timestamp,
     model: &TimeCostModel,
-    sharings: &[SharingId],
+    charges: &mut Vec<ResourceUsage>,
     on: &smile_storage::join::JoinOn,
     delta_side: DeltaSide,
     snapshot: SnapshotSem,
@@ -279,7 +425,6 @@ fn run_join(
     let delta_v = plan.vertex(edge.inputs[0]);
     let rel_v = plan.vertex(edge.inputs[1]);
     let out_v = plan.vertex(edge.output);
-    check_up(cluster, out_v.machine, submit)?;
     debug_assert_eq!(delta_v.machine, out_v.machine);
     debug_assert_eq!(rel_v.machine, out_v.machine);
     debug_assert_eq!(rel_v.kind, VertexKind::Relation);
@@ -293,70 +438,45 @@ fn run_join(
         DeltaSide::Left => (&on.left_cols, &on.right_cols),
         DeltaSide::Right => (&on.right_cols, &on.left_cols),
     };
-    let at = match snapshot {
+    // The snapshot point: the planner's anchor (the sibling half-join's
+    // coverage) when one is supplied — the value that keeps the two halves
+    // consistent even when failures have skewed their windows — otherwise
+    // the edge's static semantics, which assume lockstep advancement.
+    let at = anchor.unwrap_or(match snapshot {
         SnapshotSem::WindowStart => from,
         SnapshotSem::WindowEnd => to,
-    };
+    });
 
-    let machine = cluster.machine(out_v.machine)?;
-    let window = {
-        let raw = machine.db.delta_window(delta_slot, from, to)?;
-        apply_filter_projection(raw, &edge.filter, None)
-    };
-
-    let mut outputs: Vec<DeltaEntry> = Vec::new();
-    let window_len = window.len() as u64;
-    if !window.is_empty() {
-        let slot_ref = machine.db.relation(rel_slot)?;
-        let table = &slot_ref.table;
-        let concat = |d: &Tuple, s: &Tuple| match delta_side {
-            DeltaSide::Left => d.concat(s),
-            DeltaSide::Right => s.concat(d),
+    let (outputs, window_len) = {
+        let db = &machine.db;
+        let window = {
+            let raw = db.delta_window(delta_slot, from, to)?;
+            apply_filter_projection(raw, &edge.filter, None)
         };
-        if indexed {
-            // Main probe against the table's current contents through the
-            // persistent arrangement on the join key — maintained
-            // incrementally by delta application, shared by every edge
-            // probing the same (relation, key) pair, never rebuilt here.
-            let Some(arr) = table.arrangement(snap_cols) else {
-                return Err(SmileError::Internal(format!(
-                    "relation vertex {} lacks the arrangement on {:?} its join edge probes",
-                    rel_v.id, snap_cols
-                )));
+
+        let mut outputs: Vec<DeltaEntry> = Vec::new();
+        let window_len = window.len() as u64;
+        if !window.is_empty() {
+            let slot_ref = db.relation(rel_slot)?;
+            let table = &slot_ref.table;
+            let concat = |d: &Tuple, s: &Tuple| match delta_side {
+                DeltaSide::Left => d.concat(s),
+                DeltaSide::Right => s.concat(d),
             };
-            for e in &window.entries {
-                let key = e.tuple.project(delta_cols);
-                for (row, &w) in arr.probe(&key) {
-                    if !snapshot_filter.eval(row) {
-                        continue;
-                    }
-                    let weight = e.weight * w;
-                    if weight != 0 {
-                        outputs.push(DeltaEntry {
-                            tuple: concat(&e.tuple, row),
-                            weight,
-                            ts: e.ts,
-                        });
-                    }
-                }
-            }
-        } else {
-            // Ablation path (`use_arrangements` off): rebuild a probe index
-            // from a full scan of the relation, once per push — the
-            // pre-arrangement behaviour the cost model prices as
-            // `Join { indexed: false }`.
-            let mut scan_index: std::collections::HashMap<Tuple, Vec<(&Tuple, i64)>> =
-                std::collections::HashMap::with_capacity(table.len());
-            for (t, w) in table.rows().iter() {
-                scan_index
-                    .entry(t.project(snap_cols))
-                    .or_default()
-                    .push((t, w));
-            }
-            for e in &window.entries {
-                let key = e.tuple.project(delta_cols);
-                if let Some(matches) = scan_index.get(&key) {
-                    for &(row, w) in matches {
+            if indexed {
+                // Main probe against the table's current contents through the
+                // persistent arrangement on the join key — maintained
+                // incrementally by delta application, shared by every edge
+                // probing the same (relation, key) pair, never rebuilt here.
+                let Some(arr) = table.arrangement(snap_cols) else {
+                    return Err(SmileError::Internal(format!(
+                        "relation vertex {} lacks the arrangement on {:?} its join edge probes",
+                        rel_v.id, snap_cols
+                    )));
+                };
+                for e in &window.entries {
+                    let key = e.tuple.project(delta_cols);
+                    for (row, &w) in arr.probe(&key) {
                         if !snapshot_filter.eval(row) {
                             continue;
                         }
@@ -370,36 +490,27 @@ fn run_join(
                         }
                     }
                 }
-            }
-        }
-        // Correction: the table is at `table.ts()`, we need it at `at`.
-        //   R@at = R@now − Σ(at, now]   (at < now)
-        //   R@at = R@now + Σ(now, at]   (at > now)
-        let table_ts = table.ts();
-        if at != table_ts {
-            let (corr, sign) = if at < table_ts {
-                (slot_ref.delta.window(at, table_ts).to_zset(), -1)
             } else {
-                (slot_ref.delta.window(table_ts, at).to_zset(), 1)
-            };
-            if !corr.is_empty() {
-                // Index the correction by the snapshot-side join columns.
-                let mut corr_index: std::collections::HashMap<Tuple, Vec<(&Tuple, i64)>> =
-                    std::collections::HashMap::new();
-                for (t, w) in corr.iter() {
-                    if !snapshot_filter.eval(t) {
-                        continue;
-                    }
-                    corr_index
+                // Ablation path (`use_arrangements` off): rebuild a probe index
+                // from a full scan of the relation, once per push — the
+                // pre-arrangement behaviour the cost model prices as
+                // `Join { indexed: false }`.
+                let mut scan_index: std::collections::HashMap<Tuple, Vec<(&Tuple, i64)>> =
+                    std::collections::HashMap::with_capacity(table.len());
+                for (t, w) in table.rows().iter() {
+                    scan_index
                         .entry(t.project(snap_cols))
                         .or_default()
                         .push((t, w));
                 }
                 for e in &window.entries {
                     let key = e.tuple.project(delta_cols);
-                    if let Some(matches) = corr_index.get(&key) {
-                        for (row, w) in matches {
-                            let weight = e.weight * w * sign;
+                    if let Some(matches) = scan_index.get(&key) {
+                        for &(row, w) in matches {
+                            if !snapshot_filter.eval(row) {
+                                continue;
+                            }
+                            let weight = e.weight * w;
                             if weight != 0 {
                                 outputs.push(DeltaEntry {
                                     tuple: concat(&e.tuple, row),
@@ -411,8 +522,49 @@ fn run_join(
                     }
                 }
             }
+            // Correction: the table is at `table.ts()`, we need it at `at`.
+            //   R@at = R@now − Σ(at, now]   (at < now)
+            //   R@at = R@now + Σ(now, at]   (at > now)
+            let table_ts = table.ts();
+            if at != table_ts {
+                let (corr, sign) = if at < table_ts {
+                    (slot_ref.delta.window(at, table_ts).to_zset(), -1)
+                } else {
+                    (slot_ref.delta.window(table_ts, at).to_zset(), 1)
+                };
+                if !corr.is_empty() {
+                    // Index the correction by the snapshot-side join columns.
+                    let mut corr_index: std::collections::HashMap<Tuple, Vec<(&Tuple, i64)>> =
+                        std::collections::HashMap::new();
+                    for (t, w) in corr.iter() {
+                        if !snapshot_filter.eval(t) {
+                            continue;
+                        }
+                        corr_index
+                            .entry(t.project(snap_cols))
+                            .or_default()
+                            .push((t, w));
+                    }
+                    for e in &window.entries {
+                        let key = e.tuple.project(delta_cols);
+                        if let Some(matches) = corr_index.get(&key) {
+                            for (row, w) in matches {
+                                let weight = e.weight * w * sign;
+                                if weight != 0 {
+                                    outputs.push(DeltaEntry {
+                                        tuple: concat(&e.tuple, row),
+                                        weight,
+                                        ts: e.ts,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
         }
-    }
+        (outputs, window_len)
+    };
 
     let produced = outputs.len() as u64;
     // Service time is billed on the work actually done — reading the window
@@ -423,10 +575,9 @@ fn run_join(
     let n = window_len.max(produced);
     let batch = DeltaBatch { entries: outputs };
     let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
-    let machine = cluster.machine_mut(out_v.machine)?;
     let (res, usage) = machine.run_cpu(submit, service);
-    cluster.ledger.charge(usage, sharings);
-    let appended = cluster.machine_mut(out_v.machine)?.db.append_delta_dedup(
+    charges.push(usage);
+    let appended = machine.db.append_delta_dedup(
         out_slot,
         batch,
         batch_id(out_v.id, from, to),
@@ -442,27 +593,23 @@ fn run_join(
 
 #[allow(clippy::too_many_arguments)]
 fn run_union(
-    cluster: &mut Cluster,
+    machine: &mut Machine,
     plan: &Plan,
     edge: &Edge,
     from: Timestamp,
     to: Timestamp,
     submit: Timestamp,
     model: &TimeCostModel,
-    sharings: &[SharingId],
+    charges: &mut Vec<ResourceUsage>,
 ) -> Result<EdgeRun> {
     let out_v = plan.vertex(edge.output);
     let out_slot = slot_of(plan, out_v.id)?;
-    check_up(cluster, out_v.machine, submit)?;
     let mut merged: Vec<DeltaEntry> = Vec::new();
     for &input in &edge.inputs {
         let in_v = plan.vertex(input);
         debug_assert_eq!(in_v.machine, out_v.machine);
         let in_slot = slot_of(plan, input)?;
-        let raw = cluster
-            .machine(out_v.machine)?
-            .db
-            .delta_window(in_slot, from, to)?;
+        let raw = machine.db.delta_window(in_slot, from, to)?;
         let filtered = apply_filter_projection(raw, &edge.filter, edge.projection.as_ref());
         merged.extend(filtered.entries);
     }
@@ -470,16 +617,10 @@ fn run_union(
     merged.sort_by_key(|e| e.ts);
     let n = merged.len() as u64;
     let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
-    let (res, usage) = cluster.machine_mut(out_v.machine)?.run_cpu(submit, service);
-    cluster.ledger.charge(usage, sharings);
-    let batch = apply_aggregate(
-        cluster,
-        out_v.machine,
-        out_slot,
-        DeltaBatch { entries: merged },
-        edge,
-    )?;
-    let appended = cluster.machine_mut(out_v.machine)?.db.append_delta_dedup(
+    let (res, usage) = machine.run_cpu(submit, service);
+    charges.push(usage);
+    let batch = apply_aggregate(machine, out_slot, DeltaBatch { entries: merged }, edge)?;
+    let appended = machine.db.append_delta_dedup(
         out_slot,
         batch,
         batch_id(out_v.id, from, to),
@@ -675,5 +816,112 @@ mod tests {
         let (mut cluster, plan, e) = join_fixture(true, false);
         let err = run_fixture(&mut cluster, &plan, e).unwrap_err();
         assert!(matches!(err, SmileError::Internal(_)));
+    }
+
+    /// The split primitives compose to the same result as the one-machine
+    /// wrapper: ship on the source, land on the destination.
+    #[test]
+    fn ship_then_land_moves_the_window_across_machines() {
+        let mut cluster = Cluster::homogeneous(2);
+        let (m0, m1) = (MachineId::new(0), MachineId::new(1));
+        let slot = RelationId::new(0);
+        let dst_slot = RelationId::new(1);
+        cluster
+            .machine_mut(m0)
+            .unwrap()
+            .db
+            .create_relation(slot, two_cols())
+            .unwrap();
+        cluster
+            .machine_mut(m1)
+            .unwrap()
+            .db
+            .create_relation(dst_slot, two_cols())
+            .unwrap();
+        let ts = Timestamp::from_secs(1);
+        let batch: DeltaBatch = (0..4)
+            .map(|k| DeltaEntry::insert(tuple![k, k], ts))
+            .collect();
+        cluster
+            .machine_mut(m0)
+            .unwrap()
+            .db
+            .append_delta(slot, batch)
+            .unwrap();
+
+        let mut plan = Plan::new();
+        let vs = plan.add_vertex(
+            VertexKind::Delta,
+            ExprSig::Base(slot),
+            m0,
+            two_cols(),
+            false,
+            None,
+            1.0,
+            0.0,
+            16.0,
+        );
+        let vd = plan.add_vertex(
+            VertexKind::Delta,
+            ExprSig::Base(dst_slot),
+            m1,
+            two_cols(),
+            false,
+            None,
+            1.0,
+            0.0,
+            16.0,
+        );
+        plan.vertex_mut(vs).slot = Some(slot);
+        plan.vertex_mut(vd).slot = Some(dst_slot);
+        let e = plan
+            .add_edge(
+                EdgeOp::CopyDelta,
+                vec![vs],
+                vd,
+                Predicate::True,
+                None,
+                None,
+                1.0,
+                16.0,
+            )
+            .unwrap();
+        let edge = plan.edge(e).clone();
+        let model = TimeCostModel::paper_defaults();
+
+        let ship = ship_copy(
+            cluster.machine_mut(m0).unwrap(),
+            &plan,
+            &edge,
+            Timestamp::ZERO,
+            ts,
+            ts,
+        )
+        .unwrap();
+        assert!(ship.usage.net_bytes > 0, "the wire was used");
+        assert!(ship.arrive > ts, "latency applied");
+        let mut charges = Vec::new();
+        let run = land_copy(
+            cluster.machine_mut(m1).unwrap(),
+            &plan,
+            &edge,
+            Timestamp::ZERO,
+            ts,
+            ship.bytes,
+            ship.arrive,
+            &model,
+            false,
+            &mut charges,
+        )
+        .unwrap();
+        assert_eq!(run.tuples, 4);
+        assert_eq!(charges.len(), 1, "one CPU charge on the destination");
+        let landed = cluster
+            .machine(m1)
+            .unwrap()
+            .db
+            .delta_window(dst_slot, Timestamp::ZERO, ts)
+            .unwrap();
+        assert_eq!(landed.len(), 4);
     }
 }

@@ -1,0 +1,246 @@
+//! Multi-core wave execution for push batches.
+//!
+//! The executor plans a *batch* of push requests into edge jobs, assigns
+//! each job a topological **wave** (every job's dependencies live in
+//! strictly earlier waves), and hands one wave at a time to [`run_wave`].
+//! Within a wave, jobs are independent except that several may touch the
+//! same machine — so the unit of parallelism is the **machine**, not the
+//! job: machine `i` is owned by worker `i % workers` for the duration of
+//! the wave, each worker runs its machines' jobs in canonical (job-index)
+//! order, and no lock is ever taken on storage. A cross-machine `CopyDelta`
+//! is the one job that spans two machines; it splits into a ship half on
+//! the source owner and a land half on the destination owner, exchanging an
+//! immutable `Arc`-backed WAL byte buffer through a per-job mailbox, with a
+//! barrier between the two phases.
+//!
+//! Determinism is by construction, not by luck:
+//!
+//! * all fault-stream draws happen coordinator-side before dispatch, in
+//!   canonical job order ([`JobFaults`] carries the outcomes in);
+//! * workers mutate only their own machines and return [`JobOutcome`]s;
+//! * the coordinator merges outcomes back in canonical job order — ledger
+//!   charges, timestamp advances, event pushes and retry decisions all
+//!   happen on one thread, in one order, whatever the worker count;
+//! * simulated time comes from each machine's own FIFO resources, which
+//!   see exactly the same submission sequence regardless of which host
+//!   thread issues it.
+//!
+//! `workers == 1` runs the *same* engine inline on the calling thread —
+//! there is no separate serial code path to drift from.
+//!
+//! Host wall-clock per job is measured with [`Instant`] and reported in
+//! [`JobOutcome::profile`]; it feeds only the [`smile_sim::WaveMeter`]
+//! observability layer, never the simulation, so timing jitter cannot
+//! perturb results.
+
+use super::push::{self, EdgeRun, JobFaults, ShipOutput};
+use crate::plan::dag::Plan;
+use crate::plan::timecost::TimeCostModel;
+use smile_sim::machine::Machine;
+use smile_sim::meter::ResourceUsage;
+use smile_types::{Result, SmileError, Timestamp};
+use std::collections::HashMap;
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+/// One edge job dispatched as part of a wave, with every scheduling
+/// decision (submission time, fault outcomes, machine routing) already
+/// made by the coordinator.
+#[derive(Clone, Debug)]
+pub(crate) struct WaveJob {
+    /// Canonical index of this job within the batch (merge order).
+    pub job: usize,
+    /// Edge index in the global plan.
+    pub edge: usize,
+    /// Window start (exclusive).
+    pub from: Timestamp,
+    /// Window end (inclusive).
+    pub to: Timestamp,
+    /// For half-join jobs: the sibling join's coverage at planning time —
+    /// the snapshot anchor (`None` falls back to the edge's static
+    /// snapshot semantics).
+    pub anchor: Option<Timestamp>,
+    /// Simulated submission time at the executing machine.
+    pub submit: Timestamp,
+    /// Pre-drawn fault outcomes for this job.
+    pub faults: JobFaults,
+    /// For a cross-machine copy: the source machine's index (phase A).
+    pub ship_machine: Option<usize>,
+    /// The machine index whose worker produces the job's outcome (phase B);
+    /// for a cross-machine copy this is the destination.
+    pub exec_machine: usize,
+}
+
+/// What one job did, reported back to the coordinator.
+#[derive(Debug)]
+pub(crate) struct JobOutcome {
+    /// Canonical index of the job (matches [`WaveJob::job`]).
+    pub job: usize,
+    /// Resource usages to charge, in the order the serial path charges them.
+    pub charges: Vec<ResourceUsage>,
+    /// The edge result (success, transient fault, or hard error).
+    pub result: Result<EdgeRun>,
+    /// Host nanoseconds of real work, per machine index — observability
+    /// only, never fed back into the simulation.
+    pub profile: Vec<(u32, u128)>,
+}
+
+/// Mailbox carrying a shipped delta batch (or the ship's error) plus the
+/// host nanos the ship cost, from the source worker to the destination
+/// worker across the phase barrier.
+type ShipSlot = Mutex<Option<(Result<ShipOutput>, u128)>>;
+
+/// Executes one wave of jobs over the fleet with `workers` threads and
+/// returns the outcomes sorted in canonical job order.
+pub(crate) fn run_wave(
+    machines: &mut [Machine],
+    plan: &Plan,
+    model: &TimeCostModel,
+    jobs: &[WaveJob],
+    workers: usize,
+) -> Vec<JobOutcome> {
+    let w = workers.max(1).min(machines.len().max(1));
+    let ships: Vec<ShipSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let barrier = Barrier::new(w);
+    let mut outcomes: Vec<JobOutcome> = if w <= 1 {
+        // Same engine, inline: the barrier trivially passes with one
+        // participant and the job order is already canonical.
+        let part: Vec<(usize, &mut Machine)> = machines.iter_mut().enumerate().collect();
+        worker_run(part, jobs, plan, model, &ships, &barrier)
+    } else {
+        let mut parts: Vec<Vec<(usize, &mut Machine)>> = (0..w).map(|_| Vec::new()).collect();
+        for (i, m) in machines.iter_mut().enumerate() {
+            parts[i % w].push((i, m));
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|part| {
+                    let (ships, barrier) = (&ships, &barrier);
+                    s.spawn(move || worker_run(part, jobs, plan, model, ships, barrier))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("wave worker panicked"))
+                .collect()
+        })
+    };
+    outcomes.sort_by_key(|o| o.job);
+    outcomes
+}
+
+/// One worker's share of a wave: ship every cross-machine copy whose source
+/// it owns (phase A), wait for the fleet at the barrier, then execute every
+/// job whose output machine it owns (phase B), in canonical job order.
+fn worker_run(
+    part: Vec<(usize, &mut Machine)>,
+    jobs: &[WaveJob],
+    plan: &Plan,
+    model: &TimeCostModel,
+    ships: &[ShipSlot],
+    barrier: &Barrier,
+) -> Vec<JobOutcome> {
+    let mut mine: HashMap<usize, &mut Machine> = part.into_iter().collect();
+
+    // Phase A: encode + NIC-reserve outbound batches on source machines.
+    // Mailboxes are indexed by position in the wave's job slice (every
+    // worker iterates the same slice, so positions agree).
+    for (slot, j) in jobs.iter().enumerate() {
+        let Some(sm) = j.ship_machine else { continue };
+        let Some(src) = mine.get_mut(&sm) else { continue };
+        let t0 = Instant::now();
+        let res = push::ship_copy(src, plan, plan.edge(j.edge), j.from, j.to, j.submit);
+        let nanos = t0.elapsed().as_nanos();
+        *ships[slot].lock().expect("ship mailbox poisoned") = Some((res, nanos));
+    }
+    barrier.wait();
+
+    // Phase B: land copies / run local operators on output machines. Reads
+    // of phase-A state are safe: every mailbox written in phase A is sealed
+    // by the barrier, and window bounds exclude entries later jobs append.
+    let mut out = Vec::new();
+    for (slot, j) in jobs.iter().enumerate() {
+        if !mine.contains_key(&j.exec_machine) {
+            continue;
+        }
+        let mut charges: Vec<ResourceUsage> = Vec::new();
+        let mut profile: Vec<(u32, u128)> = Vec::new();
+        let edge = plan.edge(j.edge);
+        let t0 = Instant::now();
+        let result = if let Some(sm) = j.ship_machine {
+            let (ship_res, ship_nanos) = ships[slot]
+                .lock()
+                .expect("ship mailbox poisoned")
+                .take()
+                .expect("cross-machine copy was not shipped in phase A");
+            profile.push((sm as u32, ship_nanos));
+            match ship_res {
+                Ok(ship) => {
+                    // The NIC time was spent whether or not the batch lands.
+                    charges.push(ship.usage);
+                    if j.faults.drop_delta {
+                        Err(SmileError::Transient {
+                            detail: format!(
+                                "delta batch for vertex {} lost in transit",
+                                plan.vertex(edge.output).id
+                            ),
+                        })
+                    } else {
+                        let dst = mine
+                            .get_mut(&j.exec_machine)
+                            .expect("exec machine checked above");
+                        push::land_copy(
+                            dst,
+                            plan,
+                            edge,
+                            j.from,
+                            j.to,
+                            ship.bytes,
+                            ship.arrive,
+                            model,
+                            j.faults.ack_lost,
+                            &mut charges,
+                        )
+                    }
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            let m = mine
+                .get_mut(&j.exec_machine)
+                .expect("exec machine checked above");
+            push::run_local(
+                m,
+                plan,
+                edge,
+                j.from,
+                j.to,
+                j.anchor,
+                j.submit,
+                model,
+                j.faults.ack_lost,
+                &mut charges,
+            )
+        };
+        profile.push((j.exec_machine as u32, t0.elapsed().as_nanos()));
+        out.push(JobOutcome {
+            job: j.job,
+            charges,
+            result,
+            profile,
+        });
+    }
+    out
+}
+
+// Everything a worker closure captures must cross threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Plan>();
+    assert_send_sync::<TimeCostModel>();
+    assert_send_sync::<ShipOutput>();
+    fn assert_send<T: Send>() {}
+    assert_send::<JobOutcome>();
+    assert_send::<&mut Machine>();
+};

@@ -387,6 +387,90 @@ impl Plan {
         Ok(order)
     }
 
+    /// Topological *wavefronts* over a vertex subset (the parallel push
+    /// engine's schedule): wave `k` holds every subset vertex whose producer
+    /// inputs inside the subset all sit in waves `< k`, so no two vertices
+    /// in one wave depend on each other and their producing edges can run
+    /// concurrently. Inputs outside the subset (base vertices, vertices
+    /// already at the target timestamp) impose no ordering. Each wave is
+    /// sorted by vertex id — the canonical merge order the coordinator uses
+    /// to keep results byte-identical at any worker count.
+    ///
+    /// Errors only if the plan itself is cyclic.
+    pub fn wavefronts(&self, subset: &[VertexId]) -> Result<Vec<Vec<VertexId>>> {
+        let member: HashSet<VertexId> = subset.iter().copied().collect();
+        let mut wave_of: HashMap<VertexId, usize> = HashMap::new();
+        let mut waves: Vec<Vec<VertexId>> = Vec::new();
+        for v in self.topo_order()? {
+            if !member.contains(&v) {
+                continue;
+            }
+            let wave = self
+                .producer(v)
+                .map(|e| {
+                    e.inputs
+                        .iter()
+                        .filter_map(|i| wave_of.get(i).map(|w| w + 1))
+                        .max()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            wave_of.insert(v, wave);
+            if waves.len() <= wave {
+                waves.resize(wave + 1, Vec::new());
+            }
+            waves[wave].push(v);
+        }
+        for wave in &mut waves {
+            wave.sort_by_key(|v| v.index());
+        }
+        Ok(waves)
+    }
+
+    /// Pairs up the half-joins of every delta-join decomposition: for each
+    /// `Union` vertex fed (possibly through `CopyDelta` chains) by exactly
+    /// two `Join` edges, maps each join edge's id to the *sibling* join's
+    /// output vertex.
+    ///
+    /// The sibling output is the snapshot **anchor** for incremental
+    /// execution. A half-join `Δb ⋈ a@x` is only consistent when `x` is the
+    /// timestamp through which the sibling `Δa ⋈ b@y` has already landed its
+    /// delta coverage — the invariant is `MV = a@ta ⋈ b@tb` with `ta`/`tb`
+    /// the two joins' coverages. When every push advances both halves in
+    /// lockstep this coincides with the edge's static [`SnapshotSem`], but
+    /// after a partial failure the halves can advance unequally and the
+    /// anchor must follow the sibling's actual coverage or the cross-term
+    /// `Δa ⋈ Δb` of the skewed window is double-counted (or dropped).
+    pub fn half_join_anchors(&self) -> HashMap<usize, VertexId> {
+        let mut anchors = HashMap::new();
+        for union in &self.edges {
+            if !matches!(union.op, EdgeOp::Union) {
+                continue;
+            }
+            // Resolve each union input back through copy chains to the join
+            // edge (if any) that produced it.
+            let mut halves: Vec<(usize, VertexId)> = Vec::new();
+            for &input in &union.inputs {
+                let mut cur = input;
+                let join = loop {
+                    match self.producer(cur) {
+                        Some(e) if matches!(e.op, EdgeOp::CopyDelta) => cur = e.inputs[0],
+                        Some(e) if matches!(e.op, EdgeOp::Join { .. }) => break Some(e),
+                        _ => break None,
+                    }
+                };
+                if let Some(e) = join {
+                    halves.push((e.id, e.output));
+                }
+            }
+            if let [(ea, va), (eb, vb)] = halves[..] {
+                anchors.insert(ea, vb);
+                anchors.insert(eb, va);
+            }
+        }
+        anchors
+    }
+
     /// `ANC(v)`: every vertex upstream of `v` (excluding `v` itself),
     /// together with the edges among them.
     pub fn ancestors(&self, v: VertexId) -> (HashSet<VertexId>, HashSet<usize>) {
@@ -806,6 +890,133 @@ mod tests {
         assert_eq!(edges.len(), 2);
     }
 
+    /// Chain `Δbase → Δcopy → relation`: each derived vertex gets its own
+    /// wave, and excluding the middle vertex from the subset lifts the
+    /// ordering constraint on the tail.
+    #[test]
+    fn wavefronts_respect_chain_order_and_subset() {
+        let mut p = Plan::new();
+        let (_, d0) = base_pair(&mut p, 0, 0);
+        let sig = ExprSig::base(RelationId::new(0));
+        let d1 = p.add_vertex(
+            VertexKind::Delta,
+            sig.clone(),
+            MachineId::new(1),
+            schema(),
+            false,
+            None,
+            10.0,
+            0.0,
+            24.0,
+        );
+        let r1 = p.add_vertex(
+            VertexKind::Relation,
+            sig,
+            MachineId::new(1),
+            schema(),
+            false,
+            None,
+            10.0,
+            100.0,
+            24.0,
+        );
+        p.add_edge(
+            EdgeOp::CopyDelta,
+            vec![d0],
+            d1,
+            Predicate::True,
+            None,
+            None,
+            10.0,
+            24.0,
+        )
+        .unwrap();
+        p.add_edge(
+            EdgeOp::DeltaToRel,
+            vec![d1],
+            r1,
+            Predicate::True,
+            None,
+            None,
+            10.0,
+            24.0,
+        )
+        .unwrap();
+        assert_eq!(p.wavefronts(&[d1, r1]).unwrap(), vec![vec![d1], vec![r1]]);
+        // The base source is never constrained; with the middle vertex
+        // outside the subset the tail runs in wave 0.
+        assert_eq!(p.wavefronts(&[r1]).unwrap(), vec![vec![r1]]);
+        assert!(p.wavefronts(&[]).unwrap().is_empty());
+    }
+
+    /// Diamond: two copies fed by independent bases land in the same wave
+    /// (sorted by id), their union one wave later.
+    #[test]
+    fn wavefronts_put_independent_vertices_in_one_wave() {
+        let mut p = Plan::new();
+        let (_, da) = base_pair(&mut p, 0, 0);
+        let (_, db) = base_pair(&mut p, 1, 0);
+        let ca = p.add_vertex(
+            VertexKind::Delta,
+            ExprSig::base(RelationId::new(0)),
+            MachineId::new(1),
+            schema(),
+            false,
+            None,
+            1.0,
+            0.0,
+            24.0,
+        );
+        let cb = p.add_vertex(
+            VertexKind::Delta,
+            ExprSig::base(RelationId::new(1)),
+            MachineId::new(1),
+            schema(),
+            false,
+            None,
+            1.0,
+            0.0,
+            24.0,
+        );
+        let u = p.add_vertex(
+            VertexKind::Delta,
+            ExprSig::base(RelationId::new(2)),
+            MachineId::new(1),
+            schema(),
+            false,
+            None,
+            1.0,
+            0.0,
+            24.0,
+        );
+        for (src, dst) in [(da, ca), (db, cb)] {
+            p.add_edge(
+                EdgeOp::CopyDelta,
+                vec![src],
+                dst,
+                Predicate::True,
+                None,
+                None,
+                1.0,
+                24.0,
+            )
+            .unwrap();
+        }
+        p.add_edge(
+            EdgeOp::Union,
+            vec![ca, cb],
+            u,
+            Predicate::True,
+            None,
+            None,
+            1.0,
+            24.0,
+        )
+        .unwrap();
+        let waves = p.wavefronts(&[u, cb, ca]).unwrap();
+        assert_eq!(waves, vec![vec![ca, cb], vec![u]]);
+    }
+
     #[test]
     fn garbage_collect_drops_unshared() {
         let mut p = Plan::new();
@@ -841,5 +1052,93 @@ mod tests {
         let gc = p.garbage_collect();
         assert_eq!(gc.vertex_count(), 2);
         assert_eq!(gc.edge_count(), 0);
+    }
+
+    /// The real topology of a two-machine join sharing: Δb ships to m0 and
+    /// half-joins `a` there, Δa ships to m1 and half-joins `b` there, the
+    /// remote half's output ships back to m0 where the union merges the two
+    /// streams. Each half-join edge must anchor on the *sibling's* output
+    /// vertex, resolved through the copy chain between join and union.
+    #[test]
+    fn half_join_anchors_pair_through_copy_chains() {
+        use smile_storage::join::JoinOn;
+        let mut p = Plan::new();
+        let (ra, da) = base_pair(&mut p, 0, 0);
+        let (rb, db) = base_pair(&mut p, 1, 1);
+        let delta = |p: &mut Plan, rel: u32, m: u32| {
+            p.add_vertex(
+                VertexKind::Delta,
+                ExprSig::base(RelationId::new(rel)),
+                MachineId::new(m),
+                schema(),
+                false,
+                None,
+                10.0,
+                0.0,
+                24.0,
+            )
+        };
+        let dbr = delta(&mut p, 1, 0); // Δb replica on m0
+        let dar = delta(&mut p, 0, 1); // Δa replica on m1
+        let j0 = delta(&mut p, 2, 0); // Δb ⋈ a
+        let j1 = delta(&mut p, 3, 1); // Δa ⋈ b
+        let j1c = delta(&mut p, 4, 0); // j1's output shipped home
+        let u = delta(&mut p, 5, 0);
+        let copy = |p: &mut Plan, from: VertexId, to: VertexId| {
+            p.add_edge(
+                EdgeOp::CopyDelta,
+                vec![from],
+                to,
+                Predicate::True,
+                None,
+                None,
+                10.0,
+                24.0,
+            )
+            .unwrap()
+        };
+        copy(&mut p, db, dbr);
+        copy(&mut p, da, dar);
+        let join = |p: &mut Plan, d: VertexId, r: VertexId, out: VertexId, side: DeltaSide| {
+            p.add_edge(
+                EdgeOp::Join {
+                    on: JoinOn::on(0, 0),
+                    delta_side: side,
+                    snapshot: match side {
+                        DeltaSide::Left => SnapshotSem::WindowStart,
+                        DeltaSide::Right => SnapshotSem::WindowEnd,
+                    },
+                    snapshot_filter: Predicate::True,
+                    indexed: true,
+                },
+                vec![d, r],
+                out,
+                Predicate::True,
+                None,
+                None,
+                10.0,
+                24.0,
+            )
+            .unwrap()
+        };
+        let e0 = join(&mut p, dbr, ra, j0, DeltaSide::Left);
+        let e1 = join(&mut p, dar, rb, j1, DeltaSide::Right);
+        copy(&mut p, j1, j1c);
+        p.add_edge(
+            EdgeOp::Union,
+            vec![j0, j1c],
+            u,
+            Predicate::True,
+            None,
+            None,
+            10.0,
+            24.0,
+        )
+        .unwrap();
+        p.validate().unwrap();
+        let anchors = p.half_join_anchors();
+        assert_eq!(anchors.len(), 2);
+        assert_eq!(anchors[&e0], j1);
+        assert_eq!(anchors[&e1], j0);
     }
 }

@@ -111,6 +111,9 @@ pub struct FaultReport {
     pub pushes_deferred: u64,
     /// Retried delta batches suppressed by batch-id deduplication.
     pub batches_deduped: u64,
+    /// Pending retries dropped because a later push of the same sharing
+    /// superseded their target.
+    pub retries_coalesced: u64,
     /// SLA violations observed by the snapshot auditor.
     pub sla_violations: u64,
     /// Violations whose staleness window overlapped an injected fault
@@ -515,6 +518,16 @@ impl Smile {
         self.cluster.arrangement_meter()
     }
 
+    /// Host-side profile of the parallel push engine: waves, jobs, and the
+    /// per-machine busy time the modeled-makespan analysis replays. Empty
+    /// before `install`.
+    pub fn wave_meter(&self) -> smile_sim::WaveMeter {
+        self.executor
+            .as_ref()
+            .map(|e| e.wave_meter.clone())
+            .unwrap_or_default()
+    }
+
     /// Assembles the [`FaultReport`] for the run so far: injector tallies,
     /// the executor's recovery statistics, and the snapshot auditor's SLA
     /// violations split by whether an injected fault was active inside the
@@ -556,6 +569,7 @@ impl Smile {
             pushes_abandoned: stats.pushes_abandoned,
             pushes_deferred: stats.pushes_deferred,
             batches_deduped: stats.batches_deduped,
+            retries_coalesced: stats.retries_coalesced,
             sla_violations,
             sla_violations_attributable: attributable,
         }

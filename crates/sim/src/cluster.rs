@@ -92,6 +92,13 @@ impl Cluster {
             .ok_or(SmileError::UnknownMachine(m))
     }
 
+    /// Mutable access to the whole fleet at once. The parallel push engine
+    /// partitions this slice by machine index so each worker thread owns its
+    /// machines' simulated resources and tables exclusively for a wave.
+    pub fn machines_mut(&mut self) -> &mut [Machine] {
+        &mut self.machines
+    }
+
     /// Samples disk occupancy on every machine into the ledger's total
     /// (storage is platform overhead shared by all sharings hosted on the
     /// machine; per-sharing attribution happens through plan vertices).

@@ -38,6 +38,6 @@ pub use cluster::Cluster;
 pub use event::EventQueue;
 pub use faults::{FaultCounters, FaultEvent, FaultInjector, FaultProfile};
 pub use machine::{Machine, MachineConfig};
-pub use meter::{ResourceUsage, UsageLedger};
+pub use meter::{ResourceUsage, UsageLedger, WaveMeter};
 pub use pricing::PriceSheet;
 pub use pubsub::PubSub;

@@ -166,6 +166,13 @@ impl Machine {
     }
 }
 
+// The parallel push engine hands `&mut Machine` slices to scoped worker
+// threads, one partition per worker.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Machine>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,14 +10,16 @@
 //! and share the state (cf. "Shared Arrangements", McSherry et al., VLDB
 //! 2020).
 //!
-//! Probe-side statistics are kept in [`Cell`]s so read-only probes through a
-//! shared `&Table` still count; [`ArrangementCounters`] snapshots them for
-//! the simulator's meter.
+//! Probe-side statistics are kept in relaxed [`AtomicU64`]s so read-only
+//! probes through a shared `&Table` still count — including probes from the
+//! parallel push engine's worker threads, which hold `&Table` borrows of
+//! machine-partitioned state; [`ArrangementCounters`] snapshots them for the
+//! simulator's meter.
 
 use crate::zset::ZSet;
 use smile_types::Tuple;
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Snapshot of one arrangement's (or a fleet aggregate's) operational
 /// counters: probe traffic, hit rate, and maintenance volume.
@@ -61,15 +63,29 @@ impl ArrangementCounters {
 /// `key`, with its z-set weight. Weight-zero rows are never stored — updates
 /// consolidate in place — so probing yields exactly the rows a scan of the
 /// consolidated relation would.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Arrangement {
     cols: Vec<usize>,
     index: HashMap<Tuple, HashMap<Tuple, i64>>,
-    probes: Cell<u64>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    probes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
     maintained: u64,
     built_rows: u64,
+}
+
+impl Clone for Arrangement {
+    fn clone(&self) -> Self {
+        Self {
+            cols: self.cols.clone(),
+            index: self.index.clone(),
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            maintained: self.maintained,
+            built_rows: self.built_rows,
+        }
+    }
 }
 
 impl Arrangement {
@@ -78,9 +94,9 @@ impl Arrangement {
         Self {
             cols,
             index: HashMap::new(),
-            probes: Cell::new(0),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            probes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
             maintained: 0,
             built_rows: 0,
         }
@@ -139,14 +155,14 @@ impl Arrangement {
     /// `key`, by reference. Counts the probe as a hit or miss.
     pub fn probe(&self, key: &Tuple) -> &HashMap<Tuple, i64> {
         static EMPTY: std::sync::OnceLock<HashMap<Tuple, i64>> = std::sync::OnceLock::new();
-        self.probes.set(self.probes.get() + 1);
+        self.probes.fetch_add(1, Ordering::Relaxed);
         match self.index.get(key) {
             Some(bucket) => {
-                self.hits.set(self.hits.get() + 1);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 bucket
             }
             None => {
-                self.misses.set(self.misses.get() + 1);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 EMPTY.get_or_init(HashMap::new)
             }
         }
@@ -176,14 +192,21 @@ impl Arrangement {
     /// Snapshot of the probe/maintenance counters.
     pub fn counters(&self) -> ArrangementCounters {
         ArrangementCounters {
-            probes: self.probes.get(),
-            hits: self.hits.get(),
-            misses: self.misses.get(),
+            probes: self.probes.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
             maintained: self.maintained,
             built_rows: self.built_rows,
         }
     }
 }
+
+// The parallel push engine moves machine-partitioned storage across worker
+// threads; keep these guarantees checked at compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Arrangement>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -201,6 +201,12 @@ impl Table {
     }
 }
 
+// Tables are owned per-machine by the parallel push engine's workers.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Table>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,7 +14,11 @@
 //! ```
 
 use crate::delta::{DeltaBatch, DeltaEntry};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, BytesMut};
+/// Encoded WAL bytes: a cheaply cloneable, immutable `Arc`-backed buffer —
+/// the unit the parallel push engine shares between the source worker that
+/// encodes a delta batch and the destination worker that decodes it.
+pub use bytes::Bytes;
 use smile_types::{Result, SmileError, Timestamp, Tuple, Value};
 
 const MAGIC: &[u8; 4] = b"SWAL";

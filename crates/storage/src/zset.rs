@@ -15,6 +15,13 @@ pub struct ZSet {
     entries: HashMap<Tuple, i64>,
 }
 
+// Delta batches built from z-sets are `Arc`-shared across the parallel push
+// engine's worker threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ZSet>();
+};
+
 impl ZSet {
     /// The empty z-set.
     pub fn new() -> Self {

@@ -1,0 +1,156 @@
+//! Parallel execution is an implementation detail, not a semantics: the
+//! wave engine must produce byte-identical results at any worker count,
+//! even while a seeded chaos profile injects crashes, delta drops and lost
+//! acknowledgements whose retries skew the half-joins of the delta
+//! decomposition. MV contents, fault attribution and the full PUSH record
+//! stream are compared across workers = 1, 2 and 8.
+
+use smile::core::catalog::BaseStats;
+use smile::core::executor::PushRecord;
+use smile::core::platform::{FaultReport, Smile, SmileConfig};
+use smile::sim::FaultProfile;
+use smile::storage::delta::{DeltaBatch, DeltaEntry};
+use smile::storage::join::JoinOn;
+use smile::storage::{Predicate, SpjQuery};
+use smile::types::{
+    tuple, Column, ColumnType, MachineId, RelationId, Schema, SharingId, SimDuration,
+};
+
+fn schema(cols: &[(&str, ColumnType)], key: Vec<usize>) -> Schema {
+    Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(), key)
+}
+
+/// Everything observable about a run that must not depend on the worker
+/// count.
+struct RunResult {
+    mv: String,
+    expected: String,
+    report: FaultReport,
+    pushes: Vec<PushRecord>,
+    tuples_moved: u64,
+    dollars: String,
+}
+
+/// Two machines, one cross-machine joined sharing, seeded chaos, `workers`
+/// worker threads. The explicit `workers` setting wins over the
+/// `SMILE_WORKERS` env override, so this test is meaningful under either CI
+/// leg.
+fn run(workers: usize) -> RunResult {
+    let mut config = SmileConfig::with_machines(2);
+    config.faults = FaultProfile::chaos(4242);
+    config.exec.workers = workers;
+    let mut smile = Smile::new(config);
+    let a = smile
+        .register_base(
+            "a",
+            schema(&[("k", ColumnType::I64)], vec![0]),
+            MachineId::new(0),
+            BaseStats {
+                update_rate: 5.0,
+                cardinality: 100.0,
+                tuple_bytes: 16.0,
+                distinct: vec![100.0],
+            },
+        )
+        .unwrap();
+    let b = smile
+        .register_base(
+            "b",
+            schema(&[("k", ColumnType::I64), ("v", ColumnType::I64)], vec![0]),
+            MachineId::new(1),
+            BaseStats {
+                update_rate: 5.0,
+                cardinality: 100.0,
+                tuple_bytes: 16.0,
+                distinct: vec![100.0, 50.0],
+            },
+        )
+        .unwrap();
+    let q = SpjQuery::scan(a).join(b, JoinOn::on(0, 0), Predicate::True);
+    let id: SharingId = smile
+        .submit("t", q, SimDuration::from_secs(20), 0.01)
+        .unwrap();
+    smile.install().unwrap();
+    feed(&mut smile, a, b, 250);
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    let executor = smile.executor.as_ref().unwrap();
+    RunResult {
+        mv: format!("{:?}", smile.mv_contents(id).unwrap().sorted_entries()),
+        expected: format!(
+            "{:?}",
+            smile.expected_mv_contents(id).unwrap().sorted_entries()
+        ),
+        report: smile.fault_report(),
+        pushes: executor.push_records.clone(),
+        tuples_moved: executor.tuples_moved,
+        dollars: format!("{:.9}", smile.total_dollars()),
+    }
+}
+
+/// One insert into each base per tick, then a tick.
+fn feed(smile: &mut Smile, a: RelationId, b: RelationId, ticks: u64) {
+    for s in 0..ticks {
+        let now = smile.now();
+        smile
+            .ingest(
+                a,
+                DeltaBatch {
+                    entries: vec![DeltaEntry::insert(tuple![(s % 20) as i64], now)],
+                },
+            )
+            .unwrap();
+        smile
+            .ingest(
+                b,
+                DeltaBatch {
+                    entries: vec![DeltaEntry::insert(tuple![(s % 20) as i64, s as i64], now)],
+                },
+            )
+            .unwrap();
+        smile.step().unwrap();
+    }
+}
+
+#[test]
+fn chaos_run_is_byte_identical_at_any_worker_count() {
+    let base = run(1);
+    // The chaos profile must actually exercise the recovery machinery, or
+    // the determinism claim is vacuous.
+    assert!(base.report.crashes >= 1, "no crashes: {:?}", base.report);
+    assert!(
+        base.report.pushes_retried >= 1,
+        "no retries: {:?}",
+        base.report
+    );
+    assert!(!base.pushes.is_empty(), "no pushes completed");
+    assert_eq!(
+        base.mv, base.expected,
+        "serial run diverged from ground truth"
+    );
+
+    for workers in [2usize, 8] {
+        let r = run(workers);
+        assert_eq!(r.mv, base.mv, "MV bytes differ at workers={workers}");
+        assert_eq!(
+            r.expected, base.expected,
+            "ground truth differs at workers={workers}"
+        );
+        assert_eq!(
+            r.report, base.report,
+            "fault attribution differs at workers={workers}"
+        );
+        assert_eq!(
+            r.pushes, base.pushes,
+            "PUSH record stream differs at workers={workers}"
+        );
+        assert_eq!(
+            r.tuples_moved, base.tuples_moved,
+            "meter differs at workers={workers}"
+        );
+        assert_eq!(
+            r.dollars, base.dollars,
+            "billing differs at workers={workers}"
+        );
+    }
+}

@@ -9,11 +9,21 @@
 //! schedule replayed through an N-core host, which is the headline number
 //! because CI hosts may have a single core.
 //!
+//! With `--trace` it instead emits the `BENCH_0004.json` telemetry
+//! overhead ablation: the same fig5-scale fleet driven with telemetry on
+//! and off (min wall clock over several interleaved reps), asserting the
+//! span ring stays empty in the off runs, plus a Perfetto-loadable Chrome
+//! trace artifact exported from an instrumented run.
+//!
 //! Usage:
 //!   bench_baseline [--out PATH] [--quick]   measure and write BENCH_0002
 //!   bench_baseline --workers 1,2,4,8 [--out PATH] [--quick]
 //!                                           measure and write BENCH_0003
+//!   bench_baseline --trace [PATH] [--out PATH] [--quick]
+//!                                           measure and write BENCH_0004
+//!                                           plus the trace artifact
 //!   bench_baseline --validate PATH          schema-check an emitted JSON
+//!   bench_baseline --validate-trace PATH    schema-check a Chrome trace
 //!
 //! The JSON is hand-rolled (the container has no serde); `--validate`
 //! re-reads it with a matching hand-rolled extractor so CI can smoke-test
@@ -27,12 +37,20 @@ use smile_core::platform::{Smile, SmileConfig};
 use smile_storage::delta::{DeltaBatch, DeltaEntry};
 use smile_storage::join::JoinOn;
 use smile_storage::{Database, Predicate, SpjQuery};
+use smile_telemetry::HistogramSnapshot;
 use smile_types::{
     tuple, Column, ColumnType, MachineId, RelationId, Schema, SimDuration, Timestamp, Tuple,
 };
 
 const REL: RelationId = RelationId(0);
 const KEYS: i64 = 977;
+
+/// Fleet size for the fig5-scale ring workload (BENCH_0003 / BENCH_0004).
+const FLEET_MACHINES: usize = 8;
+
+/// The telemetry overhead budget enforced by `--validate` on BENCH_0004,
+/// in percent of the uninstrumented wall clock.
+const OVERHEAD_BUDGET_PCT: f64 = 3.0;
 
 struct Config {
     rows: i64,
@@ -252,68 +270,71 @@ struct WaveStats {
     points: Vec<SweepPoint>,
 }
 
-/// Drives a fig5-scale fleet — 8 machines in a ring, every machine's base
-/// joined with its neighbor's, so each sharing ships deltas both ways —
-/// once per worker count. Results must be byte-identical (asserted on the
-/// tuples-moved meter); the workers=1 run's wave profile is the reference
-/// schedule replayed through `WaveMeter::makespan_nanos`.
-fn push_wave_sweep(cfg: &Config, workers: &[usize]) -> WaveStats {
-    const MACHINES: usize = 8;
-    let run = |w: usize| -> (Smile, f64) {
-        let mut config = SmileConfig::with_machines(MACHINES);
-        config.exec.workers = w;
-        let mut smile = Smile::new(config);
-        let rels: Vec<RelationId> = (0..MACHINES)
-            .map(|m| {
-                smile
-                    .register_base(
-                        &format!("r{m}"),
-                        schema2(),
-                        MachineId::new(m as u32),
-                        BaseStats {
-                            update_rate: 32.0,
-                            cardinality: cfg.rows as f64,
-                            tuple_bytes: 16.0,
-                            distinct: vec![KEYS as f64, cfg.rows as f64],
-                        },
-                    )
-                    .unwrap()
-            })
-            .collect();
-        for m in 0..MACHINES {
-            let q = SpjQuery::scan(rels[m]).join(
-                rels[(m + 1) % MACHINES],
-                JoinOn::on(0, 0),
-                Predicate::True,
-            );
+/// Drives the fig5-scale ring fleet once — `FLEET_MACHINES` machines,
+/// every machine's base joined with its neighbor's, so each sharing ships
+/// deltas both ways — and returns the platform plus the wall-clock seconds
+/// of the driven portion.
+fn drive_fleet(cfg: &Config, workers: usize, telemetry_on: bool) -> (Smile, f64) {
+    let mut config = SmileConfig::with_machines(FLEET_MACHINES);
+    config.exec.workers = workers;
+    config.telemetry.enabled = telemetry_on;
+    let mut smile = Smile::new(config);
+    let rels: Vec<RelationId> = (0..FLEET_MACHINES)
+        .map(|m| {
             smile
-                .submit(&format!("s{m}"), q, SimDuration::from_secs(30), 0.01)
-                .unwrap();
+                .register_base(
+                    &format!("r{m}"),
+                    schema2(),
+                    MachineId::new(m as u32),
+                    BaseStats {
+                        update_rate: 32.0,
+                        cardinality: cfg.rows as f64,
+                        tuple_bytes: 16.0,
+                        distinct: vec![KEYS as f64, cfg.rows as f64],
+                    },
+                )
+                .unwrap()
+        })
+        .collect();
+    for m in 0..FLEET_MACHINES {
+        let q = SpjQuery::scan(rels[m]).join(
+            rels[(m + 1) % FLEET_MACHINES],
+            JoinOn::on(0, 0),
+            Predicate::True,
+        );
+        smile
+            .submit(&format!("s{m}"), q, SimDuration::from_secs(30), 0.01)
+            .unwrap();
+    }
+    smile.install().unwrap();
+    let start = Instant::now();
+    for s in 0..cfg.ticks {
+        let now = smile.now();
+        for (m, &rel) in rels.iter().enumerate() {
+            let batch: DeltaBatch = (0..32)
+                .map(|i| {
+                    let k = ((s as i64) * 32 + i + m as i64) % KEYS;
+                    DeltaEntry::insert(tuple![k, s as i64], now)
+                })
+                .collect();
+            smile.ingest(rel, batch).unwrap();
         }
-        smile.install().unwrap();
-        let start = Instant::now();
-        for s in 0..cfg.ticks {
-            let now = smile.now();
-            for (m, &rel) in rels.iter().enumerate() {
-                let batch: DeltaBatch = (0..32)
-                    .map(|i| {
-                        let k = ((s as i64) * 32 + i + m as i64) % KEYS;
-                        DeltaEntry::insert(tuple![k, s as i64], now)
-                    })
-                    .collect();
-                smile.ingest(rel, batch).unwrap();
-            }
-            smile.step().unwrap();
-        }
-        smile.run_idle(SimDuration::from_secs(60)).unwrap();
-        let wall = start.elapsed().as_secs_f64();
-        (smile, wall)
-    };
+        smile.step().unwrap();
+    }
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+    let wall = start.elapsed().as_secs_f64();
+    (smile, wall)
+}
 
+/// Drives the ring fleet once per worker count. Results must be
+/// byte-identical (asserted on the tuples-moved meter); the workers=1
+/// run's wave profile is the reference schedule replayed through
+/// `WaveMeter::makespan_nanos`.
+fn push_wave_sweep(cfg: &Config, workers: &[usize]) -> WaveStats {
     let mut points = Vec::new();
     let mut reference: Option<(smile_sim::WaveMeter, u64)> = None;
     for &w in workers {
-        let (smile, wall) = run(w);
+        let (smile, wall) = drive_fleet(cfg, w, true);
         let meter = smile.wave_meter();
         let tuples = smile.executor.as_ref().unwrap().tuples_moved;
         if let Some((_, ref_tuples)) = &reference {
@@ -335,8 +356,8 @@ fn push_wave_sweep(cfg: &Config, workers: &[usize]) -> WaveStats {
         p.modeled_makespan_nanos = meter.makespan_nanos(p.workers);
     }
     WaveStats {
-        machines: MACHINES,
-        sharings: MACHINES,
+        machines: FLEET_MACHINES,
+        sharings: FLEET_MACHINES,
         ticks: cfg.ticks,
         waves: meter.waves,
         jobs: meter.jobs,
@@ -411,6 +432,129 @@ fn emit_wave_json(w: &WaveStats) -> String {
         host = host,
         at4 = at4,
         sweep = sweep.join(",\n"),
+    )
+}
+
+/// What the telemetry ablation measured.
+struct TraceStats {
+    ticks: u64,
+    reps: usize,
+    on_wall_secs: f64,
+    off_wall_secs: f64,
+    overhead_pct: f64,
+    spans_retained: usize,
+    spans_dropped: u64,
+    trace_events: usize,
+    /// All sharings' staleness-headroom histograms merged.
+    headroom: HistogramSnapshot,
+    sla_missed: u64,
+    /// The exported Chrome trace from the final instrumented run.
+    trace: String,
+}
+
+/// Telemetry overhead ablation: the ring fleet driven `reps` times with
+/// spans off and `reps` times with spans on (interleaved, min wall clock
+/// per mode so scheduler noise cancels), at one worker so the measurement
+/// is not confounded by thread scheduling. Every off run must leave the
+/// span ring empty — quiet mode is load-bearing, not best-effort.
+fn telemetry_ablation(cfg: &Config, reps: usize) -> TraceStats {
+    let mut off_wall = f64::INFINITY;
+    let mut on_wall = f64::INFINITY;
+    let mut last_on: Option<Smile> = None;
+    for _ in 0..reps {
+        let (smile, wall) = drive_fleet(cfg, 1, false);
+        assert_eq!(
+            smile.telemetry().spans_len(),
+            0,
+            "quiet mode recorded spans"
+        );
+        assert_eq!(
+            smile.telemetry().spans_dropped(),
+            0,
+            "quiet mode dropped spans"
+        );
+        off_wall = off_wall.min(wall);
+        let (smile, wall) = drive_fleet(cfg, 1, true);
+        on_wall = on_wall.min(wall);
+        last_on = Some(smile);
+    }
+    let smile = last_on.expect("at least one rep");
+    assert!(smile.telemetry().spans_len() > 0, "instrumented run has no spans");
+
+    let snap = smile.telemetry_snapshot();
+    let mut headroom = HistogramSnapshot::empty();
+    for (_, h) in snap.histograms_with_prefix("push.staleness_headroom_us") {
+        headroom.merge(h);
+    }
+    assert!(headroom.count > 0, "no staleness-headroom samples recorded");
+    let sla_missed: u64 = snap
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("push.sla_missed"))
+        .map(|(_, v)| *v)
+        .sum();
+    let trace = smile.export_trace();
+    TraceStats {
+        ticks: cfg.ticks,
+        reps,
+        on_wall_secs: on_wall,
+        off_wall_secs: off_wall,
+        overhead_pct: ((on_wall - off_wall) / off_wall * 100.0).max(0.0),
+        spans_retained: smile.telemetry().spans_len(),
+        spans_dropped: smile.telemetry().spans_dropped(),
+        trace_events: trace.matches("\"ph\"").count(),
+        headroom,
+        sla_missed,
+        trace,
+    }
+}
+
+fn emit_trace_json(t: &TraceStats) -> String {
+    format!(
+        r#"{{
+  "bench_id": "BENCH_0004",
+  "workload": {{
+    "machines": {machines},
+    "sharings": {sharings},
+    "ticks": {ticks},
+    "reps": {reps}
+  }},
+  "telemetry": {{
+    "on_wall_secs": {on:.4},
+    "off_wall_secs": {off:.4},
+    "overhead_pct": {ov:.2},
+    "overhead_budget_pct": {budget:.1},
+    "spans_retained": {retained},
+    "spans_dropped": {dropped},
+    "trace_events": {events}
+  }},
+  "staleness_headroom_us": {{
+    "pushes": {pushes},
+    "min": {min},
+    "max": {max},
+    "p50": {p50},
+    "p99": {p99},
+    "sla_missed": {missed}
+  }}
+}}
+"#,
+        machines = FLEET_MACHINES,
+        sharings = FLEET_MACHINES,
+        ticks = t.ticks,
+        reps = t.reps,
+        on = t.on_wall_secs,
+        off = t.off_wall_secs,
+        ov = t.overhead_pct,
+        budget = OVERHEAD_BUDGET_PCT,
+        retained = t.spans_retained,
+        dropped = t.spans_dropped,
+        events = t.trace_events,
+        pushes = t.headroom.count,
+        min = t.headroom.min,
+        max = t.headroom.max,
+        p50 = t.headroom.quantile(0.50),
+        p99 = t.headroom.quantile(0.99),
+        missed = t.sla_missed,
     )
 }
 
@@ -507,8 +651,91 @@ fn validate_0003(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Schema check for the BENCH_0004 telemetry ablation. The overhead budget
+/// is the acceptance bar: full span + histogram instrumentation must cost
+/// less than `OVERHEAD_BUDGET_PCT` of the uninstrumented wall clock.
+fn validate_0004(json: &str) -> Result<(), String> {
+    let num = |key: &str| get_num(json, key).ok_or_else(|| format!("missing numeric {key}"));
+    for key in [
+        "machines",
+        "sharings",
+        "ticks",
+        "reps",
+        "spans_retained",
+        "trace_events",
+        "pushes",
+    ] {
+        if num(key)? <= 0.0 {
+            return Err(format!("{key} must be positive"));
+        }
+    }
+    for key in ["on_wall_secs", "off_wall_secs"] {
+        if num(key)? <= 0.0 {
+            return Err(format!("{key} must be positive"));
+        }
+    }
+    let ov = num("overhead_pct")?;
+    if !(0.0..OVERHEAD_BUDGET_PCT).contains(&ov) {
+        return Err(format!(
+            "overhead_pct is {ov:.2}, outside [0, {OVERHEAD_BUDGET_PCT}) — \
+             telemetry blew its budget"
+        ));
+    }
+    for key in ["min", "max", "p50", "p99", "sla_missed", "spans_dropped"] {
+        if num(key)? < 0.0 {
+            return Err(format!("{key} must be non-negative"));
+        }
+    }
+    if num("min")? > num("max")? {
+        return Err("headroom min exceeds max".into());
+    }
+    Ok(())
+}
+
+/// Schema check for an exported Chrome `trace_event` file: the JSON shape
+/// Perfetto expects, the lane metadata, and at least one span of each
+/// lifecycle kind an instrumented fleet run must produce.
+fn validate_trace(path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if !json.starts_with("{\"traceEvents\": [") {
+        return Err("not a traceEvents object".into());
+    }
+    if !json.trim_end().ends_with("]}") {
+        return Err("unterminated traceEvents array".into());
+    }
+    for needle in [
+        "\"ph\": \"M\"",
+        "\"process_name\"",
+        "\"smile-sim\"",
+        "\"thread_name\"",
+        "\"coordinator\"",
+        "\"machine-0\"",
+        "\"ph\": \"X\"",
+    ] {
+        if !json.contains(needle) {
+            return Err(format!("missing {needle}"));
+        }
+    }
+    for kind in ["tick", "plan_batch", "wave", "edge_job", "mv_apply"] {
+        if !json.contains(&format!("\"name\": \"{kind}\"")) {
+            return Err(format!("no {kind} span in trace"));
+        }
+    }
+    // Every complete event needs a timestamp and duration; spot-check the
+    // counts line up.
+    let complete = json.matches("\"ph\": \"X\"").count();
+    let durs = json.matches("\"dur\": ").count();
+    if durs < complete {
+        return Err(format!("{complete} complete events but only {durs} durations"));
+    }
+    Ok(())
+}
+
 fn validate(path: &str) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if json.contains("\"bench_id\": \"BENCH_0004\"") {
+        return validate_0004(&json);
+    }
     if json.contains("\"bench_id\": \"BENCH_0003\"") {
         return validate_0003(&json);
     }
@@ -558,8 +785,61 @@ fn main() {
         return;
     }
 
+    if let Some(i) = args.iter().position(|a| a == "--validate-trace") {
+        let path = args.get(i + 1).expect("--validate-trace needs a path");
+        match validate_trace(path) {
+            Ok(()) => println!("{path}: trace schema OK"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let quick = args.iter().any(|a| a == "--quick");
     let cfg = if quick { Config::quick() } else { Config::fig5() };
+
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let trace_out = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "results/trace_example.json".to_string());
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|j| args.get(j + 1).cloned())
+            .unwrap_or_else(|| "results/BENCH_0004.json".to_string());
+        let reps = if quick { 5 } else { 3 };
+        eprintln!(
+            "telemetry ablation: {FLEET_MACHINES} machines, {FLEET_MACHINES} sharings, \
+             {} ticks, {reps} reps per mode...",
+            cfg.ticks
+        );
+        let stats = telemetry_ablation(&cfg, reps);
+        eprintln!(
+            "  off {:.3}s, on {:.3}s, overhead {:.2}% (budget {OVERHEAD_BUDGET_PCT}%)",
+            stats.off_wall_secs, stats.on_wall_secs, stats.overhead_pct
+        );
+        eprintln!(
+            "  {} spans retained ({} dropped), {} trace events, headroom p50 {} us over {} pushes",
+            stats.spans_retained,
+            stats.spans_dropped,
+            stats.trace_events,
+            stats.headroom.quantile(0.50),
+            stats.headroom.count,
+        );
+        for path in [&trace_out, &out] {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                std::fs::create_dir_all(dir).expect("create output dir");
+            }
+        }
+        std::fs::write(&trace_out, &stats.trace).expect("write trace");
+        std::fs::write(&out, emit_trace_json(&stats)).expect("write BENCH json");
+        println!("wrote {out} and {trace_out}");
+        return;
+    }
 
     if let Some(i) = args.iter().position(|a| a == "--workers") {
         let list = args.get(i + 1).expect("--workers needs a comma list");

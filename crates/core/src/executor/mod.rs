@@ -32,10 +32,28 @@ use messages::{AgentMsg, TOPIC_TO_EXECUTOR};
 use push::JobFaults;
 use smile_sim::pubsub::SubscriberId;
 use smile_sim::{Cluster, EventQueue, PubSub, WaveMeter};
+use smile_telemetry::{Counter, Histogram, SpanKind, SpanRecord, Telemetry};
 use smile_types::{
     MachineId, RelationId, Result, SharingId, SimDuration, SmileError, Timestamp, VertexId,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Simulated instant as microseconds since time zero — the only clock that
+/// appears in span timing fields, so traces are worker-count-independent.
+fn us(t: Timestamp) -> u64 {
+    (t - Timestamp::ZERO).as_micros()
+}
+
+/// Stable operator name used as a span attribute.
+fn op_name(op: &EdgeOp) -> &'static str {
+    match op {
+        EdgeOp::CopyDelta => "copy_delta",
+        EdgeOp::DeltaToRel => "delta_to_rel",
+        EdgeOp::Join { .. } => "join",
+        EdgeOp::Union => "union",
+    }
+}
 
 /// Executor tuning knobs.
 #[derive(Clone, Debug)]
@@ -246,6 +264,13 @@ struct SharingRt {
     /// Tombstone: the slot stays (event indexes must remain stable) but the
     /// scheduler ignores it.
     retired: bool,
+    /// Staleness headroom (SLA − staleness at each MV advance, µs, clamped
+    /// at zero) — the headline per-sharing telemetry histogram.
+    headroom_us: Arc<Histogram>,
+    /// Staleness observed at each MV advance, µs.
+    staleness_after_us: Arc<Histogram>,
+    /// MV advances that landed *beyond* the SLA bound.
+    sla_missed: Arc<Counter>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -292,15 +317,24 @@ pub struct Executor {
     pub tuples_per_sharing: HashMap<SharingId, u64>,
     /// Completed pushes (Figure 7 data).
     pub push_records: Vec<PushRecord>,
-    /// Host-side profile of the wave engine (throughput observability).
-    pub wave_meter: WaveMeter,
+    /// Shared telemetry handle: spans, counters, histograms.
+    telemetry: Arc<Telemetry>,
+    /// Per-wave, per-machine host busy profile — the structured tail of the
+    /// wave meter (its scalar totals live in the telemetry registry; see
+    /// [`Executor::wave_meter_view`]).
+    wave_profile: Vec<HashMap<u32, u128>>,
+    /// Registry counters behind the wave-meter view, cached at build time
+    /// so the merge loop records without a registry lookup.
+    ctr_waves: Arc<Counter>,
+    ctr_jobs: Arc<Counter>,
+    ctr_busy_nanos: Arc<Counter>,
     /// Per join edge id: the sibling half-join's output vertex, whose
     /// coverage anchors this join's snapshot (consistency under skew).
     anchor_of: HashMap<usize, VertexId>,
 }
 
 impl Executor {
-    fn build_rt(global: &GlobalPlan, s: &Sharing) -> Result<SharingRt> {
+    fn build_rt(global: &GlobalPlan, s: &Sharing, telemetry: &Telemetry) -> Result<SharingRt> {
         let topo = global.plan.topo_order()?;
         let mv = global.mv_vertex(s.id)?;
         let (anc, _) = global.plan.ancestors(mv);
@@ -339,6 +373,7 @@ impl Executor {
             .copied()
             .filter(|&v| (anc.contains(&v) || v == mv) && !global.plan.vertex(v).is_base)
             .collect();
+        let sid = s.id.0;
         Ok(SharingRt {
             id: s.id,
             sla: s.staleness_sla,
@@ -347,25 +382,43 @@ impl Executor {
             order,
             in_flight: false,
             retired: false,
+            headroom_us: telemetry
+                .registry()
+                .histogram(&format!("push.staleness_headroom_us{{sharing={sid}}}")),
+            staleness_after_us: telemetry
+                .registry()
+                .histogram(&format!("push.staleness_after_us{{sharing={sid}}}")),
+            sla_missed: telemetry
+                .registry()
+                .counter(&format!("push.sla_missed{{sharing={sid}}}")),
         })
     }
 
     /// Builds an executor over an installed global plan. `sharings` must be
-    /// the admitted sharings whose plans were merged into `global`.
+    /// the admitted sharings whose plans were merged into `global`;
+    /// `telemetry` is the platform-wide handle the executor records spans
+    /// and instruments into.
     pub fn new(
         global: GlobalPlan,
         sharings: &[Sharing],
         model: TimeCostModel,
         config: ExecConfig,
+        telemetry: Arc<Telemetry>,
     ) -> Result<Self> {
         let mut rts = Vec::with_capacity(sharings.len());
         for s in sharings {
-            rts.push(Self::build_rt(&global, s)?);
+            rts.push(Self::build_rt(&global, s, &telemetry)?);
         }
         let n = global.plan.vertex_count();
         let mut bus = PubSub::new(config.command_latency);
         let exec_sub = bus.subscribe(TOPIC_TO_EXECUTOR);
         let anchor_of = global.plan.half_join_anchors();
+        let reg = telemetry.registry();
+        let (ctr_waves, ctr_jobs, ctr_busy_nanos) = (
+            reg.counter("wave.waves"),
+            reg.counter("wave.jobs"),
+            reg.counter("wave.host_busy_nanos"),
+        );
         Ok(Self {
             global,
             model,
@@ -384,9 +437,26 @@ impl Executor {
             tuples_moved: 0,
             tuples_per_sharing: HashMap::new(),
             push_records: Vec::new(),
-            wave_meter: WaveMeter::default(),
+            telemetry,
+            wave_profile: Vec::new(),
+            ctr_waves,
+            ctr_jobs,
+            ctr_busy_nanos,
             anchor_of,
         })
+    }
+
+    /// Host-side profile of the wave engine, assembled on demand: scalar
+    /// totals come from the telemetry registry, the per-wave machine
+    /// profile (needed for the modeled-makespan replay) from the
+    /// executor's structured log.
+    pub fn wave_meter_view(&self) -> WaveMeter {
+        WaveMeter::from_parts(
+            self.ctr_waves.get(),
+            self.ctr_jobs.get(),
+            self.ctr_busy_nanos.get() as u128,
+            self.wave_profile.clone(),
+        )
     }
 
     /// Marks all derived vertices as freshly seeded at `now` (called by the
@@ -417,7 +487,7 @@ impl Executor {
         let after = self.global.plan.vertex_count();
         self.data_ts.resize(after, Timestamp::ZERO);
         self.visible_ts.resize(after, Timestamp::ZERO);
-        let rt = Self::build_rt(&self.global, sharing)?;
+        let rt = Self::build_rt(&self.global, sharing, &self.telemetry)?;
         self.sharings.push(rt);
         self.anchor_of = self.global.plan.half_join_anchors();
         Ok((before..after).map(|i| VertexId::new(i as u32)).collect())
@@ -565,16 +635,28 @@ impl Executor {
                     // push started from, so the advance is the target minus
                     // that.
                     let advanced = target - (issued - staleness_before);
+                    let after = at - target;
                     self.push_records.push(PushRecord {
                         sharing: self.sharings[idx].id,
                         issued,
                         completed: at,
                         target,
                         staleness_before,
-                        staleness_after: at - target,
+                        staleness_after: after,
                         advanced,
                         tuples,
                     });
+                    // Staleness headroom at this MV advance: how much of the
+                    // SLA bound was left unspent. A miss records zero
+                    // headroom and bumps the per-sharing violation counter.
+                    let rt = &self.sharings[idx];
+                    rt.staleness_after_us.record(after.as_micros());
+                    if after <= rt.sla {
+                        rt.headroom_us.record((rt.sla - after).as_micros());
+                    } else {
+                        rt.headroom_us.record(0);
+                        rt.sla_missed.inc();
+                    }
                 }
             }
         }
@@ -925,6 +1007,32 @@ impl Executor {
         let mut completion = vec![now; requests.len()];
         let mut hard_error: Option<SmileError> = None;
 
+        // The tick span roots this batch's span tree. Allocation and every
+        // attribute below happen coordinator-side in canonical job order, so
+        // span ids and logical content are identical at any worker count.
+        let tick_span = self
+            .telemetry
+            .enabled()
+            .then(|| self.telemetry.next_span_id());
+        if let Some(ts_id) = tick_span {
+            let plan_id = self.telemetry.next_span_id();
+            self.telemetry.record_span(SpanRecord {
+                id: plan_id,
+                parent: Some(ts_id),
+                kind: SpanKind::PlanBatch,
+                start_us: us(now),
+                end_us: us(now),
+                machine: None,
+                sharing: None,
+                batch_id: None,
+                attrs: vec![
+                    ("requests", requests.len().to_string()),
+                    ("jobs", jobs.len().to_string()),
+                ],
+            });
+        }
+        let mut max_end = now;
+
         let max_wave = jobs.iter().map(|j| j.wave).max().unwrap_or(0);
         for wave in 0..=max_wave {
             let mut dispatch: Vec<wave::WaveJob> = Vec::new();
@@ -937,6 +1045,22 @@ impl Executor {
                     // window its producer never filled; fail the request
                     // so the retry re-plans from true state.
                     req_failed[job.req] = true;
+                    if let Some(ts_id) = tick_span {
+                        self.telemetry.record_span(SpanRecord {
+                            id: self.telemetry.next_span_id(),
+                            parent: Some(ts_id),
+                            kind: SpanKind::EdgeJob,
+                            start_us: us(now),
+                            end_us: us(now),
+                            machine: None,
+                            sharing: Some(requests[job.req].sharing.0),
+                            batch_id: None,
+                            attrs: vec![
+                                ("vertex", job.vertex.to_string()),
+                                ("outcome", "skipped_dependency".to_string()),
+                            ],
+                        });
+                    }
                     continue;
                 }
                 let edge = self.global.plan.edge(job.edge);
@@ -964,6 +1088,22 @@ impl Executor {
                     // failing here consumes no draws, same as the serial
                     // `check_up` early return.
                     req_failed[job.req] = true;
+                    if let Some(ts_id) = tick_span {
+                        self.telemetry.record_span(SpanRecord {
+                            id: self.telemetry.next_span_id(),
+                            parent: Some(ts_id),
+                            kind: SpanKind::EdgeJob,
+                            start_us: us(now),
+                            end_us: us(now),
+                            machine: Some(exec_machine.0),
+                            sharing: Some(requests[job.req].sharing.0),
+                            batch_id: None,
+                            attrs: vec![
+                                ("vertex", job.vertex.to_string()),
+                                ("outcome", "blocked_machine_down".to_string()),
+                            ],
+                        });
+                    }
                     continue;
                 }
                 let mut faults = JobFaults::default();
@@ -1005,15 +1145,25 @@ impl Executor {
                 &self.model,
                 &dispatch,
                 self.config.workers,
+                &self.telemetry,
             );
+            let wave_span = tick_span.map(|_| self.telemetry.next_span_id());
+            let wave_start = dispatch.iter().map(|d| d.submit).min().unwrap_or(now);
+            let mut wave_end = wave_start;
             let mut profile: Vec<(u32, u128)> = Vec::new();
-            for o in outcomes {
+            // Outcomes are sorted by canonical job index and dispatch was
+            // built in that same order, so the two line up one-to-one.
+            for (o, d) in outcomes.into_iter().zip(dispatch.iter()) {
+                debug_assert_eq!(o.job, d.job);
                 let job = &jobs[o.job];
                 let req = &requests[job.req];
                 for u in o.charges {
                     cluster.ledger.charge(u, &[req.sharing]);
                 }
                 profile.extend(o.profile);
+                if let Some(ws) = wave_span {
+                    self.record_job_span(ws, job, req, d, &o.result);
+                }
                 match o.result {
                     Ok(run) => {
                         if run.deduped {
@@ -1021,6 +1171,8 @@ impl Executor {
                         }
                         job_ok[o.job] = true;
                         job_end[o.job] = run.end;
+                        wave_end = wave_end.max(run.end);
+                        max_end = max_end.max(run.end);
                         self.data_ts[job.vertex.index()] = job.to;
                         req_tuples[job.req] += run.tuples;
                         self.events.push(
@@ -1045,7 +1197,23 @@ impl Executor {
                     }
                 }
             }
-            self.wave_meter.record_wave_jobs(&profile);
+            if let Some(ws) = wave_span {
+                self.telemetry.record_span(SpanRecord {
+                    id: ws,
+                    parent: tick_span,
+                    kind: SpanKind::Wave,
+                    start_us: us(wave_start),
+                    end_us: us(wave_end),
+                    machine: None,
+                    sharing: None,
+                    batch_id: None,
+                    attrs: vec![
+                        ("wave", wave.to_string()),
+                        ("jobs", dispatch.len().to_string()),
+                    ],
+                });
+            }
+            self.record_wave(&profile);
         }
 
         for (r, req) in requests.iter().enumerate() {
@@ -1057,15 +1225,22 @@ impl Executor {
                 if req.attempt >= self.config.retry.max_attempts {
                     self.fault_stats.pushes_abandoned += 1;
                     self.sharings[req.idx].in_flight = false;
+                    if let Some(ts_id) = tick_span {
+                        self.record_retry_span(ts_id, req, now, now, "abandoned");
+                    }
                 } else {
                     self.fault_stats.pushes_retried += 1;
+                    let due = now + self.config.retry.delay_after(req.attempt);
                     self.pending_retries.push(PendingRetry {
-                        due: now + self.config.retry.delay_after(req.attempt),
+                        due,
                         idx: req.idx,
                         target: req.target,
                         attempt: req.attempt + 1,
                     });
                     self.sharings[req.idx].in_flight = true;
+                    if let Some(ts_id) = tick_span {
+                        self.record_retry_span(ts_id, req, now, due, "scheduled");
+                    }
                 }
             } else {
                 self.events.push(
@@ -1082,10 +1257,135 @@ impl Executor {
                 self.sharings[req.idx].in_flight = true;
             }
         }
+        if let Some(ts_id) = tick_span {
+            self.telemetry.record_span(SpanRecord {
+                id: ts_id,
+                parent: None,
+                kind: SpanKind::Tick,
+                start_us: us(now),
+                end_us: us(max_end),
+                machine: None,
+                sharing: None,
+                batch_id: None,
+                attrs: vec![("requests", requests.len().to_string())],
+            });
+        }
         if let Some(e) = hard_error {
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Records one edge job's span (plus ship/land child spans for a
+    /// cross-machine copy) under its wave. Every field is derived from
+    /// coordinator-side state, so span content never depends on the worker
+    /// count.
+    fn record_job_span(
+        &self,
+        wave_span: u64,
+        job: &BatchJob,
+        req: &BatchRequest,
+        d: &wave::WaveJob,
+        result: &Result<push::EdgeRun>,
+    ) {
+        let edge = self.global.plan.edge(job.edge);
+        let bid = push::batch_id(edge.output, job.from, job.to);
+        let kind = if job.vertex == req.mv {
+            SpanKind::MvApply
+        } else {
+            SpanKind::EdgeJob
+        };
+        let id = self.telemetry.next_span_id();
+        let (end, outcome, tuples) = match result {
+            Ok(run) if run.deduped => (run.end, "deduped".to_string(), run.tuples),
+            Ok(run) => (run.end, "ok".to_string(), run.tuples),
+            Err(e) => (d.submit, format!("error: {e}"), 0),
+        };
+        self.telemetry.record_span(SpanRecord {
+            id,
+            parent: Some(wave_span),
+            kind,
+            start_us: us(d.submit),
+            end_us: us(end),
+            machine: Some(d.exec_machine as u32),
+            sharing: Some(req.sharing.0),
+            batch_id: Some(bid),
+            attrs: vec![
+                ("vertex", job.vertex.to_string()),
+                ("op", op_name(&edge.op).to_string()),
+                ("attempt", req.attempt.to_string()),
+                ("tuples", tuples.to_string()),
+                ("outcome", outcome),
+            ],
+        });
+        if let (Ok(run), Some(sm)) = (result, d.ship_machine) {
+            if let Some(arrive) = run.ship_arrive {
+                self.telemetry.record_span(SpanRecord {
+                    id: self.telemetry.next_span_id(),
+                    parent: Some(id),
+                    kind: SpanKind::Ship,
+                    start_us: us(d.submit),
+                    end_us: us(arrive),
+                    machine: Some(sm as u32),
+                    sharing: Some(req.sharing.0),
+                    batch_id: Some(bid),
+                    attrs: Vec::new(),
+                });
+                self.telemetry.record_span(SpanRecord {
+                    id: self.telemetry.next_span_id(),
+                    parent: Some(id),
+                    kind: SpanKind::Land,
+                    start_us: us(arrive),
+                    end_us: us(run.end),
+                    machine: Some(d.exec_machine as u32),
+                    sharing: Some(req.sharing.0),
+                    batch_id: Some(bid),
+                    attrs: Vec::new(),
+                });
+            }
+        }
+    }
+
+    /// Records the retry decision for a transiently-failed push: a span
+    /// from `now` to the retry's due time (zero-length when the push is
+    /// abandoned instead).
+    fn record_retry_span(
+        &self,
+        tick_span: u64,
+        req: &BatchRequest,
+        now: Timestamp,
+        due: Timestamp,
+        outcome: &str,
+    ) {
+        self.telemetry.record_span(SpanRecord {
+            id: self.telemetry.next_span_id(),
+            parent: Some(tick_span),
+            kind: SpanKind::Retry,
+            start_us: us(now),
+            end_us: us(due),
+            machine: None,
+            sharing: Some(req.sharing.0),
+            batch_id: None,
+            attrs: vec![
+                ("attempt", req.attempt.to_string()),
+                ("outcome", outcome.to_string()),
+            ],
+        });
+    }
+
+    /// Folds one executed wave's host profile into the registry totals and
+    /// the structured per-wave log behind [`Executor::wave_meter_view`].
+    fn record_wave(&mut self, jobs: &[(u32, u128)]) {
+        let mut per_machine: HashMap<u32, u128> = HashMap::new();
+        for &(machine, nanos) in jobs {
+            *per_machine.entry(machine).or_default() += nanos;
+        }
+        self.ctr_waves.inc();
+        self.ctr_jobs.add(jobs.len() as u64);
+        let busy: u128 = per_machine.values().sum();
+        self.ctr_busy_nanos
+            .add(u64::try_from(busy).unwrap_or(u64::MAX));
+        self.wave_profile.push(per_machine);
     }
 
     /// Compacts every slot's delta log below the minimum timestamp its

@@ -60,6 +60,11 @@ pub struct EdgeRun {
     /// True iff the output batch was suppressed by batch-id deduplication
     /// (a retry re-shipping a window that already landed).
     pub deduped: bool,
+    /// When the edge was a cross-machine copy, the simulated instant the
+    /// WAL bytes arrived at the destination — the boundary between the ship
+    /// and land halves, exported as the ship/land span split in the push
+    /// trace. `None` for machine-local edges.
+    pub ship_arrive: Option<Timestamp>,
 }
 
 /// Pre-drawn fault outcomes for one edge job. The coordinator consumes the
@@ -109,7 +114,7 @@ fn check_up(cluster: &mut Cluster, machine: MachineId, at: Timestamp) -> Result<
 /// Identity of the batch one push edge produces for the window `(from, to]`
 /// — stable across retries, distinct across edges and windows (FNV-1a over
 /// the output vertex and the window bounds).
-fn batch_id(output: VertexId, from: Timestamp, to: Timestamp) -> u64 {
+pub(crate) fn batch_id(output: VertexId, from: Timestamp, to: Timestamp) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for part in [
         output.index() as u64,
@@ -241,6 +246,7 @@ pub(crate) fn ship_copy(
     let raw = src.db.delta_window(src_slot, from, to)?;
     let batch = apply_filter_projection(raw, &edge.filter, edge.projection.as_ref());
     let bytes = wal::encode(&batch);
+    src.db.wal_stats().note_shipped(bytes.len() as u64);
     let (res, usage) = src.send(submit, bytes.len() as u64);
     Ok(ShipOutput {
         bytes,
@@ -265,8 +271,13 @@ pub(crate) fn land_copy(
     charges: &mut Vec<ResourceUsage>,
 ) -> Result<EdgeRun> {
     // The WAL round-trip is the real data path: decode on arrival.
+    dst.db.wal_stats().note_landed(bytes.len() as u64);
     let batch = wal::decode(bytes)?;
-    finish_copy(dst, plan, edge, batch, arrive, from, to, model, ack_lost, charges)
+    let mut run = finish_copy(
+        dst, plan, edge, batch, arrive, from, to, model, ack_lost, charges,
+    )?;
+    run.ship_arrive = Some(arrive);
+    Ok(run)
 }
 
 /// Runs an edge whose every byte lives on one machine: a same-machine copy,
@@ -362,6 +373,7 @@ fn finish_copy(
         end: res.end,
         tuples: n,
         deduped: !appended,
+        ship_arrive: None,
     })
 }
 
@@ -402,6 +414,7 @@ fn run_apply(
         end: res.end,
         tuples: n,
         deduped: false,
+        ship_arrive: None,
     })
 }
 
@@ -588,6 +601,7 @@ fn run_join(
         end: res.end,
         tuples: produced,
         deduped: !appended,
+        ship_arrive: None,
     })
 }
 
@@ -631,6 +645,7 @@ fn run_union(
         end: res.end,
         tuples: n,
         deduped: !appended,
+        ship_arrive: None,
     })
 }
 

@@ -38,6 +38,7 @@ use crate::plan::dag::Plan;
 use crate::plan::timecost::TimeCostModel;
 use smile_sim::machine::Machine;
 use smile_sim::meter::ResourceUsage;
+use smile_telemetry::{Histogram, Telemetry};
 use smile_types::{Result, SmileError, Timestamp};
 use std::collections::HashMap;
 use std::sync::{Barrier, Mutex};
@@ -98,6 +99,7 @@ pub(crate) fn run_wave(
     model: &TimeCostModel,
     jobs: &[WaveJob],
     workers: usize,
+    telemetry: &Telemetry,
 ) -> Vec<JobOutcome> {
     let w = workers.max(1).min(machines.len().max(1));
     let ships: Vec<ShipSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
@@ -106,7 +108,15 @@ pub(crate) fn run_wave(
         // Same engine, inline: the barrier trivially passes with one
         // participant and the job order is already canonical.
         let part: Vec<(usize, &mut Machine)> = machines.iter_mut().enumerate().collect();
-        worker_run(part, jobs, plan, model, &ships, &barrier)
+        worker_run(
+            part,
+            jobs,
+            plan,
+            model,
+            &ships,
+            &barrier,
+            telemetry.worker_nanos_shard(0),
+        )
     } else {
         let mut parts: Vec<Vec<(usize, &mut Machine)>> = (0..w).map(|_| Vec::new()).collect();
         for (i, m) in machines.iter_mut().enumerate() {
@@ -115,9 +125,11 @@ pub(crate) fn run_wave(
         std::thread::scope(|s| {
             let handles: Vec<_> = parts
                 .into_iter()
-                .map(|part| {
+                .enumerate()
+                .map(|(wi, part)| {
                     let (ships, barrier) = (&ships, &barrier);
-                    s.spawn(move || worker_run(part, jobs, plan, model, ships, barrier))
+                    let shard = telemetry.worker_nanos_shard(wi);
+                    s.spawn(move || worker_run(part, jobs, plan, model, ships, barrier, shard))
                 })
                 .collect();
             handles
@@ -140,6 +152,7 @@ fn worker_run(
     model: &TimeCostModel,
     ships: &[ShipSlot],
     barrier: &Barrier,
+    shard: &Histogram,
 ) -> Vec<JobOutcome> {
     let mut mine: HashMap<usize, &mut Machine> = part.into_iter().collect();
 
@@ -224,6 +237,12 @@ fn worker_run(
             )
         };
         profile.push((j.exec_machine as u32, t0.elapsed().as_nanos()));
+        // Host-nanos shard: per-worker cells merged in shard-index order at
+        // snapshot time, so recording here never contends with other
+        // workers and never perturbs the deterministic merge.
+        for &(_, nanos) in &profile {
+            shard.record(u64::try_from(nanos).unwrap_or(u64::MAX));
+        }
         out.push(JobOutcome {
             job: j.job,
             charges,

@@ -27,10 +27,12 @@ use crate::snapshot::SnapshotModule;
 use smile_sim::{Cluster, FaultProfile, MachineConfig, PriceSheet};
 use smile_storage::spj::RelationProvider;
 use smile_storage::{DeltaBatch, SpjQuery, ZSet};
+use smile_telemetry::{chrome_trace, MetricsSnapshot, Telemetry, TelemetryConfig, TraceInstant};
 use smile_types::{
     MachineId, RelationId, Result, Schema, SharingId, SimDuration, SmileError, Timestamp,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Platform configuration.
 #[derive(Clone, Debug)]
@@ -64,6 +66,10 @@ pub struct SmileConfig {
     /// scan — the pre-arrangement behaviour, kept as an ablation baseline
     /// and priced accordingly by the cost model.
     pub use_arrangements: bool,
+    /// Telemetry settings: span recording on/off, ring capacity, worker
+    /// histogram shards. Instruments always record (pure atomics);
+    /// disabling only quiets span recording (zero allocation).
+    pub telemetry: TelemetryConfig,
 }
 
 impl SmileConfig {
@@ -82,6 +88,7 @@ impl SmileConfig {
             force_objective: None,
             faults: FaultProfile::disabled(),
             use_arrangements: true,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -139,6 +146,8 @@ pub struct Smile {
     pub snapshot: SnapshotModule,
     /// The hill-climbing report from the last `install`.
     pub hc_report: Option<HillClimbReport>,
+    /// Shared telemetry handle (spans, counters, histograms).
+    telemetry: Arc<Telemetry>,
     now: Timestamp,
     next_sharing: u32,
     /// Entries ingested at or before the seed instant would fall outside
@@ -152,6 +161,7 @@ impl Smile {
         let mut cluster = Cluster::with_configs(vec![config.machine_config; config.machines]);
         cluster.prices = config.prices;
         cluster.set_fault_profile(config.faults);
+        let telemetry = Arc::new(Telemetry::new(&config.telemetry));
         Self {
             cluster,
             catalog: Catalog::new(),
@@ -161,6 +171,7 @@ impl Smile {
             executor: None,
             snapshot: SnapshotModule::new(),
             hc_report: None,
+            telemetry,
             now: Timestamp::ZERO,
             next_sharing: 1,
             seed_floor: None,
@@ -232,7 +243,7 @@ impl Smile {
         .with_committed(committed)
         .with_capacity(self.config.capacity)
         .with_mv_machine(mv_machine);
-        let planned = match self.config.force_objective {
+        let plan_result = (|| match self.config.force_objective {
             Some(obj) => {
                 let p = optimizer.plan_with(&sharing, obj)?;
                 // Even a forced objective respects the admissibility test.
@@ -247,11 +258,28 @@ impl Smile {
                         sla_secs: sharing.sla_secs(),
                     });
                 }
+                Ok(p)
+            }
+            None => optimizer.plan_pair(&sharing)?.choose(&sharing),
+        })();
+        let mut planned = match plan_result {
+            Ok(p) => {
+                self.telemetry
+                    .registry()
+                    .counter("planner.sharings_admitted")
+                    .inc();
                 p
             }
-            None => optimizer.plan_pair(&sharing)?.choose(&sharing)?,
+            Err(e) => {
+                if matches!(e, SmileError::Inadmissible { .. }) {
+                    self.telemetry
+                        .registry()
+                        .counter("planner.sharings_rejected")
+                        .inc();
+                }
+                return Err(e);
+            }
         };
-        let mut planned = planned;
         if !self.config.use_arrangements {
             set_join_indexing(&mut planned.plan, false);
         }
@@ -285,11 +313,16 @@ impl Smile {
         }
         global.plan.validate()?;
         let _created = self.materialize(&mut global)?;
+        let reg = self.telemetry.registry();
+        reg.gauge("plan.vertices")
+            .set(global.plan.vertex_count() as f64);
+        reg.gauge("plan.edges").set(global.plan.edges().len() as f64);
         let mut executor = Executor::new(
             global,
             &self.sharings,
             self.config.model.clone(),
             self.config.exec.clone(),
+            Arc::clone(&self.telemetry),
         )?;
         executor.mark_seeded(self.now);
         self.seed_floor = Some(self.now + SimDuration::from_micros(1));
@@ -342,6 +375,10 @@ impl Smile {
         .with_capacity(self.config.capacity)
         .with_mv_machine(mv_machine);
         let mut planned = optimizer.plan_pair(&sharing)?.choose(&sharing)?;
+        self.telemetry
+            .registry()
+            .counter("planner.sharings_admitted")
+            .inc();
         if !self.config.use_arrangements {
             set_join_indexing(&mut planned.plan, false);
         }
@@ -524,8 +561,101 @@ impl Smile {
     pub fn wave_meter(&self) -> smile_sim::WaveMeter {
         self.executor
             .as_ref()
-            .map(|e| e.wave_meter.clone())
+            .map(|e| e.wave_meter_view())
             .unwrap_or_default()
+    }
+
+    /// Fleet-wide WAL traffic counters (ship/land bytes and batches).
+    pub fn wal_meter(&self) -> smile_sim::meter::WalCounters {
+        self.cluster.wal_meter()
+    }
+
+    /// The platform's telemetry handle (span ring + instrument registry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Completed pushes sorted by `(completion timestamp, sharing id)` —
+    /// the canonical order for reports. (The executor's own
+    /// `push_records` field preserves raw event-drain order.)
+    pub fn push_records(&self) -> Vec<crate::executor::PushRecord> {
+        let mut records = self
+            .executor
+            .as_ref()
+            .map(|e| e.push_records.clone())
+            .unwrap_or_default();
+        records.sort_by_key(|r| (r.completed, r.sharing));
+        records
+    }
+
+    /// Point-in-time metrics snapshot: the telemetry registry plus every
+    /// legacy meter (arrangements, WAL traffic, usage ledger, fault
+    /// recovery) projected into gauges so one artifact carries the whole
+    /// platform state. The headline metric is the per-sharing
+    /// `push.staleness_headroom_us{sharing=N}` histogram family.
+    pub fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        let reg = self.telemetry.registry();
+        let arr = self.arrangement_meter();
+        reg.gauge("arrangement.count").set(arr.arrangements as f64);
+        reg.gauge("arrangement.probes").set(arr.counters.probes as f64);
+        reg.gauge("arrangement.hits").set(arr.counters.hits as f64);
+        reg.gauge("arrangement.misses").set(arr.counters.misses as f64);
+        reg.gauge("arrangement.maintained")
+            .set(arr.counters.maintained as f64);
+        reg.gauge("arrangement.built_rows")
+            .set(arr.counters.built_rows as f64);
+        let wal = self.cluster.wal_meter();
+        reg.gauge("wal.batches_shipped")
+            .set(wal.batches_shipped as f64);
+        reg.gauge("wal.bytes_shipped").set(wal.bytes_shipped as f64);
+        reg.gauge("wal.batches_landed").set(wal.batches_landed as f64);
+        reg.gauge("wal.bytes_landed").set(wal.bytes_landed as f64);
+        let usage = self.cluster.ledger.total();
+        reg.gauge("ledger.cpu_secs").set(usage.cpu.as_secs_f64());
+        reg.gauge("ledger.net_bytes").set(usage.net_bytes as f64);
+        reg.gauge("ledger.disk_byte_secs").set(usage.disk_byte_secs);
+        reg.gauge("ledger.penalty_dollars")
+            .set(self.cluster.ledger.total_penalties());
+        if let Some(e) = &self.executor {
+            let fs = e.fault_stats;
+            reg.gauge("exec.pushes_retried").set(fs.pushes_retried as f64);
+            reg.gauge("exec.pushes_abandoned")
+                .set(fs.pushes_abandoned as f64);
+            reg.gauge("exec.pushes_deferred")
+                .set(fs.pushes_deferred as f64);
+            reg.gauge("exec.batches_deduped")
+                .set(fs.batches_deduped as f64);
+            reg.gauge("exec.retries_coalesced")
+                .set(fs.retries_coalesced as f64);
+            reg.gauge("exec.tuples_moved").set(e.tuples_moved as f64);
+            reg.gauge("exec.push_records").set(e.push_records.len() as f64);
+        }
+        reg.gauge("snapshot.sla_violations")
+            .set(self.snapshot.violations_total() as f64);
+        self.telemetry.snapshot()
+    }
+
+    /// Exports the retained spans plus the injected fault events as Chrome
+    /// `trace_event` JSON (Perfetto-loadable): one lane per simulated
+    /// machine plus a coordinator lane. All timing fields are simulated
+    /// microseconds, so the artifact is byte-stable across worker counts.
+    pub fn export_trace(&self) -> String {
+        let spans = self.telemetry.spans();
+        let instants: Vec<TraceInstant> = self
+            .cluster
+            .faults
+            .events
+            .iter()
+            .map(|e| {
+                let (name, at, machine) = e.trace_instant();
+                TraceInstant {
+                    at_us: (at - Timestamp::ZERO).as_micros(),
+                    name: name.to_string(),
+                    machine: machine.map(|m| m.0),
+                }
+            })
+            .collect();
+        chrome_trace(&spans, &instants)
     }
 
     /// Assembles the [`FaultReport`] for the run so far: injector tallies,

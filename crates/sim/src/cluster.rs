@@ -130,6 +130,18 @@ impl Cluster {
         meter
     }
 
+    /// Fleet-wide WAL traffic: every machine's shipped/landed byte and
+    /// batch counters summed into one [`crate::meter::WalCounters`]
+    /// (telemetry view; the cells are maintained by the executor's
+    /// ship/land halves through `Database::wal_stats`).
+    pub fn wal_meter(&self) -> crate::meter::WalCounters {
+        let mut total = crate::meter::WalCounters::default();
+        for m in &self.machines {
+            total.add(&m.db.wal_counters());
+        }
+        total
+    }
+
     /// The largest CPU backlog across machines (stability signal used by the
     /// Figure 11 capacity search: a growing backlog means the offered rate
     /// exceeds what the fleet can sustain).

@@ -140,6 +140,19 @@ pub enum FaultEvent {
 }
 
 impl FaultEvent {
+    /// `(name, at, machine)` triple used by the trace exporter to render
+    /// this event as an instant marker in the right machine lane.
+    pub fn trace_instant(&self) -> (&'static str, Timestamp, Option<MachineId>) {
+        match *self {
+            FaultEvent::Crash { machine, at, .. } => ("fault.crash", at, Some(machine)),
+            FaultEvent::DeltaDropped { at } => ("fault.delta_dropped", at, None),
+            FaultEvent::AckLost { at } => ("fault.ack_lost", at, None),
+            FaultEvent::MessageLost { at } => ("fault.message_lost", at, None),
+            FaultEvent::Duplicated { at } => ("fault.duplicated", at, None),
+            FaultEvent::LatencySpike { at, .. } => ("fault.latency_spike", at, None),
+        }
+    }
+
     /// The time span a fault was active: instantaneous for message-level
     /// faults, the whole down interval for crashes.
     fn span(&self) -> (Timestamp, Timestamp) {

@@ -13,6 +13,9 @@ use std::collections::HashMap;
 /// Re-exported so meter consumers read arrangement statistics through one
 /// module.
 pub use smile_storage::ArrangementCounters;
+/// Re-exported so meter consumers read WAL traffic statistics through one
+/// module (aggregated fleet-wide by `Cluster::wal_meter`).
+pub use smile_storage::wal::WalCounters;
 
 /// Fleet-wide arrangement statistics, aggregated across every machine's
 /// database. Pairs with the dollar ledger: probe-served snapshot rows are
@@ -39,6 +42,11 @@ impl ArrangementMeter {
 /// machine (`machine index % workers`), the meter can replay the measured
 /// per-machine busy time through any worker count and report the modeled
 /// makespan — the number an N-core host would observe for the same schedule.
+/// Since the telemetry layer landed, the scalar totals (`waves`, `jobs`,
+/// `busy_nanos`) live in the telemetry registry and this struct is a *view*
+/// assembled on demand by `Smile::wave_meter()` via
+/// [`WaveMeter::from_parts`]; only the per-wave profile (needed for the
+/// makespan replay) is kept as structured data.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct WaveMeter {
     /// Waves executed.
@@ -54,6 +62,23 @@ pub struct WaveMeter {
 }
 
 impl WaveMeter {
+    /// Assembles a view from registry-held totals plus the per-wave
+    /// profile. The caller is responsible for the parts agreeing (they all
+    /// come from the same recording site in the executor).
+    pub fn from_parts(
+        waves: u64,
+        jobs: u64,
+        busy_nanos: u128,
+        wave_machine_nanos: Vec<HashMap<u32, u128>>,
+    ) -> Self {
+        Self {
+            waves,
+            jobs,
+            busy_nanos,
+            wave_machine_nanos,
+        }
+    }
+
     /// Records one executed wave from its per-machine busy profile.
     pub fn record_wave(&mut self, machine_nanos: HashMap<u32, u128>) {
         self.waves += 1;

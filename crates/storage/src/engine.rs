@@ -42,6 +42,7 @@ pub struct RelationSlot {
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     relations: HashMap<RelationId, RelationSlot>,
+    wal: crate::wal::WalStats,
 }
 
 impl Database {
@@ -259,6 +260,18 @@ impl Database {
             .values()
             .map(|s| s.table.arrangements().count())
             .sum()
+    }
+
+    /// WAL traffic instrumentation cells: the executor's ship half notes
+    /// encoded bytes leaving, the land half notes decoded bytes arriving.
+    /// Interior atomics, so worker threads record through `&Database`.
+    pub fn wal_stats(&self) -> &crate::wal::WalStats {
+        &self.wal
+    }
+
+    /// Point-in-time copy of this database's WAL traffic counters.
+    pub fn wal_counters(&self) -> crate::wal::WalCounters {
+        self.wal.counters()
     }
 
     /// Summed arrangement probe/maintenance counters across all relations.

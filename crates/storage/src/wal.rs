@@ -20,9 +20,80 @@ use bytes::{Buf, BufMut, BytesMut};
 /// encodes a delta batch and the destination worker that decodes it.
 pub use bytes::Bytes;
 use smile_types::{Result, SmileError, Timestamp, Tuple, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAGIC: &[u8; 4] = b"SWAL";
 const VERSION: u8 = 1;
+
+/// Plain snapshot of one database's WAL traffic (telemetry view).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalCounters {
+    /// Delta batches encoded and shipped out of this database.
+    pub batches_shipped: u64,
+    /// WAL bytes encoded and shipped out of this database.
+    pub bytes_shipped: u64,
+    /// Delta batches decoded and landed into this database.
+    pub batches_landed: u64,
+    /// WAL bytes decoded and landed into this database.
+    pub bytes_landed: u64,
+}
+
+impl WalCounters {
+    /// Accumulates `other` into `self` (fleet-wide aggregation).
+    pub fn add(&mut self, other: &WalCounters) {
+        self.batches_shipped += other.batches_shipped;
+        self.bytes_shipped += other.bytes_shipped;
+        self.batches_landed += other.batches_landed;
+        self.bytes_landed += other.bytes_landed;
+    }
+}
+
+/// Atomic cells backing [`WalCounters`], embedded in each database so the
+/// ship/land halves of a parallel push can note traffic with `&Database`
+/// from worker threads.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    batches_shipped: AtomicU64,
+    bytes_shipped: AtomicU64,
+    batches_landed: AtomicU64,
+    bytes_landed: AtomicU64,
+}
+
+impl Clone for WalStats {
+    fn clone(&self) -> Self {
+        let c = self.counters();
+        Self {
+            batches_shipped: AtomicU64::new(c.batches_shipped),
+            bytes_shipped: AtomicU64::new(c.bytes_shipped),
+            batches_landed: AtomicU64::new(c.batches_landed),
+            bytes_landed: AtomicU64::new(c.bytes_landed),
+        }
+    }
+}
+
+impl WalStats {
+    /// Notes one encoded batch of `bytes` leaving this database.
+    pub fn note_shipped(&self, bytes: u64) {
+        self.batches_shipped.fetch_add(1, Ordering::Relaxed);
+        self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Notes one decoded batch of `bytes` landing in this database.
+    pub fn note_landed(&self, bytes: u64) {
+        self.batches_landed.fetch_add(1, Ordering::Relaxed);
+        self.bytes_landed.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn counters(&self) -> WalCounters {
+        WalCounters {
+            batches_shipped: self.batches_shipped.load(Ordering::Relaxed),
+            bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
+            batches_landed: self.batches_landed.load(Ordering::Relaxed),
+            bytes_landed: self.bytes_landed.load(Ordering::Relaxed),
+        }
+    }
+}
 
 const TAG_NULL: u8 = 0;
 const TAG_I64: u8 = 1;

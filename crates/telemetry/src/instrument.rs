@@ -1,0 +1,329 @@
+//! Typed instruments: monotonic counters, gauges and fixed-bucket log2
+//! histograms.
+//!
+//! Every instrument is a handful of relaxed atomics, so recording never
+//! takes a lock and never allocates — cheap enough for the wave worker
+//! pool's hot path. Determinism at any `SMILE_WORKERS` follows from the
+//! operations being commutative: counter adds, histogram bucket increments
+//! and min/max folds produce the same snapshot regardless of the
+//! interleaving in which worker threads apply them. Where a *distribution*
+//! is recorded concurrently, [`ShardedHistogram`] gives each worker its own
+//! shard and merges them in shard-index order, so even the per-shard
+//! breakdown is canonical.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one for zero plus one per power of two up
+/// to `2^63`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+///
+/// Gauges are the bridge for *view* metrics: subsystems that keep their own
+/// authoritative state (the usage ledger, storage counters) are projected
+/// into the registry by setting gauges at snapshot time instead of
+/// double-booking every update.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Index of the log2 bucket for a sample: bucket 0 holds exactly zero,
+/// bucket `i >= 1` holds `[2^(i-1), 2^i)`.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive value range covered by bucket `i` (see [`bucket_index`]).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// A fixed-bucket log2 histogram with exact `count`/`sum`/`min`/`max`.
+///
+/// Recording touches three unconditional atomics plus two conditional
+/// min/max folds; there are no locks and no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent point-in-time copy (consistent provided recording has
+    /// quiesced, which holds everywhere snapshots are taken: the simulator
+    /// is single-threaded between waves).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Owned, mergeable copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, `HISTOGRAM_BUCKETS` entries.
+    pub buckets: Vec<u64>,
+    /// Total number of samples.
+    pub count: u64,
+    /// Exact sum of all samples (wrapping beyond `u64::MAX`).
+    pub sum: u64,
+    /// Exact minimum sample (0 when empty).
+    pub min: u64,
+    /// Exact maximum sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Folds `other` into `self`; equivalent to having recorded both
+    /// shards' samples into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        if other.count > 0 {
+            self.min = if self.count == 0 {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`) from the
+    /// bucket boundaries; exact `min`/`max` are reported separately.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A histogram split into per-worker shards so concurrent recording never
+/// contends on the same cache lines; shards merge in index order, keeping
+/// the merged snapshot canonical at any worker count.
+#[derive(Debug)]
+pub struct ShardedHistogram {
+    shards: Vec<Histogram>,
+}
+
+impl ShardedHistogram {
+    /// Creates `shards` empty shards (at least one).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    /// The shard for worker `i` (wraps modulo the shard count).
+    pub fn shard(&self, i: usize) -> &Histogram {
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// Merged snapshot of all shards, folded in shard-index order.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        for s in &self.shards {
+            out.merge(&s.snapshot());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn histogram_exact_stats() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 1000, 1000, 7] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 2013);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn sharded_merge_matches_single() {
+        let sharded = ShardedHistogram::new(4);
+        let single = Histogram::new();
+        for v in 0..100u64 {
+            sharded.shard(v as usize).record(v * 13);
+            single.record(v * 13);
+        }
+        assert_eq!(sharded.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let h = Histogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(1.0), 1024);
+        assert!(s.quantile(0.5) >= 512);
+        assert!(s.quantile(0.5) <= 1023);
+    }
+}

@@ -1,0 +1,207 @@
+//! Std-only telemetry substrate for the SMILE platform.
+//!
+//! The build environment is offline (no crates.io), so instead of `tracing`
+//! and `prometheus` this crate provides the minimal subset SMILE needs,
+//! designed around one extra constraint those crates don't have: **the
+//! simulator is deterministic and telemetry must not break that**. See
+//! DESIGN.md §10 for the full model; in short:
+//!
+//! * [`instrument`] — counters, gauges and log2 histograms on relaxed
+//!   atomics (commutative updates ⇒ worker-count-independent snapshots),
+//!   with [`instrument::ShardedHistogram`] for per-worker recording merged
+//!   in canonical shard order;
+//! * [`registry`] — get-or-create instruments by name, name-sorted
+//!   deterministic snapshots rendered as JSON or text;
+//! * [`span`] — parented spans over the push lifecycle in a bounded ring,
+//!   recorded coordinator-side in canonical order, sim-time only;
+//! * [`trace`] — Chrome `trace_event` JSON export (Perfetto-loadable).
+//!
+//! The [`Telemetry`] handle ties these together and implements the quiet
+//! mode: when disabled, span recording is a branch on a `bool` — nothing is
+//! allocated, the ring stays empty — while instruments (plain atomics that
+//! never allocate after creation) keep working so accounting views stay
+//! correct.
+
+#![warn(missing_docs)]
+
+pub mod instrument;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub use instrument::{Counter, Gauge, Histogram, HistogramSnapshot, ShardedHistogram};
+pub use registry::{MetricsSnapshot, Registry};
+pub use span::{SpanKind, SpanRecord, SpanRing};
+pub use trace::{chrome_trace, TraceInstant};
+
+/// Telemetry settings, carried in `SmileConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch for span recording. Off ⇒ the ring stays empty and no
+    /// span ids are allocated; instrument atomics still record.
+    pub enabled: bool,
+    /// Maximum number of spans retained in the ring.
+    pub ring_capacity: usize,
+    /// Number of shards for per-worker histograms (worker indices wrap).
+    pub worker_shards: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            ring_capacity: 1 << 16,
+            worker_shards: 64,
+        }
+    }
+}
+
+/// Shared handle owning the registry, the span ring and the per-worker
+/// host-time histogram. One per `Smile` platform, shared with the executor
+/// behind an `Arc`.
+#[derive(Debug)]
+pub struct Telemetry {
+    enabled: bool,
+    next_span: AtomicU64,
+    ring: Mutex<SpanRing>,
+    registry: Registry,
+    /// Host nanoseconds each wave worker spent per job — wall-clock, hence
+    /// nondeterministic; named with the `host_` prefix that marks a metric
+    /// as excluded from logical-determinism comparisons.
+    job_host_nanos: ShardedHistogram,
+}
+
+impl Telemetry {
+    /// Creates a handle from `cfg`.
+    pub fn new(cfg: &TelemetryConfig) -> Self {
+        Self {
+            enabled: cfg.enabled,
+            next_span: AtomicU64::new(1),
+            ring: Mutex::new(SpanRing::new(cfg.ring_capacity)),
+            registry: Registry::new(),
+            job_host_nanos: ShardedHistogram::new(cfg.worker_shards),
+        }
+    }
+
+    /// A handle with span recording off (instruments still live).
+    pub fn disabled() -> Self {
+        Self::new(&TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::default()
+        })
+    }
+
+    /// Whether span recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The instrument registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Allocates the next span id (sequential, coordinator-side).
+    pub fn next_span_id(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records a span. No-op (no allocation, no lock) when disabled;
+    /// callers building attribute strings should guard on [`Self::enabled`]
+    /// to keep quiet mode allocation-free end to end.
+    pub fn record_span(&self, rec: SpanRecord) {
+        if !self.enabled {
+            return;
+        }
+        self.ring.lock().unwrap().push(rec);
+    }
+
+    /// Copies the retained spans, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.ring.lock().unwrap().to_vec()
+    }
+
+    /// Number of spans currently retained.
+    pub fn spans_len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// Number of spans evicted from the ring so far.
+    pub fn spans_dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped()
+    }
+
+    /// The host-time histogram shard for wave worker `worker`.
+    pub fn worker_nanos_shard(&self, worker: usize) -> &Histogram {
+        self.job_host_nanos.shard(worker)
+    }
+
+    /// Snapshot of every instrument: the registry plus the merged
+    /// per-worker host-time histogram and span-ring occupancy counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        let ring = self.ring.lock().unwrap();
+        snap.counters
+            .push(("spans.dropped".to_string(), ring.dropped()));
+        snap.counters
+            .push(("spans.retained".to_string(), ring.len() as u64));
+        drop(ring);
+        snap.counters.sort();
+        let host = self.job_host_nanos.snapshot();
+        if host.count > 0 {
+            snap.histograms
+                .push(("wave.host_job_nanos".to_string(), host));
+            snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Telemetry::disabled();
+        t.record_span(SpanRecord {
+            id: t.next_span_id(),
+            parent: None,
+            kind: SpanKind::Tick,
+            start_us: 0,
+            end_us: 1,
+            machine: None,
+            sharing: None,
+            batch_id: None,
+            attrs: vec![],
+        });
+        assert!(t.spans().is_empty());
+        assert_eq!(t.spans_dropped(), 0);
+        // Instruments still work in quiet mode.
+        t.registry().counter("c").inc();
+        assert_eq!(t.snapshot().counter("c"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_includes_ring_and_worker_hist() {
+        let t = Telemetry::new(&TelemetryConfig::default());
+        t.record_span(SpanRecord {
+            id: t.next_span_id(),
+            parent: None,
+            kind: SpanKind::Wave,
+            start_us: 5,
+            end_us: 9,
+            machine: None,
+            sharing: None,
+            batch_id: None,
+            attrs: vec![],
+        });
+        t.worker_nanos_shard(3).record(1234);
+        let s = t.snapshot();
+        assert_eq!(s.counter("spans.retained"), Some(1));
+        assert_eq!(s.histogram("wave.host_job_nanos").unwrap().count, 1);
+    }
+}

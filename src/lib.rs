@@ -9,6 +9,7 @@
 pub use smile_core as core;
 pub use smile_sim as sim;
 pub use smile_storage as storage;
+pub use smile_telemetry as telemetry;
 pub use smile_types as types;
 pub use smile_workload as workload;
 

@@ -29,6 +29,13 @@ struct RunResult {
     pushes: Vec<PushRecord>,
     tuples_moved: u64,
     dollars: String,
+    /// Exported Chrome trace — spans are recorded coordinator-side in
+    /// canonical order with sim-time only, so the bytes must be identical.
+    trace: String,
+    /// Metrics snapshot text with the host wall-clock lines (named with a
+    /// `host_` marker) filtered out; everything else is logical and must
+    /// not depend on the worker count.
+    metrics: String,
 }
 
 /// Two machines, one cross-machine joined sharing, seeded chaos, `workers`
@@ -74,6 +81,14 @@ fn run(workers: usize) -> RunResult {
     feed(&mut smile, a, b, 250);
     smile.run_idle(SimDuration::from_secs(60)).unwrap();
 
+    let trace = smile.export_trace();
+    let metrics = smile
+        .telemetry_snapshot()
+        .to_text()
+        .lines()
+        .filter(|l| !l.contains("host_"))
+        .collect::<Vec<_>>()
+        .join("\n");
     let executor = smile.executor.as_ref().unwrap();
     RunResult {
         mv: format!("{:?}", smile.mv_contents(id).unwrap().sorted_entries()),
@@ -85,6 +100,8 @@ fn run(workers: usize) -> RunResult {
         pushes: executor.push_records.clone(),
         tuples_moved: executor.tuples_moved,
         dollars: format!("{:.9}", smile.total_dollars()),
+        trace,
+        metrics,
     }
 }
 
@@ -152,5 +169,34 @@ fn chaos_run_is_byte_identical_at_any_worker_count() {
             r.dollars, base.dollars,
             "billing differs at workers={workers}"
         );
+        assert_eq!(
+            r.trace, base.trace,
+            "exported trace differs at workers={workers}"
+        );
+        assert_eq!(
+            r.metrics, base.metrics,
+            "logical metrics differ at workers={workers}"
+        );
     }
+}
+
+#[test]
+fn chaos_trace_covers_the_push_lifecycle() {
+    // Sanity on the byte-compared artifact: it is not trivially empty and
+    // it names every span kind the chaos run is expected to exercise.
+    let base = run(1);
+    for kind in ["tick", "plan_batch", "wave", "edge_job", "mv_apply", "retry"] {
+        assert!(
+            base.trace.contains(&format!("\"name\": \"{kind}\"")),
+            "trace has no {kind} span"
+        );
+    }
+    assert!(
+        base.trace.contains("fault."),
+        "trace has no fault instant despite chaos profile"
+    );
+    assert!(
+        base.metrics.contains("push.staleness_headroom_us"),
+        "metrics lack the headroom histogram"
+    );
 }

@@ -403,3 +403,103 @@ proptest! {
         prop_assert_eq!(counters.built_rows, 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry histogram laws: the log2 histogram keeps exact count/sum/min/max
+// alongside its buckets, and sharded recording merged in shard order is
+// indistinguishable from recording everything into one histogram — the
+// property the wave workers' per-shard recording rests on.
+// ---------------------------------------------------------------------------
+
+use smile::telemetry::instrument::{bucket_bounds, HISTOGRAM_BUCKETS};
+use smile::telemetry::{Histogram, ShardedHistogram};
+
+/// Samples spanning the full bucket range: small values, exact powers of
+/// two, off-by-one boundary values and huge outliers.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..1024,
+            (0u32..64).prop_map(|e| 1u64 << e),
+            (1u32..64).prop_map(|e| (1u64 << e) - 1),
+            any::<u64>(),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        .. ProptestConfig::default()
+    })]
+
+    /// Bucket counts sum to `count`; `sum`/`min`/`max` are exact; every
+    /// sample landed in the bucket whose bounds contain it.
+    #[test]
+    fn histogram_stats_are_exact(samples in arb_samples()) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert_eq!(s.buckets.len(), HISTOGRAM_BUCKETS);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        let mut expect_sum = 0u64;
+        for &v in &samples {
+            expect_sum = expect_sum.wrapping_add(v);
+        }
+        prop_assert_eq!(s.sum, expect_sum);
+        prop_assert_eq!(s.min, *samples.iter().min().unwrap());
+        prop_assert_eq!(s.max, *samples.iter().max().unwrap());
+        // Each non-empty bucket's bounds are honest: rebuild the expected
+        // bucket counts from the samples and compare exactly.
+        let mut expect_buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        for &v in &samples {
+            let b = (0..HISTOGRAM_BUCKETS)
+                .find(|&i| {
+                    let (lo, hi) = bucket_bounds(i);
+                    lo <= v && v <= hi
+                })
+                .unwrap();
+            expect_buckets[b] += 1;
+        }
+        prop_assert_eq!(s.buckets, expect_buckets);
+        // Quantiles are bracketed by the exact extrema.
+        prop_assert!(s.quantile(0.0) <= s.max);
+        prop_assert_eq!(s.quantile(1.0), s.max);
+        prop_assert!(s.mean() >= 0.0);
+    }
+
+    /// merge(shard_a, shard_b, ...) == record-all-in-one, for any number of
+    /// shards and any assignment of samples to shards.
+    #[test]
+    fn sharded_merge_equals_single_histogram(
+        samples in arb_samples(),
+        shards in 1usize..9,
+        assign in proptest::collection::vec(any::<u64>(), 200..201),
+    ) {
+        let sharded = ShardedHistogram::new(shards);
+        let single = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            sharded.shard(assign[i] as usize).record(v);
+            single.record(v);
+        }
+        prop_assert_eq!(sharded.snapshot(), single.snapshot());
+
+        // Pairwise merge of explicit snapshots agrees too, in either order.
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            if assign[i] % 2 == 0 { a.record(v) } else { b.record(v) }
+        }
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        prop_assert_eq!(&ab, &single.snapshot());
+        prop_assert_eq!(&ba, &ab);
+    }
+}

@@ -1,0 +1,256 @@
+//! End-to-end telemetry: every SLA-relevant event must be attributable to
+//! a concrete span path in the exported trace, the per-sharing
+//! staleness-headroom histograms must be populated, `push_records()` must
+//! come back in canonical order, and quiet mode must record no spans at
+//! all while the accounting instruments keep working.
+
+use smile::core::catalog::BaseStats;
+use smile::core::platform::{Smile, SmileConfig};
+use smile::sim::FaultProfile;
+use smile::storage::delta::{DeltaBatch, DeltaEntry};
+use smile::storage::join::JoinOn;
+use smile::storage::{Predicate, SpjQuery};
+use smile::telemetry::{SpanKind, SpanRecord};
+use smile::types::{
+    tuple, Column, ColumnType, MachineId, RelationId, Schema, SharingId, SimDuration,
+};
+
+fn schema(cols: &[(&str, ColumnType)], key: Vec<usize>) -> Schema {
+    Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(), key)
+}
+
+/// Two machines, one cross-machine joined sharing.
+fn build(config: SmileConfig, sla_secs: u64) -> (Smile, RelationId, RelationId, SharingId) {
+    let mut smile = Smile::new(config);
+    let a = smile
+        .register_base(
+            "a",
+            schema(&[("k", ColumnType::I64)], vec![0]),
+            MachineId::new(0),
+            BaseStats {
+                update_rate: 5.0,
+                cardinality: 100.0,
+                tuple_bytes: 16.0,
+                distinct: vec![100.0],
+            },
+        )
+        .unwrap();
+    let b = smile
+        .register_base(
+            "b",
+            schema(&[("k", ColumnType::I64), ("v", ColumnType::I64)], vec![0]),
+            MachineId::new(1),
+            BaseStats {
+                update_rate: 5.0,
+                cardinality: 100.0,
+                tuple_bytes: 16.0,
+                distinct: vec![100.0, 50.0],
+            },
+        )
+        .unwrap();
+    let q = SpjQuery::scan(a).join(b, JoinOn::on(0, 0), Predicate::True);
+    let id = smile
+        .submit("t", q, SimDuration::from_secs(sla_secs), 0.01)
+        .unwrap();
+    smile.install().unwrap();
+    (smile, a, b, id)
+}
+
+/// One insert into each base per tick, then a tick.
+fn feed(smile: &mut Smile, a: RelationId, b: RelationId, ticks: u64) {
+    for s in 0..ticks {
+        let now = smile.now();
+        smile
+            .ingest(
+                a,
+                DeltaBatch {
+                    entries: vec![DeltaEntry::insert(tuple![(s % 20) as i64], now)],
+                },
+            )
+            .unwrap();
+        smile
+            .ingest(
+                b,
+                DeltaBatch {
+                    entries: vec![DeltaEntry::insert(tuple![(s % 20) as i64, s as i64], now)],
+                },
+            )
+            .unwrap();
+        smile.step().unwrap();
+    }
+}
+
+fn find_span(spans: &[SpanRecord], id: u64) -> &SpanRecord {
+    spans
+        .iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("span {id} referenced but not retained"))
+}
+
+/// Inject ack loss on every cross-machine shipment and check that the
+/// resulting retries are attributable from the trace alone: a `retry` span
+/// exists, its parent chain bottoms out at a `tick` root, and the same
+/// tick's subtree holds the failed `edge_job`/`mv_apply` attempt whose
+/// `outcome` records the transient error.
+#[test]
+fn retries_are_attributable_through_the_span_tree() {
+    let mut config = SmileConfig::with_machines(2);
+    let mut profile = FaultProfile::disabled();
+    profile.seed = 7;
+    profile.ack_loss = 0.5;
+    config.faults = profile;
+    let (mut smile, a, b, id) = build(config, 20);
+    feed(&mut smile, a, b, 300);
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    let report = smile.fault_report();
+    assert!(report.acks_lost >= 1, "ack loss never fired: {report:?}");
+    assert!(report.pushes_retried >= 1, "no retries: {report:?}");
+
+    let spans = smile.telemetry().spans();
+    assert!(!spans.is_empty(), "telemetry recorded no spans");
+
+    // Locate a scheduled retry for the sharing.
+    let retry = spans
+        .iter()
+        .find(|s| {
+            s.kind == SpanKind::Retry
+                && s.sharing == Some(id.0)
+                && s.attr("outcome") == Some("scheduled")
+        })
+        .expect("no retry span despite pushes_retried >= 1");
+
+    // Walk its parent chain: retry -> tick (root).
+    let tick = find_span(&spans, retry.parent.expect("retry span has no parent"));
+    assert_eq!(tick.kind, SpanKind::Tick, "retry's parent is not a tick");
+    assert_eq!(tick.parent, None, "tick span is not a root");
+
+    // The failed attempt lives in the same tick's subtree:
+    // tick -> wave -> edge_job/mv_apply with an error outcome.
+    let failed = spans
+        .iter()
+        .find(|s| {
+            (s.kind == SpanKind::EdgeJob || s.kind == SpanKind::MvApply)
+                && s.sharing == Some(id.0)
+                && s.attr("outcome").is_some_and(|o| o.starts_with("error:"))
+                && s.parent
+                    .is_some_and(|w| find_span(&spans, w).parent == Some(tick.id))
+        })
+        .expect("no failed edge job under the retry's tick");
+    let wave = find_span(&spans, failed.parent.unwrap());
+    assert_eq!(wave.kind, SpanKind::Wave);
+
+    // Cross-machine copies that did land decompose into ship + land halves
+    // parented on the edge job, on the right machine lanes.
+    let ship = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Ship)
+        .expect("no ship span for a cross-machine sharing");
+    let land = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Land && s.parent == ship.parent)
+        .expect("ship half without a matching land half");
+    assert_ne!(ship.machine, land.machine, "ship and land share a lane");
+    let job = find_span(&spans, ship.parent.unwrap());
+    assert!(matches!(job.kind, SpanKind::EdgeJob | SpanKind::MvApply));
+    assert!(job.batch_id.is_some(), "copy job carries no batch id");
+    assert!(land.start_us >= ship.start_us, "land began before ship");
+}
+
+/// The headline metric: per-sharing staleness-headroom histograms are
+/// present in the snapshot, consistent with the push record stream, and the
+/// snapshot renders deterministically.
+#[test]
+fn snapshot_exposes_staleness_headroom_per_sharing() {
+    let (mut smile, a, b, id) = build(SmileConfig::with_machines(2), 20);
+    feed(&mut smile, a, b, 200);
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    let snap = smile.telemetry_snapshot();
+    let name = format!("push.staleness_headroom_us{{sharing={}}}", id.0);
+    let headroom = snap
+        .histogram(&name)
+        .unwrap_or_else(|| panic!("missing {name}"));
+    let pushes = smile.push_records();
+    assert!(!pushes.is_empty());
+    assert_eq!(
+        headroom.count,
+        pushes.len() as u64,
+        "one headroom sample per completed push"
+    );
+    // SLA 20 s and a healthy run: every push leaves real headroom.
+    assert!(headroom.min > 0, "a push consumed the entire SLA budget");
+    assert!(
+        headroom.max <= SimDuration::from_secs(20).as_micros(),
+        "headroom exceeds the SLA bound"
+    );
+    // Companion family and enumeration by prefix.
+    assert!(snap
+        .histogram(&format!("push.staleness_after_us{{sharing={}}}", id.0))
+        .is_some());
+    assert_eq!(
+        snap.histograms_with_prefix("push.staleness_headroom_us")
+            .count(),
+        1
+    );
+    // The accounting views agree with the legacy meters.
+    assert_eq!(
+        snap.gauge("exec.tuples_moved"),
+        Some(smile.executor.as_ref().unwrap().tuples_moved as f64)
+    );
+    let wal = smile.wal_meter();
+    assert_eq!(snap.gauge("wal.batches_shipped"), Some(wal.batches_shipped as f64));
+    assert!(wal.batches_shipped >= 1, "cross-machine sharing never shipped");
+    // Deterministic render round-trip: two snapshots, identical bytes.
+    assert_eq!(snap.to_json(), smile.telemetry_snapshot().to_json());
+    assert_eq!(snap.to_text(), smile.telemetry_snapshot().to_text());
+}
+
+/// `push_records()` returns the stream sorted by `(completed, sharing)`,
+/// whatever order the executor drained them in.
+#[test]
+fn push_records_are_sorted_by_time_then_sharing() {
+    let (mut smile, a, b, _id) = build(SmileConfig::with_machines(2), 20);
+    feed(&mut smile, a, b, 200);
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    let sorted = smile.push_records();
+    assert!(sorted.len() >= 2, "need several pushes to check ordering");
+    assert!(
+        sorted
+            .windows(2)
+            .all(|w| (w[0].completed, w[0].sharing) <= (w[1].completed, w[1].sharing)),
+        "push_records() not sorted by (completed, sharing)"
+    );
+    // Same multiset as the executor's raw drain-order stream.
+    let mut raw = smile.executor.as_ref().unwrap().push_records.clone();
+    raw.sort_by_key(|r| (r.completed, r.sharing));
+    assert_eq!(sorted, raw);
+}
+
+/// Quiet mode: with `telemetry.enabled = false` the ring stays empty end to
+/// end — no spans recorded, none dropped — while instruments (counters,
+/// histograms) keep feeding the accounting views.
+#[test]
+fn quiet_mode_keeps_the_ring_empty() {
+    let mut config = SmileConfig::with_machines(2);
+    config.telemetry.enabled = false;
+    let (mut smile, a, b, id) = build(config, 20);
+    feed(&mut smile, a, b, 120);
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    assert!(!smile.telemetry().enabled());
+    assert_eq!(smile.telemetry().spans_len(), 0, "quiet mode recorded spans");
+    assert_eq!(smile.telemetry().spans_dropped(), 0);
+    assert!(smile.telemetry().spans().is_empty());
+
+    // Instruments still work: waves ran, headroom was recorded.
+    let snap = smile.telemetry_snapshot();
+    assert!(snap.counter("wave.waves").unwrap_or(0) >= 1);
+    let name = format!("push.staleness_headroom_us{{sharing={}}}", id.0);
+    assert!(snap.histogram(&name).unwrap().count >= 1);
+    // The trace export degenerates to instants-only (here: none at all).
+    let trace = smile.export_trace();
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(!trace.contains("\"ph\": \"X\""), "quiet trace has spans");
+}

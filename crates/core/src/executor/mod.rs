@@ -516,8 +516,12 @@ impl Executor {
             .find(|r| r.id == id && !r.retired)
             .ok_or(SmileError::UnknownSharing(id))?;
         rt.retired = true;
-        self.global.sharings.retain(|m| m.id != id);
-        self.global.recompute_shr()?;
+        if self.global.indexed_shr {
+            self.global.strip_sharing(id);
+        } else {
+            self.global.sharings.retain(|m| m.id != id);
+            self.global.recompute_shr()?;
+        }
         // Collect every slot (Relation+Delta pairs share one; half-join
         // deltas have their own) that no longer serves any sharing. A slot
         // is droppable only if *all* vertices mapped to it are unserved.

@@ -24,6 +24,7 @@
 
 pub mod catalog;
 pub mod executor;
+pub mod merge_catalog;
 pub mod multi;
 pub mod optimizer;
 pub mod plan;
@@ -33,5 +34,6 @@ pub mod snapshot;
 
 pub use catalog::Catalog;
 pub use executor::{ExecConfig, RetryPolicy};
-pub use platform::{FaultReport, Smile, SmileConfig};
+pub use merge_catalog::MergeCatalog;
+pub use platform::{FaultReport, SharingRequest, Smile, SmileConfig};
 pub use sharing::Sharing;

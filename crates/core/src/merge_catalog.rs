@@ -1,0 +1,153 @@
+//! Cross-tenant merge catalog: the admission-time index over every admitted
+//! plan's shareable sub-structures.
+//!
+//! Without it, admitting sharing *N+1* discovers commonality by scanning all
+//! *N* resident plans — quadratic on the road to the "millions of users"
+//! target. The catalog keeps three indexes over the global plan, all keyed
+//! by content so lookups replace scans:
+//!
+//! * **fingerprints** — `(vertex kind, expression signature)` → vertex ids.
+//!   One probe answers "does this SPJ sub-plan already run somewhere, and
+//!   on which machines?", which is exactly the question copy/join plumbing
+//!   enumeration asks per candidate.
+//! * **taps** — base `RelationId` → vertices whose signature reads it. The
+//!   candidate-pruning entry point: a new sharing can only share structure
+//!   with plans tapping at least one of its base relations.
+//! * **probes** — `(snapshot-side signature, snapshot-side join columns)` →
+//!   half-join vertices probing that arrangement. Mirrors the storage
+//!   layer's arrangement identity, so the platform can derive the global
+//!   arrangement-registry refcounts without walking every edge twice.
+//!
+//! All postings lists are `BTreeSet<VertexId>`, so every lookup yields
+//! candidates in vertex-id order — the same order the brute-force
+//! `find_by_sig` scan produces. That is the determinism argument: indexed
+//! and scanned enumeration see identical candidate sequences, so greedy
+//! tie-breaks resolve identically and the resulting plans are byte-equal
+//! (the differential property test in `tests/properties.rs` holds this).
+
+use crate::plan::dag::{Plan, VertexKind};
+use crate::plan::sig::ExprSig;
+use smile_types::{RelationId, VertexId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Indexed view of the global plan's shareable sub-structures.
+#[derive(Clone, Debug, Default)]
+pub struct MergeCatalog {
+    /// (kind, signature) → vertices computing that expression.
+    fingerprints: HashMap<(VertexKind, ExprSig), BTreeSet<VertexId>>,
+    /// Base relation → vertices whose signature taps it.
+    taps: BTreeMap<RelationId, BTreeSet<VertexId>>,
+    /// (snapshot-side signature, snapshot-side join cols) → half-join
+    /// vertices probing that arrangement.
+    probes: HashMap<(ExprSig, Vec<usize>), BTreeSet<VertexId>>,
+    /// Admissions that reused an already-indexed structure.
+    pub hits: u64,
+    /// Admissions that introduced a brand-new structure.
+    pub misses: u64,
+}
+
+impl MergeCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Catalog over an existing plan's vertices.
+    pub fn from_plan(plan: &Plan) -> Self {
+        let mut cat = Self::new();
+        for v in plan.vertices() {
+            cat.note_vertex(plan, v.id);
+        }
+        cat
+    }
+
+    /// Re-indexes from scratch, keeping lifetime hit/miss counters. Needed
+    /// after garbage collection, which remaps vertex ids.
+    pub fn rebuild(&mut self, plan: &Plan) {
+        self.fingerprints.clear();
+        self.taps.clear();
+        self.probes.clear();
+        for v in plan.vertices() {
+            self.note_vertex(plan, v.id);
+        }
+    }
+
+    /// Indexes one vertex under all three key families.
+    pub fn note_vertex(&mut self, plan: &Plan, v: VertexId) {
+        let vert = plan.vertex(v);
+        self.fingerprints
+            .entry((vert.kind, vert.sig.clone()))
+            .or_default()
+            .insert(v);
+        for base in vert.sig.bases() {
+            self.taps.entry(base).or_default().insert(v);
+        }
+        if let ExprSig::HalfJoin {
+            left,
+            right,
+            on,
+            delta_left,
+        } = &vert.sig
+        {
+            let (rel_sig, rel_cols) = if *delta_left {
+                (right.as_ref().clone(), on.right_cols.clone())
+            } else {
+                (left.as_ref().clone(), on.left_cols.clone())
+            };
+            self.probes.entry((rel_sig, rel_cols)).or_default().insert(v);
+        }
+    }
+
+    /// Vertices computing exactly (kind, sig), in vertex-id order — the
+    /// indexed replacement for `Plan::find_by_sig`'s linear scan.
+    pub fn peers_iter(
+        &self,
+        kind: VertexKind,
+        sig: &ExprSig,
+    ) -> impl Iterator<Item = VertexId> + '_ {
+        self.fingerprints
+            .get(&(kind, sig.clone()))
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Vertices whose signature taps base relation `rel`, in id order.
+    pub fn tap_sites(&self, rel: RelationId) -> impl Iterator<Item = VertexId> + '_ {
+        self.taps.get(&rel).into_iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// Half-join vertices probing the arrangement on (sig, cols).
+    pub fn probe_sites(
+        &self,
+        rel_sig: &ExprSig,
+        cols: &[usize],
+    ) -> impl Iterator<Item = VertexId> + '_ {
+        self.probes
+            .get(&(rel_sig.clone(), cols.to_vec()))
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Number of distinct fingerprint keys.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// True iff nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// Number of distinct arrangement-probe keys.
+    pub fn probe_key_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Drains the hit/miss counters (for periodic telemetry flushes).
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        let out = (self.hits, self.misses);
+        self.hits = 0;
+        self.misses = 0;
+        out
+    }
+}

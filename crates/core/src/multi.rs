@@ -17,9 +17,10 @@
 //! best-benefit plumbing repeatedly until none remains — the `+HC` variants
 //! of the evaluation (Figures 12–13).
 
+use crate::merge_catalog::MergeCatalog;
 use crate::optimizer::PlannedSharing;
 use crate::plan::cost::{critical_path, res_cost, Scope};
-use crate::plan::dag::{EdgeOp, Plan, Vertex, VertexKind};
+use crate::plan::dag::{EdgeOp, Plan, VertexKind};
 use crate::plan::sig::ExprSig;
 use crate::plan::timecost::TimeCostModel;
 use crate::sharing::Sharing;
@@ -50,6 +51,12 @@ pub struct GlobalPlan {
     pub plan: Plan,
     /// Metadata per admitted sharing.
     pub sharings: Vec<SharingMeta>,
+    /// When set, SHR maintenance is incremental: merges extend SHR sets in
+    /// place and removals strip them ([`GlobalPlan::strip_sharing`]) instead
+    /// of rebuilding every set from scratch. Both produce byte-identical
+    /// sets; the flag only records which admission mode built this plan so
+    /// the executor removes sharings the same way.
+    pub indexed_shr: bool,
 }
 
 impl GlobalPlan {
@@ -75,11 +82,81 @@ impl GlobalPlan {
     /// producer in the global plan, the existing supply chain serves the new
     /// sharing and the incoming duplicate chain is not added.
     pub fn merge(&mut self, sharing: &Sharing, planned: &PlannedSharing) -> Result<()> {
-        let src = &planned.plan;
+        self.merge_vertices(&planned.plan, None)?;
+        self.sharings.push(SharingMeta {
+            id: sharing.id,
+            mv_sig: planned.plan.vertex(planned.mv).sig.clone(),
+            mv_machine: planned.mv_machine,
+            sla: sharing.staleness_sla,
+        });
+        self.recompute_shr()?;
+        Ok(())
+    }
+
+    /// [`GlobalPlan::merge`] through the merge catalog: the catalog records
+    /// every new structure and counts reuse, and the new sharing's `SHR`
+    /// membership is installed incrementally instead of rebuilding every
+    /// set. The result is byte-identical to `merge`: merging only *adds*
+    /// vertices and edges and never rewires an existing producer, so no
+    /// previously admitted sharing's ancestor set can change — the full
+    /// rebuild would recompute exactly the sets already in place, plus the
+    /// new sharing on `ancestors(mv) ∪ {mv}`, which is what this installs.
+    pub fn merge_indexed(
+        &mut self,
+        sharing: &Sharing,
+        planned: &PlannedSharing,
+        cat: &mut MergeCatalog,
+    ) -> Result<()> {
+        let remap = self.merge_vertices(&planned.plan, Some(cat))?;
+        let mv = remap[&planned.mv];
+        self.sharings.push(SharingMeta {
+            id: sharing.id,
+            mv_sig: planned.plan.vertex(planned.mv).sig.clone(),
+            mv_machine: planned.mv_machine,
+            sla: sharing.staleness_sla,
+        });
+        let (verts, edges) = self.plan.ancestors(mv);
+        self.plan.vertex_mut(mv).sharings.insert(sharing.id);
+        for v in verts {
+            self.plan.vertex_mut(v).sharings.insert(sharing.id);
+        }
+        for e in edges {
+            self.plan.edges_mut()[e].sharings.insert(sharing.id);
+        }
+        Ok(())
+    }
+
+    /// Removes one sharing's metadata and strips it from every `SHR` set in
+    /// place — the incremental counterpart of dropping the meta and calling
+    /// [`GlobalPlan::recompute_shr`]. Equivalent because stripping an id
+    /// never changes any *other* sharing's ancestor walk.
+    pub fn strip_sharing(&mut self, id: SharingId) {
+        self.sharings.retain(|m| m.id != id);
+        for i in 0..self.plan.vertex_count() {
+            self.plan
+                .vertex_mut(VertexId::new(i as u32))
+                .sharings
+                .remove(&id);
+        }
+        for e in self.plan.edges_mut() {
+            e.sharings.remove(&id);
+        }
+    }
+
+    /// The shared topo-walk of both merge flavours: copies `src`'s vertices
+    /// and producers into the global plan, deduplicating on
+    /// (kind, signature, machine). With a catalog, newly created vertices
+    /// are indexed and reuse is counted.
+    fn merge_vertices(
+        &mut self,
+        src: &Plan,
+        mut cat: Option<&mut MergeCatalog>,
+    ) -> Result<HashMap<VertexId, VertexId>> {
         let order = src.topo_order()?;
         let mut remap: HashMap<VertexId, VertexId> = HashMap::new();
         for v in order {
             let vert = src.vertex(v);
+            let before = self.plan.vertex_count();
             let nid = self.plan.add_vertex(
                 vert.kind,
                 vert.sig.clone(),
@@ -91,6 +168,14 @@ impl GlobalPlan {
                 vert.est_card,
                 vert.est_tuple_bytes,
             );
+            if let Some(cat) = cat.as_deref_mut() {
+                if self.plan.vertex_count() > before {
+                    cat.misses += 1;
+                    cat.note_vertex(&self.plan, nid);
+                } else {
+                    cat.hits += 1;
+                }
+            }
             remap.insert(v, nid);
             // Install the producer unless the global plan already has one.
             if self.plan.producer(nid).is_none() {
@@ -112,14 +197,7 @@ impl GlobalPlan {
                 }
             }
         }
-        self.sharings.push(SharingMeta {
-            id: sharing.id,
-            mv_sig: src.vertex(planned.mv).sig.clone(),
-            mv_machine: planned.mv_machine,
-            sla: sharing.staleness_sla,
-        });
-        self.recompute_shr()?;
-        Ok(())
+        Ok(remap)
     }
 
     /// Recomputes every `SHR` set from first principles: a vertex/edge
@@ -212,48 +290,55 @@ pub struct HillClimbReport {
     pub trajectory: Vec<(usize, usize, f64)>,
 }
 
-/// Enumerates candidate plumbing operations on the current global plan.
+/// Enumerates candidate plumbing operations on the current global plan by
+/// scanning for signature peers (`Plan::find_by_sig`, linear in the plan).
+///
+/// Candidate order is load-bearing: hill climbing keeps the *first* found
+/// among equal-benefit candidates, so both this scan and the indexed
+/// variant walk destinations and peers in vertex-id order and therefore
+/// emit identical sequences — the determinism the differential property
+/// test pins down.
 pub fn enumerate_plumbings(g: &GlobalPlan) -> Vec<Plumbing> {
+    enumerate_with(g, |kind, sig| g.plan.find_by_sig(kind, sig))
+}
+
+/// [`enumerate_plumbings`] answered from the merge catalog: each peer
+/// lookup is one hash probe into the fingerprint index instead of a scan
+/// over every vertex. Produces the exact same candidate sequence (catalog
+/// postings are id-ordered sets).
+pub fn enumerate_plumbings_indexed(g: &GlobalPlan, cat: &MergeCatalog) -> Vec<Plumbing> {
+    enumerate_with(g, |kind, sig| cat.peers_iter(kind, sig).collect())
+}
+
+fn enumerate_with<F>(g: &GlobalPlan, peers: F) -> Vec<Plumbing>
+where
+    F: Fn(VertexKind, &ExprSig) -> Vec<VertexId>,
+{
     let mut out = Vec::new();
-    // Group delta vertices by signature.
-    let mut by_sig: HashMap<&ExprSig, Vec<&Vertex>> = HashMap::new();
-    for v in g.plan.vertices() {
-        if v.kind == VertexKind::Delta {
-            by_sig.entry(&v.sig).or_default().push(v);
-        }
-    }
     // Copy plumbing: same sig on different machines, dst not already fed by
     // a CopyDelta (from anywhere) and not a base capture point.
-    for group in by_sig.values() {
-        if group.len() < 2 {
+    for dst in g.plan.vertices() {
+        if dst.kind != VertexKind::Delta || dst.is_base {
             continue;
         }
-        for dst in group.iter() {
-            if dst.is_base {
+        let already_copy_fed = g
+            .plan
+            .producer(dst.id)
+            .is_some_and(|e| matches!(e.op, EdgeOp::CopyDelta));
+        if already_copy_fed {
+            continue;
+        }
+        for src in peers(VertexKind::Delta, &dst.sig) {
+            if src == dst.id || g.plan.vertex(src).machine == dst.machine {
                 continue;
             }
-            let already_copy_fed = g
-                .plan
-                .producer(dst.id)
-                .is_some_and(|e| matches!(e.op, EdgeOp::CopyDelta));
-            if already_copy_fed {
+            // Feeding dst from src must not create a cycle: src must not
+            // be a descendant of dst.
+            let (anc, _) = g.plan.ancestors(src);
+            if anc.contains(&dst.id) {
                 continue;
             }
-            for src in group.iter() {
-                if src.id == dst.id || src.machine == dst.machine {
-                    continue;
-                }
-                // Feeding dst from src must not create a cycle: src must not
-                // be a descendant of dst.
-                let (anc, _) = g.plan.ancestors(src.id);
-                if anc.contains(&dst.id) {
-                    continue;
-                }
-                out.push(Plumbing::Copy {
-                    src: src.id,
-                    dst: dst.id,
-                });
-            }
+            out.push(Plumbing::Copy { src, dst: dst.id });
         }
     }
     // Join plumbing: dst is a half-join delta; rebuild it from an existing
@@ -280,12 +365,12 @@ pub fn enumerate_plumbings(g: &GlobalPlan) -> Vec<Plumbing> {
         // The current producer already is a join co-located with some
         // relation; a re-plumb is interesting when the *relation* exists on
         // a different machine closer to an existing delta stream.
-        for rel_v in g.plan.find_by_sig(VertexKind::Relation, rel_sig) {
+        for rel_v in peers(VertexKind::Relation, rel_sig) {
             let rel = g.plan.vertex(rel_v);
             if rel.machine == dst.machine {
                 continue; // that is what the current producer already does
             }
-            for delta_v in g.plan.find_by_sig(VertexKind::Delta, delta_sig) {
+            for delta_v in peers(VertexKind::Delta, delta_sig) {
                 let (anc_r, _) = g.plan.ancestors(rel_v);
                 let (anc_d, _) = g.plan.ancestors(delta_v);
                 if anc_r.contains(&dst.id) || anc_d.contains(&dst.id) || delta_v == dst.id {
@@ -467,6 +552,31 @@ pub fn hill_climb_filtered(
     max_iterations: usize,
     allow_join_plumbing: bool,
 ) -> HillClimbReport {
+    hill_climb_core(g, model, prices, max_iterations, allow_join_plumbing, false)
+}
+
+/// [`hill_climb`] with candidate enumeration answered from the merge
+/// catalog. The catalog is rebuilt each iteration (plumbing + garbage
+/// collection remap vertex ids), which is one linear pass — the saving is
+/// the per-candidate signature scans inside enumeration. Produces the same
+/// plan as [`hill_climb`] on the same input.
+pub fn hill_climb_indexed(
+    g: &mut GlobalPlan,
+    model: &TimeCostModel,
+    prices: &PriceSheet,
+    max_iterations: usize,
+) -> HillClimbReport {
+    hill_climb_core(g, model, prices, max_iterations, true, true)
+}
+
+fn hill_climb_core(
+    g: &mut GlobalPlan,
+    model: &TimeCostModel,
+    prices: &PriceSheet,
+    max_iterations: usize,
+    allow_join_plumbing: bool,
+    indexed: bool,
+) -> HillClimbReport {
     let mut applied = Vec::new();
     let mut trajectory = vec![(
         g.plan.vertex_count(),
@@ -476,7 +586,13 @@ pub fn hill_climb_filtered(
     for _ in 0..max_iterations {
         let current_cost = g.total_cost(model, prices);
         let mut best: Option<(f64, Plumbing, GlobalPlan)> = None;
-        for cand in enumerate_plumbings(g) {
+        let candidates = if indexed {
+            let cat = MergeCatalog::from_plan(&g.plan);
+            enumerate_plumbings_indexed(g, &cat)
+        } else {
+            enumerate_plumbings(g)
+        };
+        for cand in candidates {
             if !allow_join_plumbing && matches!(cand, Plumbing::Join { .. }) {
                 continue;
             }
@@ -715,6 +831,69 @@ mod tests {
         }
         // Trajectory starts at the initial state.
         assert!(report.trajectory[0].0 >= g.plan.vertex_count());
+    }
+
+    #[test]
+    fn indexed_merge_matches_brute_force() {
+        let cat = catalog();
+        let model = TimeCostModel::paper_defaults();
+        let prices = PriceSheet::ec2_cross_zone();
+        let machines: Vec<_> = (0..3).map(MachineId::new).collect();
+        let opt = Optimizer::new(&cat, machines, &model, &prices);
+        let q1 = SpjQuery::scan(RelationId::new(0)).join(
+            RelationId::new(1),
+            JoinOn::on(0, 1),
+            Predicate::True,
+        );
+        let q2 = q1.clone();
+        let q3 = SpjQuery::scan(RelationId::new(0)).join(
+            RelationId::new(2),
+            JoinOn::on(0, 0),
+            Predicate::True,
+        );
+        let mut brute = GlobalPlan::new();
+        let mut indexed = GlobalPlan::new();
+        let mut mc = MergeCatalog::new();
+        for (id, q, sla) in [(1, q1, 45), (2, q2, 60), (3, q3, 45)] {
+            let s = sharing(id, q, sla);
+            let planned = opt.plan_pair(&s).unwrap().choose(&s).unwrap();
+            brute.merge(&s, &planned).unwrap();
+            indexed.merge_indexed(&s, &planned, &mut mc).unwrap();
+            assert_eq!(
+                brute.plan.canonical_string(),
+                indexed.plan.canonical_string(),
+                "indexed merge diverged after sharing {id}"
+            );
+        }
+        // Sharings 1 and 2 are identical: the second admission reused every
+        // vertex, so the catalog saw hits.
+        let (hits, misses) = mc.take_counters();
+        assert!(hits > 0, "duplicate sharing produced no catalog hits");
+        assert_eq!(misses as usize, indexed.plan.vertex_count());
+
+        // Removal: stripping matches dropping the meta and rebuilding.
+        brute.sharings.retain(|m| m.id != SharingId::new(2));
+        brute.recompute_shr().unwrap();
+        indexed.strip_sharing(SharingId::new(2));
+        assert_eq!(brute.plan.canonical_string(), indexed.plan.canonical_string());
+    }
+
+    #[test]
+    fn indexed_enumeration_matches_scan() {
+        let (g, _, _) = setup();
+        let cat = MergeCatalog::from_plan(&g.plan);
+        assert_eq!(enumerate_plumbings(&g), enumerate_plumbings_indexed(&g, &cat));
+    }
+
+    #[test]
+    fn indexed_hill_climb_matches_brute_force() {
+        let (g, model, prices) = setup();
+        let mut brute = g.clone();
+        let mut indexed = g;
+        let rb = hill_climb(&mut brute, &model, &prices, 32);
+        let ri = hill_climb_indexed(&mut indexed, &model, &prices, 32);
+        assert_eq!(rb.applied, ri.applied);
+        assert_eq!(brute.plan.canonical_string(), indexed.plan.canonical_string());
     }
 
     #[test]

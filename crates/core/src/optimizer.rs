@@ -187,6 +187,18 @@ impl<'a> Optimizer<'a> {
             return self.plan_single(sharing, &builder, objective);
         }
 
+        // Machines already at their admission ceiling cannot take any new
+        // placement — `metric` would reject the added utilization — so the
+        // DP skips them as placement targets up front. Source machines
+        // (`mj` below) stay unpruned: a zero-cost seed fragment lives at
+        // its base relation's home machine even when that machine is full.
+        let placeable: Vec<MachineId> = self
+            .machines
+            .iter()
+            .copied()
+            .filter(|m| self.committed.get(m).copied().unwrap_or(0.0) < self.capacity)
+            .collect();
+
         // dp[(mask, machine)] -> best candidate.
         let mut dp: HashMap<(u32, MachineId), Candidate> = HashMap::new();
 
@@ -237,7 +249,7 @@ impl<'a> Optimizer<'a> {
                         continue;
                     };
                     let sub = sub.clone();
-                    for &mi in &self.machines {
+                    for &mi in &placeable {
                         for case in 0..4u8 {
                             let Ok(cand) = self.expand(
                                 &builder, &sub, a, mi, case, steps, &conds, sharing, is_final,
@@ -290,6 +302,9 @@ impl<'a> Optimizer<'a> {
         for &m in &self.machines {
             if self.mv_machine.is_some_and(|pin| pin != m) {
                 continue;
+            }
+            if self.committed.get(&m).copied().unwrap_or(0.0) >= self.capacity {
+                continue; // full machine: metric() would reject any placement
             }
             let mut plan = Plan::new();
             let handle = builder.scan_plan(

@@ -164,6 +164,14 @@ pub struct Plan {
 }
 
 impl Plan {
+    /// Deterministic rendering of the plan's structure — vertices, edges and
+    /// producer wiring — for byte-comparison in differential tests. `Debug`
+    /// on the whole `Plan` is unsuitable for that: the signature index is a
+    /// `HashMap`, so two structurally identical plans can print differently.
+    pub fn canonical_string(&self) -> String {
+        format!("{:?};{:?};{:?}", self.vertices, self.edges, self.producer)
+    }
+
     /// Empty plan.
     pub fn new() -> Self {
         Self::default()

@@ -17,7 +17,8 @@
 use crate::catalog::{BaseStats, Catalog};
 use crate::executor::seed::eval_sig;
 use crate::executor::{ExecConfig, Executor};
-use crate::multi::{hill_climb, GlobalPlan, HillClimbReport};
+use crate::merge_catalog::MergeCatalog;
+use crate::multi::{hill_climb, hill_climb_indexed, GlobalPlan, HillClimbReport};
 use crate::optimizer::{Objective, Optimizer, PlannedSharing};
 use crate::plan::cost::{machine_utilization, Scope};
 use crate::plan::dag::{DeltaSide, EdgeOp, VertexKind};
@@ -25,13 +26,14 @@ use crate::plan::timecost::TimeCostModel;
 use crate::sharing::Sharing;
 use crate::snapshot::SnapshotModule;
 use smile_sim::{Cluster, FaultProfile, MachineConfig, PriceSheet};
+use smile_storage::registry::ArrangementKey;
 use smile_storage::spj::RelationProvider;
-use smile_storage::{DeltaBatch, SpjQuery, ZSet};
+use smile_storage::{ArrangementRegistry, DeltaBatch, SpjQuery, ZSet};
 use smile_telemetry::{chrome_trace, MetricsSnapshot, Telemetry, TelemetryConfig, TraceInstant};
 use smile_types::{
     MachineId, RelationId, Result, Schema, SharingId, SimDuration, SmileError, Timestamp,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Platform configuration.
@@ -70,6 +72,14 @@ pub struct SmileConfig {
     /// histogram shards. Instruments always record (pure atomics);
     /// disabling only quiets span recording (zero allocation).
     pub telemetry: TelemetryConfig,
+    /// Whether admission goes through the merge catalog (default): the
+    /// global plan is merged incrementally at submit time, committed
+    /// utilization is tracked incrementally, and SHR membership is extended
+    /// in place — sublinear per admission. When false, every admission
+    /// scans all previously admitted plans and `install` re-merges from
+    /// scratch — the original quadratic path, kept as the ablation and
+    /// differential-test baseline.
+    pub indexed_admission: bool,
 }
 
 impl SmileConfig {
@@ -89,6 +99,7 @@ impl SmileConfig {
             faults: FaultProfile::disabled(),
             use_arrangements: true,
             telemetry: TelemetryConfig::default(),
+            indexed_admission: true,
         }
     }
 }
@@ -128,6 +139,21 @@ pub struct FaultReport {
     pub sla_violations_attributable: u64,
 }
 
+/// One sharing in a [`Smile::submit_batch`] admission request.
+#[derive(Clone, Debug)]
+pub struct SharingRequest {
+    /// Human-readable sharing name.
+    pub name: String,
+    /// The SPJ transformation over registered base relations.
+    pub query: SpjQuery,
+    /// Staleness SLA.
+    pub staleness_sla: SimDuration,
+    /// Penalty dollars per stale tuple.
+    pub penalty_per_tuple: f64,
+    /// Optional MV machine pin.
+    pub mv_machine: Option<MachineId>,
+}
+
 /// The SMILE platform.
 pub struct Smile {
     /// The simulated machine fleet.
@@ -148,6 +174,17 @@ pub struct Smile {
     pub hc_report: Option<HillClimbReport>,
     /// Shared telemetry handle (spans, counters, histograms).
     telemetry: Arc<Telemetry>,
+    /// Indexed admission: the global plan built incrementally at submit
+    /// time; `install` consumes it instead of re-merging every plan.
+    staged: GlobalPlan,
+    /// Indexed admission: the cross-tenant index over admitted structures.
+    merge_catalog: MergeCatalog,
+    /// Indexed admission: committed utilization accumulated per admission
+    /// (the brute path recomputes this by scanning all admitted plans).
+    committed: HashMap<MachineId, f64>,
+    /// Refcounted fleet-wide arrangement bookkeeping, reconciled against
+    /// the live plan after install / live admission / retirement.
+    arrangements: ArrangementRegistry,
     now: Timestamp,
     next_sharing: u32,
     /// Entries ingested at or before the seed instant would fall outside
@@ -172,6 +209,10 @@ impl Smile {
             snapshot: SnapshotModule::new(),
             hc_report: None,
             telemetry,
+            staged: GlobalPlan::new(),
+            merge_catalog: MergeCatalog::new(),
+            committed: HashMap::new(),
+            arrangements: ArrangementRegistry::new(),
             now: Timestamp::ZERO,
             next_sharing: 1,
             seed_floor: None,
@@ -224,16 +265,46 @@ impl Smile {
         penalty_per_tuple: f64,
         mv_machine: Option<MachineId>,
     ) -> Result<SharingId> {
+        let started = std::time::Instant::now();
+        let out = self.submit_inner(name, query, staleness_sla, penalty_per_tuple, mv_machine);
+        let reg = self.telemetry.registry();
+        // `host_` marks the one wall-clock (nondeterministic) metric here;
+        // determinism suites filter on that marker.
+        reg.histogram("admission.host_latency_us")
+            .record(started.elapsed().as_micros() as u64);
+        let (hits, misses) = self.merge_catalog.take_counters();
+        reg.counter("catalog.hits").add(hits);
+        reg.counter("catalog.misses").add(misses);
+        out
+    }
+
+    fn submit_inner(
+        &mut self,
+        name: &str,
+        query: SpjQuery,
+        staleness_sla: SimDuration,
+        penalty_per_tuple: f64,
+        mv_machine: Option<MachineId>,
+    ) -> Result<SharingId> {
         query.validate(&self.catalog)?;
         let id = SharingId::new(self.next_sharing);
         let sharing = Sharing::new(id, name, query, staleness_sla, penalty_per_tuple);
-        // Capacity already committed by previously admitted sharings.
-        let mut committed: HashMap<MachineId, f64> = HashMap::new();
-        for p in &self.planned {
-            for (m, u) in machine_utilization(&p.plan, Scope::All, &self.config.model) {
-                *committed.entry(m).or_default() += u;
+        // Capacity already committed by previously admitted sharings. The
+        // indexed path keeps the running totals; the brute path recomputes
+        // them by scanning every admitted plan (the original quadratic
+        // behaviour, preserved for ablation). Both accumulate per machine
+        // in admission order, so the sums are bit-identical.
+        let committed: HashMap<MachineId, f64> = if self.config.indexed_admission {
+            self.committed.clone()
+        } else {
+            let mut committed: HashMap<MachineId, f64> = HashMap::new();
+            for p in &self.planned {
+                for (m, u) in machine_utilization(&p.plan, Scope::All, &self.config.model) {
+                    *committed.entry(m).or_default() += u;
+                }
             }
-        }
+            committed
+        };
         let optimizer = Optimizer::new(
             &self.catalog,
             self.cluster.machine_ids(),
@@ -283,11 +354,40 @@ impl Smile {
         if !self.config.use_arrangements {
             set_join_indexing(&mut planned.plan, false);
         }
+        if self.config.indexed_admission {
+            for (m, u) in machine_utilization(&planned.plan, Scope::All, &self.config.model) {
+                *self.committed.entry(m).or_default() += u;
+            }
+            if self.executor.is_none() {
+                self.staged
+                    .merge_indexed(&sharing, &planned, &mut self.merge_catalog)?;
+            }
+        }
         self.next_sharing += 1;
         self.snapshot.register_penalty(id, penalty_per_tuple);
         self.sharings.push(sharing);
         self.planned.push(planned);
         Ok(id)
+    }
+
+    /// Admits a vector of sharings in one catalog pass: each admission
+    /// consults and extends the same merge catalog, so the batch costs one
+    /// incremental merge per member instead of a scan over all resident
+    /// plans per member. Per-member results come back in request order —
+    /// a rejection does not abort the rest of the batch.
+    pub fn submit_batch(&mut self, requests: Vec<SharingRequest>) -> Vec<Result<SharingId>> {
+        requests
+            .into_iter()
+            .map(|r| {
+                self.submit_pinned(
+                    &r.name,
+                    r.query,
+                    r.staleness_sla,
+                    r.penalty_per_tuple,
+                    r.mv_machine,
+                )
+            })
+            .collect()
     }
 
     /// Merges all admitted plans into the global plan, runs the plumbing
@@ -298,18 +398,38 @@ impl Smile {
                 "platform already installed; dynamic re-install is not supported".into(),
             ));
         }
-        let mut global = GlobalPlan::new();
-        for (sharing, planned) in self.sharings.iter().zip(&self.planned) {
-            global.merge(sharing, planned)?;
-        }
+        let mut global = if self.config.indexed_admission {
+            // Already merged incrementally, one sharing at a time, at submit.
+            std::mem::take(&mut self.staged)
+        } else {
+            let mut global = GlobalPlan::new();
+            for (sharing, planned) in self.sharings.iter().zip(&self.planned) {
+                global.merge(sharing, planned)?;
+            }
+            global
+        };
+        global.indexed_shr = self.config.indexed_admission;
         if self.config.hill_climb {
-            let report = hill_climb(
-                &mut global,
-                &self.config.model,
-                &self.config.prices,
-                self.config.hill_climb_iterations,
-            );
+            let report = if self.config.indexed_admission {
+                hill_climb_indexed(
+                    &mut global,
+                    &self.config.model,
+                    &self.config.prices,
+                    self.config.hill_climb_iterations,
+                )
+            } else {
+                hill_climb(
+                    &mut global,
+                    &self.config.model,
+                    &self.config.prices,
+                    self.config.hill_climb_iterations,
+                )
+            };
             self.hc_report = Some(report);
+            if self.config.indexed_admission {
+                // Plumbing + garbage collection remapped vertex ids.
+                self.merge_catalog.rebuild(&global.plan);
+            }
         }
         global.plan.validate()?;
         let _created = self.materialize(&mut global)?;
@@ -327,7 +447,48 @@ impl Smile {
         executor.mark_seeded(self.now);
         self.seed_floor = Some(self.now + SimDuration::from_micros(1));
         self.executor = Some(executor);
+        self.sync_arrangements()?;
         Ok(())
+    }
+
+    /// Reconciles the global arrangement registry against the live plan's
+    /// indexed join edges and applies the physical delta: first references
+    /// build arrangements (idempotent — materialization usually already
+    /// did), last references drop them so retired sharings reclaim memory.
+    fn sync_arrangements(&mut self) -> Result<()> {
+        let Some(executor) = &self.executor else {
+            return Ok(());
+        };
+        let delta = self
+            .arrangements
+            .reconcile(desired_arrangements(&executor.global));
+        for (machine, slot, cols) in delta.added {
+            if self.cluster.machine(machine)?.db.has_relation(slot) {
+                self.cluster
+                    .machine_mut(machine)?
+                    .db
+                    .ensure_index(slot, &cols)?;
+            }
+        }
+        for (machine, slot, cols) in delta.removed {
+            self.cluster.machine_mut(machine)?.db.drop_index(slot, &cols);
+        }
+        Ok(())
+    }
+
+    /// The refcounted fleet-wide arrangement registry.
+    pub fn arrangement_registry(&self) -> &ArrangementRegistry {
+        &self.arrangements
+    }
+
+    /// The cross-tenant merge catalog (meaningful under indexed admission).
+    pub fn merge_catalog(&self) -> &MergeCatalog {
+        &self.merge_catalog
+    }
+
+    /// The running global plan, once installed.
+    pub fn global_plan(&self) -> Option<&GlobalPlan> {
+        self.executor.as_ref().map(|e| &e.global)
     }
 
     /// Allocates storage slots for plan vertices, creates the relations,
@@ -397,10 +558,16 @@ impl Smile {
         let floor = self.now + SimDuration::from_micros(1);
         self.seed_floor = Some(self.seed_floor.map_or(floor, |f| f.max(floor)));
 
+        if self.config.indexed_admission {
+            for (m, u) in machine_utilization(&planned.plan, Scope::All, &self.config.model) {
+                *self.committed.entry(m).or_default() += u;
+            }
+        }
         self.next_sharing += 1;
         self.snapshot.register_penalty(id, penalty_per_tuple);
         self.sharings.push(sharing);
         self.planned.push(planned);
+        self.sync_arrangements()?;
         Ok(id)
     }
 
@@ -437,9 +604,16 @@ impl Smile {
             }
         }
         if let Some(pos) = self.sharings.iter().position(|s| s.id == id) {
+            if self.config.indexed_admission {
+                let plan = &self.planned[pos].plan;
+                for (m, u) in machine_utilization(plan, Scope::All, &self.config.model) {
+                    *self.committed.entry(m).or_default() -= u;
+                }
+            }
             self.sharings.remove(pos);
             self.planned.remove(pos);
         }
+        self.sync_arrangements()?;
         Ok(())
     }
 
@@ -632,6 +806,15 @@ impl Smile {
         }
         reg.gauge("snapshot.sla_violations")
             .set(self.snapshot.violations_total() as f64);
+        reg.gauge("catalog.entries").set(self.merge_catalog.len() as f64);
+        reg.gauge("catalog.probe_keys")
+            .set(self.merge_catalog.probe_key_count() as f64);
+        reg.gauge("arrangement_registry.entries")
+            .set(self.arrangements.len() as f64);
+        reg.gauge("arrangement_registry.refs")
+            .set(self.arrangements.total_refs() as f64);
+        reg.gauge("arrangement_registry.reclaimed")
+            .set(self.arrangements.reclaimed as f64);
         self.telemetry.snapshot()
     }
 
@@ -704,6 +887,40 @@ impl Smile {
             sla_violations_attributable: attributable,
         }
     }
+}
+
+/// Desired arrangement refcounts from the live plan: one reference per
+/// *live* (serving at least one sharing) indexed join edge, keyed by the
+/// snapshot side's (machine, relation slot, probe columns). `BTreeMap`, so
+/// reconciliation walks keys deterministically.
+fn desired_arrangements(global: &GlobalPlan) -> BTreeMap<ArrangementKey, usize> {
+    let mut desired: BTreeMap<ArrangementKey, usize> = BTreeMap::new();
+    for e in global.plan.edges() {
+        let EdgeOp::Join {
+            on,
+            delta_side,
+            indexed,
+            ..
+        } = &e.op
+        else {
+            continue;
+        };
+        if !indexed || e.sharings.is_empty() {
+            continue;
+        }
+        let snap_cols = match delta_side {
+            DeltaSide::Left => &on.right_cols,
+            DeltaSide::Right => &on.left_cols,
+        };
+        let rel_v = global.plan.vertex(e.inputs[1]);
+        let Some(slot) = rel_v.slot else {
+            continue;
+        };
+        *desired
+            .entry((rel_v.machine, slot, snap_cols.clone()))
+            .or_default() += 1;
+    }
+    desired
 }
 
 /// Forces every join edge of a single-sharing plan onto the arrangement

@@ -221,6 +221,15 @@ impl Database {
         Ok(())
     }
 
+    /// Drops the secondary index on exactly `cols`, reclaiming its memory.
+    /// Returns `true` when an arrangement existed. Unknown relations are
+    /// fine (the whole relation may already have been dropped).
+    pub fn drop_index(&mut self, rel: RelationId, cols: &[usize]) -> bool {
+        self.relations
+            .get_mut(&rel)
+            .is_some_and(|s| s.table.drop_index(cols))
+    }
+
     /// Current timestamp `TS(v)` of a relation vertex.
     pub fn relation_ts(&self, rel: RelationId) -> Result<Timestamp> {
         Ok(self.slot(rel)?.table.ts())

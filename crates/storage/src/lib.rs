@@ -26,6 +26,7 @@ pub mod delta;
 pub mod engine;
 pub mod join;
 pub mod predicate;
+pub mod registry;
 pub mod spj;
 pub mod stats;
 pub mod table;
@@ -37,6 +38,7 @@ pub use arrangement::{Arrangement, ArrangementCounters};
 pub use delta::{DeltaBatch, DeltaEntry, DeltaTable};
 pub use engine::Database;
 pub use predicate::Predicate;
+pub use registry::{ArrangementKey, ArrangementRegistry, ReconcileDelta};
 pub use spj::SpjQuery;
 pub use table::Table;
 pub use zset::ZSet;

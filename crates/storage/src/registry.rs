@@ -1,0 +1,182 @@
+//! Global arrangement registry: one refcounted entry per installed
+//! arrangement across the whole fleet.
+//!
+//! Arrangements are shared cross-tenant: every indexed join edge probing the
+//! same `(machine, relation, key columns)` triple uses one physical
+//! arrangement (paper of record: Shared Arrangements, McSherry et al.). The
+//! registry tracks how many *live* plan edges reference each triple so that
+//! dynamic sharing removal can reclaim an arrangement exactly when its last
+//! referencing sharing leaves — without it, a base-table arrangement probed
+//! only by a retired sharing would leak for the lifetime of the platform.
+//!
+//! The registry itself is pure bookkeeping (a `BTreeMap`, so iteration and
+//! reconciliation order are deterministic); the platform layer reconciles it
+//! against the live plan and issues the actual
+//! [`crate::engine::Database::ensure_index`] /
+//! [`crate::engine::Database::drop_index`] calls.
+
+use smile_types::{MachineId, RelationId};
+use std::collections::BTreeMap;
+
+/// Identity of one physical arrangement: the machine hosting it, the
+/// relation slot it indexes, and the key columns it is arranged by.
+pub type ArrangementKey = (MachineId, RelationId, Vec<usize>);
+
+/// Outcome of one [`ArrangementRegistry::reconcile`] pass: which physical
+/// arrangements must be created and which can be dropped.
+#[derive(Clone, Debug, Default)]
+pub struct ReconcileDelta {
+    /// Keys that gained their first reference (build the arrangement).
+    pub added: Vec<ArrangementKey>,
+    /// Keys whose last reference disappeared (drop the arrangement).
+    pub removed: Vec<ArrangementKey>,
+}
+
+/// Refcounted fleet-wide arrangement bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct ArrangementRegistry {
+    /// (machine, relation, key cols) → number of live plan edges probing it.
+    entries: BTreeMap<ArrangementKey, usize>,
+    /// Lifetime count of references acquired.
+    pub acquired: u64,
+    /// Lifetime count of references released.
+    pub released: u64,
+    /// Lifetime count of arrangements reclaimed (refcount hit zero).
+    pub reclaimed: u64,
+}
+
+impl ArrangementRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered arrangements (refcount ≥ 1).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no arrangement is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total references across all arrangements.
+    pub fn total_refs(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Current refcount of one arrangement (0 when absent).
+    pub fn refcount(&self, key: &ArrangementKey) -> usize {
+        self.entries.get(key).copied().unwrap_or(0)
+    }
+
+    /// Registered arrangements in deterministic key order.
+    pub fn keys(&self) -> impl Iterator<Item = &ArrangementKey> {
+        self.entries.keys()
+    }
+
+    /// Reconciles the registry against the desired per-key reference counts
+    /// (computed from the live plan by the caller). Returns which physical
+    /// arrangements must be created (first reference) and which must be
+    /// dropped (last reference gone). Deterministic: both lists come out in
+    /// key order.
+    pub fn reconcile(&mut self, desired: BTreeMap<ArrangementKey, usize>) -> ReconcileDelta {
+        let mut delta = ReconcileDelta::default();
+        // Releases first: keys absent from (or reduced in) the desired map.
+        let current: Vec<(ArrangementKey, usize)> =
+            self.entries.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        for (key, have) in current {
+            let want = desired.get(&key).copied().unwrap_or(0);
+            if want < have {
+                self.released += (have - want) as u64;
+            }
+            if want == 0 {
+                self.entries.remove(&key);
+                self.reclaimed += 1;
+                delta.removed.push(key);
+            }
+        }
+        // Then acquisitions: new keys and raised counts.
+        for (key, want) in desired {
+            if want == 0 {
+                continue;
+            }
+            let have = self.entries.get(&key).copied().unwrap_or(0);
+            if want > have {
+                self.acquired += (want - have) as u64;
+            }
+            if have == 0 {
+                delta.added.push(key.clone());
+            }
+            self.entries.insert(key, want);
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(m: u32, r: u32, cols: &[usize]) -> ArrangementKey {
+        (MachineId::new(m), RelationId::new(r), cols.to_vec())
+    }
+
+    #[test]
+    fn reconcile_adds_then_reclaims() {
+        let mut reg = ArrangementRegistry::new();
+        let mut want = BTreeMap::new();
+        want.insert(key(0, 1, &[0]), 2);
+        want.insert(key(1, 2, &[1]), 1);
+        let d = reg.reconcile(want.clone());
+        assert_eq!(d.added.len(), 2);
+        assert!(d.removed.is_empty());
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.total_refs(), 3);
+        assert_eq!(reg.refcount(&key(0, 1, &[0])), 2);
+        assert_eq!(reg.acquired, 3);
+
+        // One edge of the shared arrangement retires: refcount drops, the
+        // arrangement itself survives.
+        want.insert(key(0, 1, &[0]), 1);
+        let d = reg.reconcile(want.clone());
+        assert!(d.added.is_empty() && d.removed.is_empty());
+        assert_eq!(reg.refcount(&key(0, 1, &[0])), 1);
+        assert_eq!(reg.released, 1);
+        assert_eq!(reg.reclaimed, 0);
+
+        // The last reference goes: the key is reclaimed.
+        want.remove(&key(0, 1, &[0]));
+        let d = reg.reconcile(want);
+        assert_eq!(d.removed, vec![key(0, 1, &[0])]);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.refcount(&key(0, 1, &[0])), 0);
+        assert_eq!(reg.reclaimed, 1);
+    }
+
+    #[test]
+    fn reconcile_to_empty_drops_everything() {
+        let mut reg = ArrangementRegistry::new();
+        let mut want = BTreeMap::new();
+        want.insert(key(0, 1, &[0]), 1);
+        reg.reconcile(want);
+        let d = reg.reconcile(BTreeMap::new());
+        assert_eq!(d.removed.len(), 1);
+        assert!(reg.is_empty());
+        assert_eq!(reg.total_refs(), 0);
+        assert_eq!(reg.acquired, reg.released);
+    }
+
+    #[test]
+    fn idempotent_reconcile_changes_nothing() {
+        let mut reg = ArrangementRegistry::new();
+        let mut want = BTreeMap::new();
+        want.insert(key(2, 3, &[0, 1]), 4);
+        reg.reconcile(want.clone());
+        let (a, r) = (reg.acquired, reg.released);
+        let d = reg.reconcile(want);
+        assert!(d.added.is_empty() && d.removed.is_empty());
+        assert_eq!((reg.acquired, reg.released), (a, r));
+    }
+}

@@ -143,6 +143,13 @@ impl Table {
         self.arrangements.contains_key(cols)
     }
 
+    /// Drops the arrangement on exactly `cols`, freeing its memory. Returns
+    /// `true` when one existed. The reverse of [`Table::ensure_index`], used
+    /// when the last plan edge probing the key is retired.
+    pub fn drop_index(&mut self, cols: &[usize]) -> bool {
+        self.arrangements.remove(cols).is_some()
+    }
+
     /// The arrangement on exactly `cols`, if one was installed.
     pub fn arrangement(&self, cols: &[usize]) -> Option<&Arrangement> {
         self.arrangements.get(cols)

@@ -1,0 +1,243 @@
+//! Admission at scale: 10k sharings admitted in batches through the merge
+//! catalog, then executed under chaos. Asserts the three load-bearing
+//! properties of the scale-out layer: structure sharing is real (the fleet
+//! holds far fewer arrangements than the unshared sum), admission and
+//! execution are deterministic across worker counts, and fault recovery
+//! stays exact at this population.
+
+use smile::core::platform::{SharingRequest, Smile, SmileConfig};
+use smile::core::catalog::BaseStats;
+use smile::core::plan::dag::EdgeOp;
+use smile::sim::FaultProfile;
+use smile::storage::delta::{DeltaBatch, DeltaEntry};
+use smile::storage::join::JoinOn;
+use smile::storage::{Predicate, SpjQuery};
+use smile::types::{
+    tuple, Column, ColumnType, MachineId, RelationId, Schema, SharingId, SimDuration,
+};
+
+const MACHINES: u32 = 4;
+const SHARINGS: usize = 10_000;
+const BATCH: usize = 500;
+
+fn build(workers: usize) -> (Smile, Vec<RelationId>) {
+    let mut config = SmileConfig::with_machines(MACHINES as usize);
+    // Hill climbing is O(plan²) per iteration — intractable at this plan
+    // size and orthogonal to what this test exercises.
+    config.hill_climb = false;
+    config.capacity = 1e9;
+    // The chaos preset with a compressed crash schedule: every machine's
+    // first crash draw (uniform in [7.5, 22.5] s) lands inside the 40 s
+    // drive window, so fault recovery is exercised without a long run.
+    let mut faults = FaultProfile::chaos(7);
+    faults.crash_period = SimDuration::from_secs(15);
+    faults.crash_downtime = SimDuration::from_secs(3);
+    config.faults = faults;
+    // A coarser scheduler tick: per-invocation work scales with the 10k
+    // resident sharings, and tick cadence affects freshness, not
+    // correctness (a property the proptest suite pins down).
+    config.exec.tick = SimDuration::from_secs(2);
+    config.exec.workers = workers;
+    let mut smile = Smile::new(config);
+    let rels = (0..MACHINES)
+        .map(|m| {
+            smile
+                .register_base(
+                    &format!("rel{m}"),
+                    Schema::new(
+                        vec![
+                            Column::new("id", ColumnType::I64),
+                            Column::new("fk", ColumnType::I64),
+                            Column::new("g", ColumnType::I64),
+                        ],
+                        vec![0],
+                    ),
+                    MachineId::new(m),
+                    BaseStats {
+                        update_rate: 8.0,
+                        cardinality: 1000.0,
+                        tuple_bytes: 24.0,
+                        distinct: vec![1000.0, 100.0, 8.0],
+                    },
+                )
+                .unwrap()
+        })
+        .collect();
+    (smile, rels)
+}
+
+/// The i-th generated sharing: a two-way cross-machine join whose equality
+/// literal advances as `isqrt(i)`, so most admissions dedup into a resident
+/// structure while distinct structures keep appearing throughout the sweep.
+fn request(rels: &[RelationId], i: usize) -> SharingRequest {
+    let shape = i % 4;
+    let k = (i as f64).sqrt().floor() as i64;
+    let (a, b) = (rels[shape], rels[(shape + 1) % rels.len()]);
+    SharingRequest {
+        name: format!("S{i}"),
+        query: SpjQuery::scan(a).join(b, JoinOn::on(1, 1), Predicate::eq(2, k)),
+        staleness_sla: SimDuration::from_secs(25),
+        penalty_per_tuple: 0.001,
+        mv_machine: Some(MachineId::new((i % MACHINES as usize) as u32)),
+    }
+}
+
+fn fleet_arrangements(smile: &Smile) -> usize {
+    (0..MACHINES)
+        .map(|m| {
+            smile
+                .cluster
+                .machine(MachineId::new(m))
+                .unwrap()
+                .db
+                .arrangement_count()
+        })
+        .sum()
+}
+
+struct ScaleRun {
+    global_plan: String,
+    fault_report: String,
+    sampled_mvs: Vec<(SharingId, Vec<(smile::types::Tuple, i64)>)>,
+    fleet_arrangements: usize,
+    unshared_arrangements: usize,
+    registry_len: usize,
+    crashes: u64,
+    samples_exact: bool,
+}
+
+fn run(workers: usize) -> ScaleRun {
+    let started = std::time::Instant::now();
+    let (mut smile, rels) = build(workers);
+
+    // Admit 10k sharings in batches of 500; every one must be admitted
+    // (capacity is ample, the SLA generous).
+    let mut admitted: Vec<SharingId> = Vec::with_capacity(SHARINGS);
+    let mut start = 0;
+    while start < SHARINGS {
+        let batch: Vec<SharingRequest> = (start..start + BATCH)
+            .map(|i| request(&rels, i))
+            .collect();
+        for (off, res) in smile.submit_batch(batch).into_iter().enumerate() {
+            admitted.push(res.unwrap_or_else(|e| {
+                panic!("sharing {} rejected at scale: {e}", start + off)
+            }));
+        }
+        start += BATCH;
+    }
+    assert_eq!(admitted.len(), SHARINGS);
+
+    // Per-sharing arrangement demand as if nothing were shared: one
+    // arrangement per indexed join edge of each planned plan, no
+    // cross-plan dedup.
+    let unshared: usize = admitted
+        .iter()
+        .map(|&id| {
+            smile
+                .planned(id)
+                .unwrap()
+                .plan
+                .edges()
+                .iter()
+                .filter(|e| matches!(e.op, EdgeOp::Join { indexed: true, .. }))
+                .count()
+        })
+        .sum();
+
+    eprintln!("[scale w={workers}] admitted in {:.1}s", started.elapsed().as_secs_f64());
+    smile.install().unwrap();
+    eprintln!("[scale w={workers}] installed at {:.1}s", started.elapsed().as_secs_f64());
+
+    // Drive 40 simulated seconds of ingest under chaos (each machine's
+    // first crash lands by 22.5 s; the 25 s SLA forces at least one push
+    // cycle per MV).
+    let end = smile.now() + SimDuration::from_secs(40);
+    let mut tick = 0i64;
+    while smile.now() < end {
+        let now = smile.now();
+        for (r, &rel) in rels.iter().enumerate() {
+            let entries = (0..3)
+                .map(|j| {
+                    DeltaEntry::insert(
+                        tuple![tick * 31 + r as i64 * 7 + j, tick % 97, tick % 8],
+                        now,
+                    )
+                })
+                .collect();
+            smile.ingest(rel, DeltaBatch { entries }).unwrap();
+        }
+        smile.step().unwrap();
+        tick += 1;
+    }
+    smile.run_idle(SimDuration::from_secs(16)).unwrap();
+    eprintln!("[scale w={workers}] driven at {:.1}s", started.elapsed().as_secs_f64());
+
+    // Sample MVs across the population: early ids (literals small enough to
+    // match ingested `g` values, so the views are non-trivial) and a spread
+    // of later ones.
+    let sample_ids: Vec<SharingId> = [0usize, 1, 2, 3, 9, 25, 100, 999, 5000, 9999]
+        .iter()
+        .map(|&i| admitted[i])
+        .collect();
+    let mut samples_exact = true;
+    let sampled_mvs = sample_ids
+        .iter()
+        .map(|&id| {
+            let got = smile.mv_contents(id).unwrap().sorted_entries();
+            let want = smile.expected_mv_contents(id).unwrap().sorted_entries();
+            samples_exact &= got == want;
+            (id, got)
+        })
+        .collect();
+
+    ScaleRun {
+        global_plan: smile.global_plan().unwrap().plan.canonical_string(),
+        fault_report: format!("{:?}", smile.fault_report()),
+        sampled_mvs,
+        fleet_arrangements: fleet_arrangements(&smile),
+        unshared_arrangements: unshared,
+        registry_len: smile.arrangement_registry().len(),
+        crashes: smile.fault_report().crashes,
+        samples_exact,
+    }
+}
+
+#[test]
+fn ten_thousand_sharings_share_structure_and_stay_deterministic() {
+    let base = run(1);
+
+    // Structure sharing: the fleet's physical arrangement count is strictly
+    // below the unshared per-sharing sum, and the refcounted registry
+    // mirrors the physical fleet exactly.
+    assert!(
+        base.fleet_arrangements < base.unshared_arrangements,
+        "no structure sharing: {} arrangements vs unshared sum {}",
+        base.fleet_arrangements,
+        base.unshared_arrangements
+    );
+    assert_eq!(base.fleet_arrangements, base.registry_len);
+
+    // Chaos actually fired, and recovery stayed exact: every sampled MV
+    // matches the from-scratch oracle.
+    assert!(base.crashes >= 1, "chaos profile injected no crashes");
+    assert!(base.samples_exact, "a sampled MV diverged from its oracle");
+    assert!(
+        base.sampled_mvs.iter().any(|(_, mv)| !mv.is_empty()),
+        "every sampled MV is empty — the exactness check is vacuous"
+    );
+
+    // Determinism across worker counts: identical global plan, identical
+    // fault attribution, identical MV bytes.
+    let par = run(4);
+    assert_eq!(par.global_plan, base.global_plan, "plan differs at workers=4");
+    assert_eq!(
+        par.fault_report, base.fault_report,
+        "fault attribution differs at workers=4"
+    );
+    assert_eq!(
+        par.sampled_mvs, base.sampled_mvs,
+        "MV contents differ at workers=4"
+    );
+    assert_eq!(par.fleet_arrangements, base.fleet_arrangements);
+    assert!(par.samples_exact);
+}

@@ -8,6 +8,20 @@ use smile::workload::rates::{RateIntegrator, RateTrace};
 use smile::workload::sharings::paper_sharings;
 use smile::workload::twitter::{standard_setup, TwitterConfig, TwitterWorkload};
 
+/// Fleet-wide count of physical arrangements across `machines` machines.
+fn fleet_arrangements(smile: &Smile, machines: u32) -> usize {
+    (0..machines)
+        .map(|m| {
+            smile
+                .cluster
+                .machine(MachineId::new(m))
+                .unwrap()
+                .db
+                .arrangement_count()
+        })
+        .sum()
+}
+
 fn drive(smile: &mut Smile, w: &mut TwitterWorkload, rate: f64, secs: u64) {
     let mut integrator = RateIntegrator::new(RateTrace::Constant(rate));
     let end = smile.now() + SimDuration::from_secs(secs);
@@ -130,6 +144,15 @@ fn retired_sharing_frees_storage_and_spares_others() {
                 .total_bytes()
         })
         .sum();
+    // The refcounted registry mirrors the physical fleet exactly while both
+    // sharings are live.
+    let refs_before = smile.arrangement_registry().total_refs();
+    assert!(refs_before > 0);
+    assert_eq!(
+        fleet_arrangements(&smile, 4),
+        smile.arrangement_registry().len(),
+        "registry out of sync with physical arrangements before retire"
+    );
     smile.retire(gone).unwrap();
     let bytes_after: usize = (0..4)
         .map(|m| {
@@ -145,6 +168,16 @@ fn retired_sharing_frees_storage_and_spares_others() {
         bytes_after < bytes_before,
         "retiring freed no storage ({bytes_before} -> {bytes_after})"
     );
+    // The retired sharing's arrangement references were released, the last
+    // references were physically reclaimed, and the registry still mirrors
+    // the fleet.
+    let reg = smile.arrangement_registry();
+    assert!(
+        reg.total_refs() < refs_before,
+        "retire released no arrangement references"
+    );
+    assert!(reg.reclaimed >= 1, "no arrangement was reclaimed");
+    assert_eq!(fleet_arrangements(&smile, 4), reg.len());
     assert!(smile.mv_contents(gone).is_err() || smile.planned(gone).is_err());
 
     // The surviving sharing keeps running exactly.
@@ -186,6 +219,41 @@ fn retire_then_resubmit_the_same_sharing() {
     assert_eq!(
         smile.mv_contents(again).unwrap().sorted_entries(),
         smile.expected_mv_contents(again).unwrap().sorted_entries()
+    );
+}
+
+#[test]
+fn registry_reclaims_after_last_reference() {
+    let mut smile = Smile::new(SmileConfig::with_machines(4));
+    let mut w = standard_setup(&mut smile, TwitterConfig::default(), 1_000).unwrap();
+    let all = paper_sharings(&w.rels());
+
+    let s5 = all[4].clone();
+    let only = smile
+        .submit(s5.app, s5.query, SimDuration::from_secs(20), 0.001)
+        .unwrap();
+    smile.install().unwrap();
+    assert!(
+        smile.arrangement_registry().total_refs() > 0,
+        "an indexed join sharing must hold arrangement references"
+    );
+    drive(&mut smile, &mut w, 20.0, 30);
+
+    // Retiring the only sharing drops every refcount to zero and reclaims
+    // all arrangement memory fleet-wide.
+    smile.retire(only).unwrap();
+    let reg = smile.arrangement_registry();
+    assert_eq!(
+        reg.total_refs(),
+        0,
+        "refcounts must reach zero after the last referencing sharing retires"
+    );
+    assert_eq!(reg.len(), 0);
+    assert!(reg.reclaimed >= 1);
+    assert_eq!(
+        fleet_arrangements(&smile, 4),
+        0,
+        "arrangement memory must be reclaimed with no live references"
     );
 }
 

@@ -503,3 +503,204 @@ proptest! {
         prop_assert_eq!(&ba, &ab);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential admission oracle: the catalog-indexed merge path (incremental
+// global-plan merge + incremental SHR + incremental committed-capacity
+// accounting) vs the brute-force scan-all-plans path, on randomized sharing
+// workloads with removals. The two modes must be observationally identical:
+// same admit/reject outcomes, byte-identical merged plans before and after
+// retires, and byte-identical MV contents after execution.
+// ---------------------------------------------------------------------------
+
+use smile::types::Tuple as RowTuple;
+
+/// One randomized sharing request: query shape, predicate literal, SLA
+/// seconds, and MV pin (0 = unpinned, 1/2 = machine 0/1).
+type SharingSpec = (u8, i64, u64, u8);
+
+fn arb_admission_case() -> impl Strategy<Value = (Vec<SharingSpec>, Vec<bool>, Vec<Vec<Op>>)> {
+    (
+        proptest::collection::vec((0u8..4, 0i64..3, 2u64..12, 0u8..3), 1..4),
+        // Retire mask over the admitted sharings (padded; extra bits unused).
+        proptest::collection::vec(any::<bool>(), 4..5),
+        // A short ingest tail so retired and surviving MVs both see data.
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    ((0i64..8), (0i64..4)).prop_map(|(k, v)| Op::InsertLeft { k, v }),
+                    ((0i64..8), (0i64..4)).prop_map(|(k, v)| Op::InsertRight { k, v }),
+                    (0i64..8).prop_map(|k| Op::DeleteLeftByKey { k }),
+                ],
+                0..4,
+            ),
+            1..12,
+        ),
+    )
+}
+
+fn spec_query(left: RelationId, right: RelationId, shape: u8, lit: i64) -> SpjQuery {
+    match shape {
+        0 => SpjQuery::scan(left).join(right, JoinOn::on(0, 0), Predicate::True),
+        1 => SpjQuery::scan(left).join(right, JoinOn::on(0, 0), Predicate::eq(1, lit)),
+        2 => SpjQuery::select(left, Predicate::eq(1, lit)).join(
+            right,
+            JoinOn::on(0, 0),
+            Predicate::True,
+        ),
+        _ => SpjQuery::scan(right),
+    }
+}
+
+/// Everything externally observable about one mode's run, for byte-for-byte
+/// comparison across modes.
+#[derive(Debug, PartialEq)]
+struct AdmissionTrace {
+    /// Per request: `ok:<canonical planned plan>` or `err:<message>`.
+    outcomes: Vec<String>,
+    /// Canonical global plan right after `install`.
+    post_install: String,
+    /// Canonical global plan after the masked retires.
+    post_retire: String,
+    /// Per surviving sharing: (MV contents, from-scratch oracle contents).
+    #[allow(clippy::type_complexity)]
+    mvs: Vec<(Vec<(RowTuple, i64)>, Vec<(RowTuple, i64)>)>,
+}
+
+fn run_admission(
+    indexed: bool,
+    specs: &[SharingSpec],
+    retire_mask: &[bool],
+    ticks: &[Vec<Op>],
+) -> AdmissionTrace {
+    let (mut smile, left, right) = build_platform();
+    smile.config.indexed_admission = indexed;
+
+    let mut outcomes = Vec::new();
+    let mut admitted = Vec::new();
+    for (i, &(shape, lit, sla, pin)) in specs.iter().enumerate() {
+        let pin = match pin {
+            0 => None,
+            p => Some(MachineId::new(p as u32 - 1)),
+        };
+        let q = spec_query(left, right, shape, lit);
+        match smile.submit_pinned(
+            &format!("d{i}"),
+            q,
+            SimDuration::from_secs(sla),
+            0.001,
+            pin,
+        ) {
+            Ok(id) => {
+                admitted.push(id);
+                outcomes.push(format!(
+                    "ok:{}",
+                    smile.planned(id).unwrap().plan.canonical_string()
+                ));
+            }
+            Err(e) => outcomes.push(format!("err:{e}")),
+        }
+    }
+    if admitted.is_empty() {
+        return AdmissionTrace {
+            outcomes,
+            post_install: String::new(),
+            post_retire: String::new(),
+            mvs: Vec::new(),
+        };
+    }
+    smile.install().unwrap();
+    if indexed {
+        // The catalog must actually index the installed plan.
+        assert!(!smile.merge_catalog().is_empty());
+    }
+    let post_install = smile.global_plan().unwrap().plan.canonical_string();
+
+    let mut live: Vec<(i64, i64)> = Vec::new();
+    for ops in ticks {
+        let now = smile.now();
+        let mut lbatch = Vec::new();
+        let mut rbatch = Vec::new();
+        for op in ops {
+            match op {
+                Op::InsertLeft { k, v } => {
+                    live.push((*k, *v));
+                    lbatch.push(DeltaEntry::insert(tuple![*k, *v], now));
+                }
+                Op::InsertRight { k, v } => {
+                    rbatch.push(DeltaEntry::insert(tuple![*k, *v], now));
+                }
+                Op::DeleteLeftByKey { k } => {
+                    if let Some(pos) = live.iter().position(|(lk, _)| lk == k) {
+                        let (lk, lv) = live.swap_remove(pos);
+                        lbatch.push(DeltaEntry::delete(tuple![lk, lv], now));
+                    }
+                }
+            }
+        }
+        if !lbatch.is_empty() {
+            smile.ingest(left, DeltaBatch { entries: lbatch }).unwrap();
+        }
+        if !rbatch.is_empty() {
+            smile.ingest(right, DeltaBatch { entries: rbatch }).unwrap();
+        }
+        smile.step().unwrap();
+    }
+
+    let mut survivors = Vec::new();
+    for (i, &id) in admitted.iter().enumerate() {
+        if retire_mask[i] {
+            smile.retire(id).unwrap();
+        } else {
+            survivors.push(id);
+        }
+    }
+    let post_retire = smile.global_plan().unwrap().plan.canonical_string();
+
+    smile.run_idle(SimDuration::from_secs(20)).unwrap();
+    let mvs = survivors
+        .iter()
+        .map(|&id| {
+            (
+                smile.mv_contents(id).unwrap().sorted_entries(),
+                smile.expected_mv_contents(id).unwrap().sorted_entries(),
+            )
+        })
+        .collect();
+
+    AdmissionTrace {
+        outcomes,
+        post_install,
+        post_retire,
+        mvs,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        .. ProptestConfig::default()
+    })]
+
+    /// The catalog-indexed admission path is observationally identical to
+    /// the brute-force scan path on any random sharing workload: identical
+    /// admit/reject decisions, byte-identical planned and merged plans
+    /// (before and after removals), and identical MV contents after the
+    /// executor runs — with each mode's MVs also matching the from-scratch
+    /// SPJ oracle.
+    #[test]
+    fn indexed_admission_matches_brute_force_oracle(
+        (specs, retire_mask, ticks) in arb_admission_case()
+    ) {
+        let ix = run_admission(true, &specs, &retire_mask, &ticks);
+        let br = run_admission(false, &specs, &retire_mask, &ticks);
+        prop_assert_eq!(&ix.outcomes, &br.outcomes);
+        prop_assert_eq!(&ix.post_install, &br.post_install);
+        prop_assert_eq!(&ix.post_retire, &br.post_retire);
+        prop_assert_eq!(&ix.mvs, &br.mvs);
+        // Exactness within each mode: every surviving MV equals the oracle.
+        for (got, want) in ix.mvs.iter().chain(br.mvs.iter()) {
+            prop_assert_eq!(got, want);
+        }
+    }
+}

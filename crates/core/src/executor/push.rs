@@ -162,6 +162,9 @@ fn apply_filter_projection(
 /// This is the serial cluster-level wrapper: it checks crash windows and
 /// draws the drop/ack faults inline, in the same stream order the batch
 /// coordinator uses, then delegates to the machine-local primitives.
+/// `columnar` selects the storage hot path (arena-backed frames, batched
+/// key probing) or the legacy per-tuple row path — results are identical
+/// either way, which the conformance suite pins.
 #[allow(clippy::too_many_arguments)]
 pub fn run_edge(
     cluster: &mut Cluster,
@@ -172,6 +175,7 @@ pub fn run_edge(
     submit: Timestamp,
     model: &TimeCostModel,
     charge_to: SharingId,
+    columnar: bool,
 ) -> Result<EdgeRun> {
     let sharings: Vec<SharingId> = vec![charge_to];
     let _ = &edge.sharings;
@@ -185,7 +189,7 @@ pub fn run_edge(
             if src_v.machine != dst_v.machine {
                 let ship = {
                     let src = cluster.machine_mut(src_v.machine)?;
-                    ship_copy(src, plan, edge, from, to, submit)?
+                    ship_copy(src, plan, edge, from, to, submit, columnar)?
                 };
                 // The NIC time was spent whether or not the batch arrives.
                 cluster.ledger.charge(ship.usage, &sharings);
@@ -207,12 +211,13 @@ pub fn run_edge(
                     model,
                     ack_lost,
                     &mut charges,
+                    columnar,
                 )
             } else {
                 let ack_lost = cluster.faults.ack_lost(submit);
                 let m = cluster.machine_mut(dst_v.machine)?;
                 run_local(
-                    m, plan, edge, from, to, None, submit, model, ack_lost, &mut charges,
+                    m, plan, edge, from, to, None, submit, model, ack_lost, &mut charges, columnar,
                 )
             }
         }
@@ -221,7 +226,7 @@ pub fn run_edge(
             check_up(cluster, out_v.machine, submit)?;
             let m = cluster.machine_mut(out_v.machine)?;
             run_local(
-                m, plan, edge, from, to, None, submit, model, false, &mut charges,
+                m, plan, edge, from, to, None, submit, model, false, &mut charges, columnar,
             )
         }
     };
@@ -234,6 +239,12 @@ pub fn run_edge(
 /// Source-machine half of a cross-machine copy: read the window, filter and
 /// project it, encode WAL bytes and occupy the NIC. No fault is consulted —
 /// the caller decides (or has pre-drawn) whether the batch is dropped.
+///
+/// In columnar mode the frame is encoded in one pass straight from the
+/// borrowed delta log slice — no window clone, no intermediate `DeltaBatch`,
+/// no per-row `Tuple` allocation. The wire format (and therefore every byte
+/// count the meter sees) is identical in both modes; the flag only ablates
+/// how the bytes are produced.
 pub(crate) fn ship_copy(
     src: &mut Machine,
     plan: &Plan,
@@ -241,11 +252,22 @@ pub(crate) fn ship_copy(
     from: Timestamp,
     to: Timestamp,
     submit: Timestamp,
+    columnar: bool,
 ) -> Result<ShipOutput> {
     let src_slot = slot_of(plan, edge.inputs[0])?;
-    let raw = src.db.delta_window(src_slot, from, to)?;
-    let batch = apply_filter_projection(raw, &edge.filter, edge.projection.as_ref());
-    let bytes = wal::encode(&batch);
+    let bytes = if columnar {
+        src.db.delta_window_encode(
+            src_slot,
+            from,
+            to,
+            &edge.filter,
+            edge.projection.as_deref(),
+        )?
+    } else {
+        let raw = src.db.delta_window(src_slot, from, to)?;
+        let batch = apply_filter_projection(raw, &edge.filter, edge.projection.as_ref());
+        wal::encode(&batch)
+    };
     src.db.wal_stats().note_shipped(bytes.len() as u64);
     let (res, usage) = src.send(submit, bytes.len() as u64);
     Ok(ShipOutput {
@@ -255,8 +277,15 @@ pub(crate) fn ship_copy(
     })
 }
 
-/// Destination-machine half of a cross-machine copy: decode the shipped WAL
-/// bytes and land the batch (CPU service, aggregation, idempotent append).
+/// Destination-machine half of a cross-machine copy: land the shipped WAL
+/// bytes (CPU service, aggregation, idempotent append).
+///
+/// In columnar mode the frame is *not* decoded into an intermediate
+/// `DeltaBatch`: a validated zero-copy [`wal::Frame`] view over the shipped
+/// `Arc`-backed buffer is walked once, materializing rows straight into the
+/// destination's delta log. Aggregate-bearing edges still take the legacy
+/// materialize path (the aggregate transform needs a whole batch), as does
+/// legacy mode.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn land_copy(
     dst: &mut Machine,
@@ -269,13 +298,21 @@ pub(crate) fn land_copy(
     model: &TimeCostModel,
     ack_lost: bool,
     charges: &mut Vec<ResourceUsage>,
+    columnar: bool,
 ) -> Result<EdgeRun> {
-    // The WAL round-trip is the real data path: decode on arrival.
+    // The WAL round-trip is the real data path: parse/decode on arrival.
     dst.db.wal_stats().note_landed(bytes.len() as u64);
-    let batch = wal::decode(bytes)?;
-    let mut run = finish_copy(
-        dst, plan, edge, batch, arrive, from, to, model, ack_lost, charges,
-    )?;
+    let mut run = if columnar && edge.aggregate.is_none() {
+        let frame = wal::Frame::parse(bytes)?;
+        finish_frame(
+            dst, plan, edge, &frame, arrive, from, to, model, ack_lost, charges,
+        )?
+    } else {
+        let batch = wal::decode(bytes)?;
+        finish_copy(
+            dst, plan, edge, batch, arrive, from, to, model, ack_lost, charges,
+        )?
+    };
     run.ship_arrive = Some(arrive);
     Ok(run)
 }
@@ -296,9 +333,13 @@ pub(crate) fn run_local(
     model: &TimeCostModel,
     ack_lost: bool,
     charges: &mut Vec<ResourceUsage>,
+    columnar: bool,
 ) -> Result<EdgeRun> {
     match &edge.op {
         EdgeOp::CopyDelta => {
+            // Same-machine copies never hit the wire, so there is no frame
+            // to land zero-copy; both modes share the legacy materialize
+            // path here.
             let src_slot = slot_of(plan, edge.inputs[0])?;
             let raw = machine.db.delta_window(src_slot, from, to)?;
             let batch = apply_filter_projection(raw, &edge.filter, edge.projection.as_ref());
@@ -328,6 +369,7 @@ pub(crate) fn run_local(
             *snapshot,
             snapshot_filter,
             *indexed,
+            columnar,
         ),
         EdgeOp::Union => run_union(machine, plan, edge, from, to, submit, model, charges),
     }
@@ -365,6 +407,53 @@ fn finish_copy(
     if ack_lost {
         // The batch landed but the completion message did not; the retry
         // will re-ship and be absorbed by the batch-id dedup above.
+        return Err(SmileError::Transient {
+            detail: format!("acknowledgement for vertex {} push lost", dst_v.id),
+        });
+    }
+    Ok(EdgeRun {
+        end: res.end,
+        tuples: n,
+        deduped: !appended,
+        ship_arrive: None,
+    })
+}
+
+/// The frame-borne twin of [`finish_copy`] for aggregate-free edges: CPU
+/// service billed on the frame's row count, then the validated frame is
+/// landed straight into the destination's delta log via
+/// [`smile_storage::Database::append_frame_dedup`] — one walk, no
+/// intermediate batch, no re-serialization. Observable state (log contents,
+/// stats, dedup books, meter charges, the returned run) is identical to
+/// decoding and calling [`finish_copy`].
+#[allow(clippy::too_many_arguments)]
+fn finish_frame(
+    dst: &mut Machine,
+    plan: &Plan,
+    edge: &Edge,
+    frame: &wal::Frame,
+    start: Timestamp,
+    from: Timestamp,
+    to: Timestamp,
+    model: &TimeCostModel,
+    ack_lost: bool,
+    charges: &mut Vec<ResourceUsage>,
+) -> Result<EdgeRun> {
+    debug_assert!(edge.aggregate.is_none(), "aggregate edges land via finish_copy");
+    let dst_v = plan.vertex(edge.output);
+    let dst_slot = slot_of(plan, dst_v.id)?;
+    let n = frame.len() as u64;
+    let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
+    let (res, usage) = dst.run_cpu(start, service);
+    charges.push(usage);
+    let appended = dst.db.append_frame_dedup(
+        dst_slot,
+        frame,
+        batch_id(dst_v.id, from, to),
+        dst_v.id.index() as u64,
+        to,
+    )?;
+    if ack_lost {
         return Err(SmileError::Transient {
             detail: format!("acknowledgement for vertex {} push lost", dst_v.id),
         });
@@ -434,6 +523,7 @@ fn run_join(
     snapshot: SnapshotSem,
     snapshot_filter: &Predicate,
     indexed: bool,
+    columnar: bool,
 ) -> Result<EdgeRun> {
     let delta_v = plan.vertex(edge.inputs[0]);
     let rel_v = plan.vertex(edge.inputs[1]);
@@ -462,6 +552,104 @@ fn run_join(
 
     let (outputs, window_len) = {
         let db = &machine.db;
+        // Columnar hot path: borrow the window straight from the delta log
+        // (no clone), build one flattened key buffer for the whole window,
+        // and probe the arrangement in a single batched pass. Outputs,
+        // counters and stats are identical to the legacy per-tuple path
+        // below — the conformance suite pins this.
+        if columnar && indexed {
+            let all = db.delta_window_entries(delta_slot, from, to)?;
+            let unfiltered = edge.filter == Predicate::True;
+            let entries: Vec<&DeltaEntry> = all
+                .iter()
+                .filter(|e| unfiltered || edge.filter.eval(&e.tuple))
+                .collect();
+            let window_len = entries.len() as u64;
+            let mut outputs: Vec<DeltaEntry> = Vec::new();
+            if !entries.is_empty() {
+                let slot_ref = db.relation(rel_slot)?;
+                let table = &slot_ref.table;
+                let concat = |d: &Tuple, s: &Tuple| match delta_side {
+                    DeltaSide::Left => d.concat(s),
+                    DeltaSide::Right => s.concat(d),
+                };
+                let Some(arr) = table.arrangement(snap_cols) else {
+                    return Err(SmileError::Internal(format!(
+                        "relation vertex {} lacks the arrangement on {:?} its join edge probes",
+                        rel_v.id, snap_cols
+                    )));
+                };
+                // One contiguous key arena for the whole window: keys are
+                // assembled back to back and hashed/probed in one batched
+                // pass instead of allocating a key `Tuple` per entry.
+                let arity = delta_cols.len();
+                let mut keys_flat: Vec<smile_types::Value> =
+                    Vec::with_capacity(arity * entries.len());
+                for e in &entries {
+                    for &c in delta_cols.iter() {
+                        keys_flat.push(e.tuple.values()[c].clone());
+                    }
+                }
+                let buckets = arr.probe_batch(&keys_flat, arity, entries.len());
+                for (e, bucket) in entries.iter().zip(buckets) {
+                    for (row, &w) in bucket {
+                        if !snapshot_filter.eval(row) {
+                            continue;
+                        }
+                        let weight = e.weight * w;
+                        if weight != 0 {
+                            outputs.push(DeltaEntry {
+                                tuple: concat(&e.tuple, row),
+                                weight,
+                                ts: e.ts,
+                            });
+                        }
+                    }
+                }
+                // Correction to the snapshot point: small consolidated
+                // window, shared with the legacy path's algebra.
+                let table_ts = table.ts();
+                if at != table_ts {
+                    let (corr, sign) = if at < table_ts {
+                        (slot_ref.delta.window(at, table_ts).to_zset(), -1)
+                    } else {
+                        (slot_ref.delta.window(table_ts, at).to_zset(), 1)
+                    };
+                    if !corr.is_empty() {
+                        let mut corr_index: std::collections::HashMap<Tuple, Vec<(&Tuple, i64)>> =
+                            std::collections::HashMap::new();
+                        for (t, w) in corr.iter() {
+                            if !snapshot_filter.eval(t) {
+                                continue;
+                            }
+                            corr_index
+                                .entry(t.project(snap_cols))
+                                .or_default()
+                                .push((t, w));
+                        }
+                        for e in &entries {
+                            let key = e.tuple.project(delta_cols);
+                            if let Some(matches) = corr_index.get(&key) {
+                                for (row, w) in matches {
+                                    let weight = e.weight * w * sign;
+                                    if weight != 0 {
+                                        outputs.push(DeltaEntry {
+                                            tuple: concat(&e.tuple, row),
+                                            weight,
+                                            ts: e.ts,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            return finish_join(
+                machine, plan, edge, outputs, window_len, from, to, submit, model, charges,
+                out_slot,
+            );
+        }
         let window = {
             let raw = db.delta_window(delta_slot, from, to)?;
             apply_filter_projection(raw, &edge.filter, None)
@@ -579,12 +767,35 @@ fn run_join(
         (outputs, window_len)
     };
 
+    finish_join(
+        machine, plan, edge, outputs, window_len, from, to, submit, model, charges, out_slot,
+    )
+}
+
+/// Shared tail of both join variants: CPU service, idempotent append of the
+/// produced outputs, and the meter-correct moved-tuple count.
+///
+/// Service time is billed on the work actually done — reading the window
+/// and writing the outputs, whichever dominates. The *moved* count is
+/// `produced` only: the window was already counted by the edge that
+/// delivered it, and probe-served snapshot rows are read in place, so
+/// counting the window again would double-bill it in the meter.
+#[allow(clippy::too_many_arguments)]
+fn finish_join(
+    machine: &mut Machine,
+    plan: &Plan,
+    edge: &Edge,
+    outputs: Vec<DeltaEntry>,
+    window_len: u64,
+    from: Timestamp,
+    to: Timestamp,
+    submit: Timestamp,
+    model: &TimeCostModel,
+    charges: &mut Vec<ResourceUsage>,
+    out_slot: smile_types::RelationId,
+) -> Result<EdgeRun> {
+    let out_v = plan.vertex(edge.output);
     let produced = outputs.len() as u64;
-    // Service time is billed on the work actually done — reading the window
-    // and writing the outputs, whichever dominates. The *moved* count below
-    // is `produced` only: the window was already counted by the edge that
-    // delivered it, and probe-served snapshot rows are read in place, so
-    // counting `n` again would double-bill them in the meter.
     let n = window_len.max(produced);
     let batch = DeltaBatch { entries: outputs };
     let service = model.edge_service(&edge.op, n as f64, edge.est_tuple_bytes);
@@ -766,7 +977,12 @@ mod tests {
         (cluster, plan, e)
     }
 
-    fn run_fixture(cluster: &mut Cluster, plan: &Plan, e: usize) -> Result<EdgeRun> {
+    fn run_fixture(
+        cluster: &mut Cluster,
+        plan: &Plan,
+        e: usize,
+        columnar: bool,
+    ) -> Result<EdgeRun> {
         let model = TimeCostModel::paper_defaults();
         run_edge(
             cluster,
@@ -777,6 +993,7 @@ mod tests {
             Timestamp::from_secs(2),
             &model,
             SharingId::new(0),
+            columnar,
         )
     }
 
@@ -786,20 +1003,25 @@ mod tests {
     /// window the CopyDelta edge had already counted as moved.
     #[test]
     fn join_counts_produced_tuples_not_window() {
-        let (mut cluster, plan, e) = join_fixture(true, true);
-        let run = run_fixture(&mut cluster, &plan, e).unwrap();
-        assert_eq!(run.tuples, 2, "only the two matched outputs moved");
-        assert!(!run.deduped);
-        // The output batch really landed.
-        let db = &cluster.machine(MachineId::new(0)).unwrap().db;
-        let out = db
-            .delta_window(RelationId::new(2), Timestamp::ZERO, Timestamp::from_secs(2))
-            .unwrap();
-        assert_eq!(out.len(), 2);
-        // And the probes were metered on the arrangement: 5 probes, 1 key
-        // hit, 4 misses.
-        let c = db.arrangement_counters();
-        assert_eq!((c.probes, c.hits, c.misses), (5, 1, 4));
+        // Identical assertions in both storage modes: the columnar batched
+        // probe must meter and produce exactly like the legacy per-tuple
+        // probe.
+        for columnar in [false, true] {
+            let (mut cluster, plan, e) = join_fixture(true, true);
+            let run = run_fixture(&mut cluster, &plan, e, columnar).unwrap();
+            assert_eq!(run.tuples, 2, "only the two matched outputs moved");
+            assert!(!run.deduped);
+            // The output batch really landed.
+            let db = &cluster.machine(MachineId::new(0)).unwrap().db;
+            let out = db
+                .delta_window(RelationId::new(2), Timestamp::ZERO, Timestamp::from_secs(2))
+                .unwrap();
+            assert_eq!(out.len(), 2);
+            // And the probes were metered on the arrangement: 5 probes, 1
+            // key hit, 4 misses.
+            let c = db.arrangement_counters();
+            assert_eq!((c.probes, c.hits, c.misses), (5, 1, 4));
+        }
     }
 
     /// Scan mode (`indexed: false`) produces the same outputs with no
@@ -807,7 +1029,7 @@ mod tests {
     #[test]
     fn scan_join_matches_probe_join_outputs() {
         let (mut cluster, plan, e) = join_fixture(false, false);
-        let run = run_fixture(&mut cluster, &plan, e).unwrap();
+        let run = run_fixture(&mut cluster, &plan, e, true).unwrap();
         assert_eq!(run.tuples, 2);
         let db = &cluster.machine(MachineId::new(0)).unwrap().db;
         assert_eq!(db.arrangement_count(), 0);
@@ -828,9 +1050,11 @@ mod tests {
     /// silent scan.
     #[test]
     fn indexed_join_without_arrangement_errors() {
-        let (mut cluster, plan, e) = join_fixture(true, false);
-        let err = run_fixture(&mut cluster, &plan, e).unwrap_err();
-        assert!(matches!(err, SmileError::Internal(_)));
+        for columnar in [false, true] {
+            let (mut cluster, plan, e) = join_fixture(true, false);
+            let err = run_fixture(&mut cluster, &plan, e, columnar).unwrap_err();
+            assert!(matches!(err, SmileError::Internal(_)));
+        }
     }
 
     /// The split primitives compose to the same result as the one-machine
@@ -911,6 +1135,7 @@ mod tests {
             Timestamp::ZERO,
             ts,
             ts,
+            true,
         )
         .unwrap();
         assert!(ship.usage.net_bytes > 0, "the wire was used");
@@ -927,6 +1152,7 @@ mod tests {
             &model,
             false,
             &mut charges,
+            true,
         )
         .unwrap();
         assert_eq!(run.tuples, 4);

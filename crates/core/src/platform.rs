@@ -72,6 +72,14 @@ pub struct SmileConfig {
     /// histogram shards. Instruments always record (pure atomics);
     /// disabling only quiets span recording (zero allocation).
     pub telemetry: TelemetryConfig,
+    /// Whether the storage hot path is columnar (default): push windows are
+    /// read as borrowed log slices, cross-machine WAL frames ship and land
+    /// zero-copy from `Arc`-backed buffers, and join keys are probed in one
+    /// batched pass. When false the executor runs the legacy per-tuple row
+    /// path — the ablation and differential-conformance baseline. MV
+    /// contents, meters, fault reports and traces are byte-identical in
+    /// both modes (the WAL wire format does not change).
+    pub columnar: bool,
     /// Whether admission goes through the merge catalog (default): the
     /// global plan is merged incrementally at submit time, committed
     /// utilization is tracked incrementally, and SHR membership is extended
@@ -99,6 +107,7 @@ impl SmileConfig {
             faults: FaultProfile::disabled(),
             use_arrangements: true,
             telemetry: TelemetryConfig::default(),
+            columnar: true,
             indexed_admission: true,
         }
     }
@@ -194,7 +203,10 @@ pub struct Smile {
 
 impl Smile {
     /// Builds the platform with `config.machines` simulated machines.
-    pub fn new(config: SmileConfig) -> Self {
+    pub fn new(mut config: SmileConfig) -> Self {
+        // The executor owns only an `ExecConfig`; mirror the platform-level
+        // storage-mode switch into it so every push sees one flag.
+        config.exec.columnar = config.columnar;
         let mut cluster = Cluster::with_configs(vec![config.machine_config; config.machines]);
         cluster.prices = config.prices;
         cluster.set_fault_profile(config.faults);

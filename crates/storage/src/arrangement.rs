@@ -17,8 +17,7 @@
 //! simulator's meter.
 
 use crate::zset::ZSet;
-use smile_types::Tuple;
-use std::collections::HashMap;
+use smile_types::{FastMap, Tuple, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Snapshot of one arrangement's (or a fleet aggregate's) operational
@@ -66,12 +65,19 @@ impl ArrangementCounters {
 #[derive(Debug)]
 pub struct Arrangement {
     cols: Vec<usize>,
-    index: HashMap<Tuple, HashMap<Tuple, i64>>,
+    index: FastMap<Tuple, FastMap<Tuple, i64>>,
     probes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     maintained: u64,
     built_rows: u64,
+    /// Reusable key buffer for [`update`]: the delta tuple's projection is
+    /// assembled here and looked up as a `&[Value]` slice (via `Tuple`'s
+    /// `Borrow<[Value]>`), so maintenance allocates a key `Tuple` only when
+    /// a previously-unseen key first appears — not once per delta entry.
+    ///
+    /// [`update`]: Arrangement::update
+    scratch: Vec<Value>,
 }
 
 impl Clone for Arrangement {
@@ -84,6 +90,7 @@ impl Clone for Arrangement {
             misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
             maintained: self.maintained,
             built_rows: self.built_rows,
+            scratch: Vec::new(),
         }
     }
 }
@@ -93,12 +100,13 @@ impl Arrangement {
     pub fn new(cols: Vec<usize>) -> Self {
         Self {
             cols,
-            index: HashMap::new(),
+            index: FastMap::default(),
             probes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             maintained: 0,
             built_rows: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -127,34 +135,55 @@ impl Arrangement {
     /// Folds one delta entry into the index, consolidating in place: the
     /// row's weight is adjusted and dropped from its bucket when it cancels
     /// to zero (empty buckets are removed so misses stay cheap).
+    ///
+    /// The key projection is assembled in a retained scratch buffer and
+    /// looked up as a slice; a key `Tuple` is allocated only when a new key
+    /// first enters the index.
     pub fn update(&mut self, tuple: &Tuple, weight: i64) {
         if weight == 0 {
             return;
         }
         self.maintained += 1;
-        let key = tuple.project(&self.cols);
-        let bucket = self.index.entry(key).or_default();
-        match bucket.get_mut(tuple) {
-            Some(w) => {
-                *w += weight;
-                if *w == 0 {
-                    bucket.remove(tuple);
+        let mut key = std::mem::take(&mut self.scratch);
+        key.clear();
+        key.extend(self.cols.iter().map(|&c| tuple.values()[c].clone()));
+        if let Some(bucket) = self.index.get_mut(key.as_slice()) {
+            match bucket.get_mut(tuple) {
+                Some(w) => {
+                    *w += weight;
+                    if *w == 0 {
+                        bucket.remove(tuple);
+                    }
+                }
+                None => {
+                    bucket.insert(tuple.clone(), weight);
                 }
             }
-            None => {
-                bucket.insert(tuple.clone(), weight);
+            if bucket.is_empty() {
+                self.index.remove(key.as_slice());
             }
+        } else {
+            let mut bucket = FastMap::default();
+            bucket.insert(tuple.clone(), weight);
+            self.index.insert(Tuple::new(key.clone()), bucket);
         }
-        if bucket.is_empty() {
-            let key = tuple.project(&self.cols);
-            self.index.remove(&key);
-        }
+        self.scratch = key;
     }
 
     /// Probes the index: every current row whose key projection equals
     /// `key`, by reference. Counts the probe as a hit or miss.
-    pub fn probe(&self, key: &Tuple) -> &HashMap<Tuple, i64> {
-        static EMPTY: std::sync::OnceLock<HashMap<Tuple, i64>> = std::sync::OnceLock::new();
+    pub fn probe(&self, key: &Tuple) -> &FastMap<Tuple, i64> {
+        self.probe_slice(key.values())
+    }
+
+    /// [`probe`] driven by a borrowed value slice — the hot-path variant
+    /// that lets callers reuse one projection buffer across a whole delta
+    /// window instead of allocating a key `Tuple` per probe. Counts exactly
+    /// like [`probe`].
+    ///
+    /// [`probe`]: Arrangement::probe
+    pub fn probe_slice(&self, key: &[Value]) -> &FastMap<Tuple, i64> {
+        static EMPTY: std::sync::OnceLock<FastMap<Tuple, i64>> = std::sync::OnceLock::new();
         self.probes.fetch_add(1, Ordering::Relaxed);
         match self.index.get(key) {
             Some(bucket) => {
@@ -163,9 +192,23 @@ impl Arrangement {
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                EMPTY.get_or_init(HashMap::new)
+                EMPTY.get_or_init(FastMap::default)
             }
         }
+    }
+
+    /// Probes a whole delta's keys in one pass. `keys_flat` holds `n` keys
+    /// of `arity` values each, laid out back to back (one contiguous buffer
+    /// for the entire window — the batched-hashing layout the executor's
+    /// join builds). Returns the matched bucket per key, in order; every key
+    /// is counted as one probe, identical to `n` calls to [`probe_slice`].
+    ///
+    /// [`probe_slice`]: Arrangement::probe_slice
+    pub fn probe_batch(&self, keys_flat: &[Value], arity: usize, n: usize) -> Vec<&FastMap<Tuple, i64>> {
+        assert_eq!(keys_flat.len(), arity * n, "flattened key buffer mismatch");
+        (0..n)
+            .map(|i| self.probe_slice(&keys_flat[i * arity..(i + 1) * arity]))
+            .collect()
     }
 
     /// Number of distinct keys currently indexed.
@@ -175,7 +218,7 @@ impl Arrangement {
 
     /// Number of rows currently indexed (across all buckets).
     pub fn row_count(&self) -> usize {
-        self.index.values().map(HashMap::len).sum()
+        self.index.values().map(FastMap::len).sum()
     }
 
     /// True iff no rows are indexed.
@@ -236,6 +279,27 @@ mod tests {
         assert_eq!(arr.counters().maintained, 2);
         arr.update(&tuple![1i64, "a"], -1);
         assert_eq!(arr.probe(&tuple![1i64]).get(&tuple![1i64, "a"]), Some(&-1));
+    }
+
+    #[test]
+    fn slice_and_batch_probes_match_tuple_probes() {
+        let rows = ZSet::from_tuples([tuple![1i64, "a"], tuple![1i64, "b"], tuple![2i64, "c"]]);
+        let arr = Arrangement::build(vec![0], &rows);
+        // Slice probe sees the same bucket as the tuple probe.
+        assert_eq!(
+            arr.probe_slice(&[Value::I64(1)]).len(),
+            arr.probe(&tuple![1i64]).len()
+        );
+        // Batched probe over a flattened key buffer: same buckets, and the
+        // counters advance one probe per key.
+        let before = arr.counters().probes;
+        let keys = [Value::I64(1), Value::I64(2), Value::I64(9)];
+        let buckets = arr.probe_batch(&keys, 1, 3);
+        assert_eq!(
+            buckets.iter().map(|b| b.len()).collect::<Vec<_>>(),
+            vec![2, 1, 0]
+        );
+        assert_eq!(arr.counters().probes, before + 3);
     }
 
     #[test]

@@ -163,11 +163,19 @@ impl DeltaTable {
     /// All entries with `lo < ts <= hi`, as a batch (the half-open window a
     /// push moves along an edge).
     pub fn window(&self, lo: Timestamp, hi: Timestamp) -> DeltaBatch {
+        DeltaBatch {
+            entries: self.window_ref(lo, hi).to_vec(),
+        }
+    }
+
+    /// All entries with `lo < ts <= hi`, borrowed from the log — the
+    /// zero-copy window read the hot path uses: ship-side WAL encoding and
+    /// join probing iterate the slice in place instead of cloning every
+    /// entry into a scratch batch.
+    pub fn window_ref(&self, lo: Timestamp, hi: Timestamp) -> &[DeltaEntry] {
         let start = self.entries.partition_point(|e| e.ts <= lo);
         let end = self.entries.partition_point(|e| e.ts <= hi);
-        DeltaBatch {
-            entries: self.entries[start..end].to_vec(),
-        }
+        &self.entries[start..end]
     }
 
     /// Consolidated z-set of all entries with `ts > lo` — the amount by which

@@ -175,6 +175,69 @@ impl Database {
         Ok(true)
     }
 
+    /// Land-side fast path: the frame-borne twin of
+    /// [`Database::append_delta_dedup`]. The validated WAL [`Frame`] is
+    /// walked once — batch-id dedup and watermark clipping first, then every
+    /// surviving entry is materialized straight into the delta log, with the
+    /// update statistics accumulated in the same pass. No intermediate
+    /// `DeltaBatch` is built and nothing is re-serialized; observable state
+    /// (log contents, stats, dedup books, return value) is identical to
+    /// decoding the frame and calling `append_delta_dedup`.
+    ///
+    /// [`Frame`]: crate::wal::Frame
+    pub fn append_frame_dedup(
+        &mut self,
+        rel: RelationId,
+        frame: &crate::wal::Frame,
+        batch_id: u64,
+        producer: u64,
+        through: Timestamp,
+    ) -> Result<bool> {
+        let slot = self.slot_mut(rel)?;
+        if !slot.applied_batches.insert(batch_id) {
+            return Ok(false);
+        }
+        let mark = slot
+            .shipped_through
+            .entry(producer)
+            .or_insert(Timestamp::ZERO);
+        if through <= *mark {
+            return Ok(false);
+        }
+        let clip = *mark;
+        *mark = through;
+        let mut count = 0u64;
+        let mut bytes = 0usize;
+        let mut max_ts = Timestamp::ZERO;
+        // One scratch buffer for the whole frame: each row is decoded into
+        // it and drained into the tuple's `Arc` payload, so landing a row
+        // costs exactly one allocation.
+        let mut scratch: Vec<smile_types::Value> = Vec::new();
+        for i in 0..frame.len() {
+            let ts = frame.ts(i);
+            if clip > Timestamp::ZERO && ts <= clip {
+                continue;
+            }
+            crate::columnar::decode_row_into(frame.row(i), &mut scratch)
+                .expect("frame rows were validated at parse");
+            let entry = crate::delta::DeltaEntry {
+                tuple: scratch.drain(..).collect(),
+                weight: frame.weight(i),
+                ts,
+            };
+            count += 1;
+            bytes += entry.byte_size();
+            if ts > max_ts {
+                max_ts = ts;
+            }
+            slot.delta.append(entry);
+        }
+        if count > 0 {
+            slot.stats.record_updates(count, bytes, max_ts);
+        }
+        Ok(true)
+    }
+
     /// **Executor path**: applies the pending delta window
     /// `(table.ts, through]` to the table (the `DeltaToRel` operator).
     /// Returns the number of entries applied.
@@ -185,9 +248,11 @@ impl Database {
             // Idempotent: the vertex is already at or past the target.
             return Ok(0);
         }
-        let window = slot.delta.window(from, through);
-        let n = window.len();
-        slot.table.apply(&window, through)?;
+        // Disjoint field borrows: the table applies straight from the delta
+        // log's borrowed window slice — no per-batch clone of the window.
+        let n = slot.delta.window_ref(from, through).len();
+        slot.table
+            .apply_entries(slot.delta.window_ref(from, through), through)?;
         slot.stats
             .refresh_size(slot.table.len(), slot.table.byte_size());
         Ok(n)
@@ -244,6 +309,38 @@ impl Database {
         hi: Timestamp,
     ) -> Result<DeltaBatch> {
         Ok(self.slot(rel)?.delta.window(lo, hi))
+    }
+
+    /// Borrows the delta window `(lo, hi]` straight from the log — the
+    /// zero-copy read the columnar hot path uses instead of
+    /// [`Database::delta_window`]'s per-entry clone.
+    pub fn delta_window_entries(
+        &self,
+        rel: RelationId,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Result<&[crate::delta::DeltaEntry]> {
+        Ok(self.slot(rel)?.delta.window_ref(lo, hi))
+    }
+
+    /// Ship-side fast path: encodes the delta window `(lo, hi]` as a WAL
+    /// frame, applying the edge's filter and projection during encoding.
+    /// One pass from the log slice to wire bytes — no intermediate
+    /// `DeltaBatch`, no per-row `Tuple` allocation. Byte-identical to
+    /// materializing the filtered window and calling [`crate::wal::encode`].
+    pub fn delta_window_encode(
+        &self,
+        rel: RelationId,
+        lo: Timestamp,
+        hi: Timestamp,
+        filter: &crate::predicate::Predicate,
+        projection: Option<&[usize]>,
+    ) -> Result<crate::wal::Bytes> {
+        Ok(crate::wal::encode_filtered(
+            self.slot(rel)?.delta.window_ref(lo, hi),
+            filter,
+            projection,
+        ))
     }
 
     /// Snapshot of a relation as of `at` (compensation read).

@@ -22,6 +22,7 @@
 
 pub mod aggregate;
 pub mod arrangement;
+pub mod columnar;
 pub mod delta;
 pub mod engine;
 pub mod join;
@@ -35,10 +36,12 @@ pub mod zset;
 
 pub use aggregate::{AggFunc, AggregateSpec};
 pub use arrangement::{Arrangement, ArrangementCounters};
+pub use columnar::{ColumnarBatch, ConsolidateStats};
 pub use delta::{DeltaBatch, DeltaEntry, DeltaTable};
 pub use engine::Database;
 pub use predicate::Predicate;
 pub use registry::{ArrangementKey, ArrangementRegistry, ReconcileDelta};
 pub use spj::SpjQuery;
 pub use table::Table;
+pub use wal::Frame;
 pub use zset::ZSet;

@@ -11,8 +11,7 @@
 use crate::arrangement::{Arrangement, ArrangementCounters};
 use crate::delta::{DeltaBatch, DeltaEntry, DeltaTable};
 use crate::zset::ZSet;
-use smile_types::{Schema, SmileError, Timestamp, Tuple};
-use std::collections::HashMap;
+use smile_types::{FastMap, Schema, SmileError, Timestamp, Tuple};
 
 /// The materialized contents of a relation plus its applied-through
 /// timestamp and (for keyed relations) a primary-key index.
@@ -23,12 +22,12 @@ pub struct Table {
     /// PK → tuple index, maintained only when the schema has a key and the
     /// relation is a set (weights exactly one); lets update capture find the
     /// old image of a row in O(1).
-    pk_index: HashMap<Tuple, Tuple>,
+    pk_index: FastMap<Tuple, Tuple>,
     /// Shared arrangements keyed by column sets, maintained incrementally;
     /// join edges declare the columns they probe at install time so pushes
     /// never scan the full relation, and every edge probing the same key
     /// shares one arrangement.
-    arrangements: HashMap<Vec<usize>, Arrangement>,
+    arrangements: FastMap<Vec<usize>, Arrangement>,
     /// The contents are consistent with the sources as of this timestamp —
     /// `TS(v)` in the paper's notation.
     ts: Timestamp,
@@ -40,8 +39,8 @@ impl Table {
         Self {
             schema,
             rows: ZSet::new(),
-            pk_index: HashMap::new(),
-            arrangements: HashMap::new(),
+            pk_index: FastMap::default(),
+            arrangements: FastMap::default(),
             ts: Timestamp::ZERO,
         }
     }
@@ -89,7 +88,19 @@ impl Table {
     ///
     /// Returns an error if a tuple does not match the schema.
     pub fn apply(&mut self, batch: &DeltaBatch, through: Timestamp) -> Result<(), SmileError> {
-        for e in &batch.entries {
+        self.apply_entries(&batch.entries, through)
+    }
+
+    /// [`apply`] driven by a borrowed entry slice — lets the engine apply a
+    /// delta-log window in place without cloning it into a batch first.
+    ///
+    /// [`apply`]: Table::apply
+    pub fn apply_entries(
+        &mut self,
+        entries: &[DeltaEntry],
+        through: Timestamp,
+    ) -> Result<(), SmileError> {
+        for e in entries {
             if !self.schema.admits(&e.tuple) {
                 return Err(SmileError::SchemaMismatch {
                     relation: smile_types::RelationId::new(u32::MAX),
@@ -134,7 +145,7 @@ impl Table {
     /// projection equals `key`. Returns `None` when no arrangement exists on
     /// `cols` (callers fall back to a scan). Counts toward the arrangement's
     /// hit/miss statistics.
-    pub fn probe_index(&self, cols: &[usize], key: &Tuple) -> Option<&HashMap<Tuple, i64>> {
+    pub fn probe_index(&self, cols: &[usize], key: &Tuple) -> Option<&FastMap<Tuple, i64>> {
         Some(self.arrangements.get(cols)?.probe(key))
     }
 

@@ -3,27 +3,42 @@
 //! The paper's delta capture module poses as a PostgreSQL streaming
 //! replication client, receives the WAL, and unpacks modified tuples. Our
 //! engine is embedded, so the equivalent boundary is a compact binary
-//! encoding of [`DeltaBatch`]es: the simulator's `CopyDelta` edges ship WAL
+//! encoding of delta batches: the simulator's `CopyDelta` edges ship WAL
 //! bytes between machines, and the byte counts feed the network-cost meter.
 //!
-//! Format (little-endian):
+//! Format version 2 is **columnar** — the wire layout *is* the
+//! [`ColumnarBatch`] layout, so the landing side can validate once and then
+//! read timestamps, weights and row bytes straight out of the shipped
+//! `Arc`-backed [`Bytes`] without materializing a `Vec<DeltaEntry>`
+//! (see [`Frame`]):
+//!
 //! ```text
-//! magic "SWAL" | version u8 | count u32
-//! per entry: ts u64 | weight i64 | arity u16 | values...
+//! magic "SWAL" | version u8 (=2) | count u32
+//! ts:      count     × u64   commit timestamps (micros)
+//! weight:  count     × i64   signed multiplicities
+//! offsets: count + 1 × u32   row bounds into the arena (starts at 0)
+//! arena:   offsets[count] bytes of tagged values
 //! per value: tag u8 (0=Null 1=I64 2=F64 3=Str) | payload
 //! ```
+//!
+//! All integers little-endian. A frame's total length is implied exactly by
+//! `count` and `offsets[count]`; anything shorter or longer is rejected.
 
+use crate::columnar::{self, ColumnarBatch};
 use crate::delta::{DeltaBatch, DeltaEntry};
-use bytes::{Buf, BufMut, BytesMut};
+use crate::predicate::Predicate;
+use bytes::{BufMut, BytesMut};
 /// Encoded WAL bytes: a cheaply cloneable, immutable `Arc`-backed buffer —
 /// the unit the parallel push engine shares between the source worker that
 /// encodes a delta batch and the destination worker that decodes it.
 pub use bytes::Bytes;
-use smile_types::{Result, SmileError, Timestamp, Tuple, Value};
+use smile_types::{Result, SmileError, Timestamp, Tuple};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAGIC: &[u8; 4] = b"SWAL";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+/// Bytes before the fixed-width columns: magic + version + count.
+const HEADER: usize = 9;
 
 /// Plain snapshot of one database's WAL traffic (telemetry view).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -95,123 +110,194 @@ impl WalStats {
     }
 }
 
-const TAG_NULL: u8 = 0;
-const TAG_I64: u8 = 1;
-const TAG_F64: u8 = 2;
-const TAG_STR: u8 = 3;
-
-/// Encodes a delta batch into WAL bytes.
-pub fn encode(batch: &DeltaBatch) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + batch.byte_size());
+/// Assembles the wire frame for a columnar batch.
+pub fn frame_bytes(cb: &ColumnarBatch) -> Bytes {
+    let n = cb.len();
+    let mut buf = BytesMut::with_capacity(HEADER + 20 * n + 4 + cb.arena().len());
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
-    buf.put_u32_le(batch.entries.len() as u32);
-    for e in &batch.entries {
-        buf.put_u64_le(e.ts.0);
-        buf.put_i64_le(e.weight);
-        buf.put_u16_le(e.tuple.arity() as u16);
-        for v in e.tuple.values() {
-            match v {
-                Value::Null => buf.put_u8(TAG_NULL),
-                Value::I64(x) => {
-                    buf.put_u8(TAG_I64);
-                    buf.put_i64_le(*x);
-                }
-                Value::F64(x) => {
-                    buf.put_u8(TAG_F64);
-                    buf.put_f64_le(*x);
-                }
-                Value::Str(s) => {
-                    buf.put_u8(TAG_STR);
-                    buf.put_u32_le(s.len() as u32);
-                    buf.put_slice(s.as_bytes());
-                }
-            }
+    buf.put_u32_le(n as u32);
+    for &ts in cb.timestamps() {
+        buf.put_u64_le(ts);
+    }
+    for &w in cb.weights() {
+        buf.put_i64_le(w);
+    }
+    for &off in cb.offsets() {
+        buf.put_u32_le(off);
+    }
+    if n == 0 {
+        // An empty batch has no offsets pushed yet; emit the single 0 bound.
+        if cb.offsets().is_empty() {
+            buf.put_u32_le(0);
         }
     }
+    buf.put_slice(cb.arena());
     buf.freeze()
 }
 
-/// Decodes WAL bytes back into a delta batch, validating structure.
-pub fn decode(mut bytes: Bytes) -> Result<DeltaBatch> {
-    let corrupt = |d: &str| SmileError::WalCorrupt(d.to_string());
-    if bytes.remaining() < 9 {
-        return Err(corrupt("truncated header"));
-    }
-    let mut magic = [0u8; 4];
-    bytes.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(corrupt("bad magic"));
-    }
-    let version = bytes.get_u8();
-    if version != VERSION {
-        return Err(SmileError::WalCorrupt(format!(
-            "unsupported version {version}"
-        )));
-    }
-    let count = bytes.get_u32_le() as usize;
-    let mut entries = Vec::with_capacity(count.min(1 << 20));
-    for _ in 0..count {
-        if bytes.remaining() < 18 {
-            return Err(corrupt("truncated entry header"));
+/// Encodes a window of delta entries, applying the edge's filter and
+/// projection *during* encoding — one pass from the log slice to wire bytes
+/// with no intermediate `DeltaBatch` and no per-row `Tuple` allocation.
+pub fn encode_filtered(
+    entries: &[DeltaEntry],
+    filter: &Predicate,
+    projection: Option<&[usize]>,
+) -> Bytes {
+    let mut cb = ColumnarBatch::with_capacity(entries.len(), entries.len() * 16);
+    for e in entries {
+        if filter.eval(&e.tuple) {
+            cb.push_projected(&e.tuple, projection, e.weight, e.ts);
         }
-        let ts = Timestamp(bytes.get_u64_le());
-        let weight = bytes.get_i64_le();
-        let arity = bytes.get_u16_le() as usize;
-        let mut values = Vec::with_capacity(arity);
-        for _ in 0..arity {
-            if bytes.remaining() < 1 {
-                return Err(corrupt("truncated value tag"));
+    }
+    frame_bytes(&cb)
+}
+
+/// Encodes a delta batch into WAL bytes.
+pub fn encode(batch: &DeltaBatch) -> Bytes {
+    encode_filtered(&batch.entries, &Predicate::True, None)
+}
+
+fn corrupt(detail: &str) -> SmileError {
+    SmileError::WalCorrupt(detail.to_string())
+}
+
+/// A validated, zero-copy view of one WAL frame.
+///
+/// [`Frame::parse`] checks the whole frame once — header, column bounds,
+/// offset monotonicity, exact length, and every row's value encoding — after
+/// which the accessors read timestamps, weights and row bytes directly out
+/// of the shared [`Bytes`] buffer. Landing a shipped batch therefore never
+/// re-serializes and never builds an intermediate entry vector: the landing
+/// side walks the frame and appends straight into the destination delta log.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    bytes: Bytes,
+    count: usize,
+}
+
+impl Frame {
+    /// Validates `bytes` as a version-2 WAL frame.
+    pub fn parse(bytes: Bytes) -> Result<Frame> {
+        if bytes.len() < HEADER {
+            return Err(corrupt("truncated header"));
+        }
+        if bytes[0..4] != MAGIC[..] {
+            return Err(corrupt("bad magic"));
+        }
+        let version = bytes[4];
+        if version != VERSION {
+            return Err(SmileError::WalCorrupt(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let count = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+        let fixed = 16 * count + 4 * (count + 1);
+        if bytes.len() < HEADER + fixed {
+            return Err(corrupt("truncated entry table"));
+        }
+        let frame = Frame { bytes, count };
+        if frame.offset(0) != 0 {
+            return Err(corrupt("arena offsets must start at 0"));
+        }
+        for i in 0..count {
+            if frame.offset(i) > frame.offset(i + 1) {
+                return Err(corrupt("arena offsets not monotonic"));
             }
-            let tag = bytes.get_u8();
-            let v = match tag {
-                TAG_NULL => Value::Null,
-                TAG_I64 => {
-                    if bytes.remaining() < 8 {
-                        return Err(corrupt("truncated i64"));
-                    }
-                    Value::I64(bytes.get_i64_le())
-                }
-                TAG_F64 => {
-                    if bytes.remaining() < 8 {
-                        return Err(corrupt("truncated f64"));
-                    }
-                    Value::F64(bytes.get_f64_le())
-                }
-                TAG_STR => {
-                    if bytes.remaining() < 4 {
-                        return Err(corrupt("truncated string length"));
-                    }
-                    let len = bytes.get_u32_le() as usize;
-                    if bytes.remaining() < len {
-                        return Err(corrupt("truncated string payload"));
-                    }
-                    let raw = bytes.split_to(len);
-                    let s = std::str::from_utf8(&raw)
-                        .map_err(|_| corrupt("string payload is not UTF-8"))?;
-                    Value::str(s)
-                }
-                other => return Err(SmileError::WalCorrupt(format!("unknown value tag {other}"))),
-            };
-            values.push(v);
         }
-        entries.push(DeltaEntry {
-            tuple: Tuple::new(values),
-            weight,
-            ts,
-        });
+        let arena_len = frame.offset(count) as usize;
+        let expect = HEADER + fixed + arena_len;
+        if frame.bytes.len() < expect {
+            return Err(corrupt("truncated arena"));
+        }
+        if frame.bytes.len() > expect {
+            return Err(corrupt("trailing garbage after arena"));
+        }
+        for i in 0..count {
+            columnar::validate_row(frame.row(i))?;
+        }
+        Ok(frame)
     }
-    if bytes.has_remaining() {
-        return Err(corrupt("trailing garbage after last entry"));
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.count
     }
-    Ok(DeltaBatch { entries })
+
+    /// True iff the frame carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The full wire bytes of the frame.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    fn offset(&self, i: usize) -> u32 {
+        let base = HEADER + 16 * self.count + 4 * i;
+        u32::from_le_bytes(self.bytes[base..base + 4].try_into().unwrap())
+    }
+
+    /// Commit timestamp of entry `i`.
+    pub fn ts(&self, i: usize) -> Timestamp {
+        debug_assert!(i < self.count);
+        let base = HEADER + 8 * i;
+        Timestamp(u64::from_le_bytes(
+            self.bytes[base..base + 8].try_into().unwrap(),
+        ))
+    }
+
+    /// Signed weight of entry `i`.
+    pub fn weight(&self, i: usize) -> i64 {
+        debug_assert!(i < self.count);
+        let base = HEADER + 8 * self.count + 8 * i;
+        i64::from_le_bytes(self.bytes[base..base + 8].try_into().unwrap())
+    }
+
+    /// Encoded row bytes of entry `i`, borrowed from the shared buffer.
+    pub fn row(&self, i: usize) -> &[u8] {
+        let arena = HEADER + 16 * self.count + 4 * (self.count + 1);
+        &self.bytes[arena + self.offset(i) as usize..arena + self.offset(i + 1) as usize]
+    }
+
+    /// Largest timestamp in the frame, if any.
+    pub fn max_ts(&self) -> Option<Timestamp> {
+        (0..self.count).map(|i| self.ts(i)).max()
+    }
+
+    /// Materializes entry `i`'s tuple (the only point values are allocated).
+    pub fn tuple(&self, i: usize) -> Tuple {
+        Tuple::new(columnar::decode_row(self.row(i)).expect("rows were validated at parse"))
+    }
+
+    /// Materializes entry `i`.
+    pub fn entry(&self, i: usize) -> DeltaEntry {
+        DeltaEntry {
+            tuple: self.tuple(i),
+            weight: self.weight(i),
+            ts: self.ts(i),
+        }
+    }
+
+    /// Materializes the whole frame in row form.
+    pub fn to_batch(&self) -> DeltaBatch {
+        DeltaBatch {
+            entries: (0..self.count).map(|i| self.entry(i)).collect(),
+        }
+    }
+}
+
+/// Decodes WAL bytes back into a delta batch, validating structure.
+pub fn decode(bytes: Bytes) -> Result<DeltaBatch> {
+    Ok(Frame::parse(bytes)?.to_batch())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use smile_types::tuple;
+    use smile_types::{tuple, Value};
 
     fn sample_batch() -> DeltaBatch {
         DeltaBatch {
@@ -235,9 +321,52 @@ mod tests {
     }
 
     #[test]
+    fn frame_reads_without_materializing() {
+        let b = sample_batch();
+        let frame = Frame::parse(encode(&b)).unwrap();
+        assert_eq!(frame.len(), 2);
+        assert_eq!(frame.ts(0), Timestamp::from_secs(1));
+        assert_eq!(frame.weight(1), -1);
+        assert_eq!(frame.max_ts(), Some(Timestamp::from_secs(2)));
+        assert_eq!(frame.tuple(0), tuple![1i64, "ann", 2.5f64]);
+        assert_eq!(frame.to_batch(), b);
+    }
+
+    #[test]
+    fn encode_filtered_matches_row_path() {
+        let entries: Vec<DeltaEntry> = (0..10)
+            .map(|k| DeltaEntry::insert(tuple![k, 100 + k], Timestamp::from_secs(k as u64)))
+            .collect();
+        // Filter + projection applied during encode must produce the exact
+        // bytes of the materialize-then-encode path.
+        let filter = Predicate::True;
+        let projected: Vec<DeltaEntry> = entries
+            .iter()
+            .map(|e| DeltaEntry {
+                tuple: e.tuple.project(&[1]),
+                weight: e.weight,
+                ts: e.ts,
+            })
+            .collect();
+        let row_path = encode(&DeltaBatch { entries: projected });
+        let columnar_path = encode_filtered(&entries, &filter, Some(&[1]));
+        assert_eq!(row_path, columnar_path);
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let mut raw = encode(&sample_batch()).to_vec();
         raw[0] = b'X';
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SmileError::WalCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_old_version() {
+        let mut raw = encode(&sample_batch()).to_vec();
+        raw[4] = 1;
         assert!(matches!(
             decode(Bytes::from(raw)),
             Err(SmileError::WalCorrupt(_))
@@ -269,9 +398,25 @@ mod tests {
             entries: vec![DeltaEntry::insert(tuple![1i64], Timestamp::ZERO)],
         };
         let mut raw = encode(&b).to_vec();
-        // The tag byte of the single value is right after entry header.
-        let tag_pos = 4 + 1 + 4 + 8 + 8 + 2;
+        // First arena byte: header + ts column + weight column + 2 offsets.
+        let tag_pos = HEADER + 8 + 8 + 4 * 2;
         raw[tag_pos] = 99;
+        assert!(decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_non_monotonic_offsets() {
+        let b = DeltaBatch {
+            entries: vec![
+                DeltaEntry::insert(tuple![1i64], Timestamp::ZERO),
+                DeltaEntry::insert(tuple![2i64], Timestamp::ZERO),
+            ],
+        };
+        let mut raw = encode(&b).to_vec();
+        // offsets column starts after header + 2×u64 ts + 2×i64 weight.
+        let off_base = HEADER + 16 + 16;
+        // Corrupt offsets[1] to exceed offsets[2].
+        raw[off_base + 4..off_base + 8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode(Bytes::from(raw)).is_err());
     }
 

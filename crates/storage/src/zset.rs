@@ -5,14 +5,17 @@
 //! correctness rests on z-set algebra being a commutative group under
 //! merge, with join distributing over it — property-tested in this module.
 
-use smile_types::Tuple;
-use std::collections::HashMap;
+use smile_types::{FastMap, Tuple};
 
 /// A multiset of tuples with signed multiplicities. Entries with weight zero
 /// are never stored.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ZSet {
-    entries: HashMap<Tuple, i64>,
+    entries: FastMap<Tuple, i64>,
+    /// Sum of `Tuple::byte_size` over stored keys, maintained incrementally
+    /// on every insert/remove so [`ZSet::byte_size`] is O(1). A pure
+    /// function of `entries`, so the derived `PartialEq` stays consistent.
+    bytes: usize,
 }
 
 // Delta batches built from z-sets are `Arc`-shared across the parallel push
@@ -31,7 +34,8 @@ impl ZSet {
     /// Creates a z-set with pre-allocated capacity.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            entries: HashMap::with_capacity(n),
+            entries: FastMap::with_capacity_and_hasher(n, Default::default()),
+            bytes: 0,
         }
     }
 
@@ -55,12 +59,15 @@ impl ZSet {
             Entry::Occupied(mut e) => {
                 let w = *e.get() + weight;
                 if w == 0 {
+                    let sz = e.key().byte_size();
                     e.remove();
+                    self.bytes -= sz;
                 } else {
                     *e.get_mut() = w;
                 }
             }
             Entry::Vacant(e) => {
+                self.bytes += e.key().byte_size();
                 e.insert(weight);
             }
         }
@@ -109,6 +116,7 @@ impl ZSet {
             match self.entries.get_mut(t) {
                 Some(s) => *s += w,
                 None => {
+                    self.bytes += t.byte_size();
                     self.entries.insert(t.clone(), w);
                 }
             }
@@ -120,11 +128,19 @@ impl ZSet {
     pub fn merge_owned(&mut self, other: ZSet) {
         if self.entries.is_empty() {
             self.entries = other.entries;
+            self.bytes = other.bytes;
             return;
         }
         self.entries.reserve(other.entries.len());
+        use std::collections::hash_map::Entry;
         for (t, w) in other.entries {
-            *self.entries.entry(t).or_insert(0) += w;
+            match self.entries.entry(t) {
+                Entry::Occupied(mut e) => *e.get_mut() += w,
+                Entry::Vacant(e) => {
+                    self.bytes += e.key().byte_size();
+                    e.insert(w);
+                }
+            }
         }
         self.consolidate();
     }
@@ -154,28 +170,42 @@ impl ZSet {
     ///
     /// [`consolidate`]: ZSet::consolidate
     pub fn extend_unconsolidated<I: IntoIterator<Item = (Tuple, i64)>>(&mut self, pairs: I) {
+        use std::collections::hash_map::Entry;
         for (t, w) in pairs {
-            *self.entries.entry(t).or_insert(0) += w;
+            match self.entries.entry(t) {
+                Entry::Occupied(mut e) => *e.get_mut() += w,
+                Entry::Vacant(e) => {
+                    self.bytes += e.key().byte_size();
+                    e.insert(w);
+                }
+            }
         }
     }
 
     /// Restores the invariant that weight-zero entries are never stored, in
     /// place (single sweep, no clones).
     pub fn consolidate(&mut self) {
-        self.entries.retain(|_, w| *w != 0);
+        let mut removed = 0usize;
+        self.entries.retain(|t, w| {
+            if *w == 0 {
+                removed += t.byte_size();
+                false
+            } else {
+                true
+            }
+        });
+        self.bytes -= removed;
     }
 
     /// Keeps only tuples satisfying `pred` (applied to the tuple, weight
     /// unchanged).
     pub fn filter(&self, mut pred: impl FnMut(&Tuple) -> bool) -> ZSet {
-        ZSet {
-            entries: self
-                .entries
-                .iter()
-                .filter(|(t, _)| pred(t))
-                .map(|(t, &w)| (t.clone(), w))
-                .collect(),
+        let mut out = ZSet::new();
+        for (t, &w) in self.entries.iter().filter(|(t, _)| pred(t)) {
+            out.bytes += t.byte_size();
+            out.entries.insert(t.clone(), w);
         }
+        out
     }
 
     /// Projects every tuple onto `cols`, consolidating weights of tuples that
@@ -195,9 +225,12 @@ impl ZSet {
     }
 
     /// Total payload bytes across entries (weights ignored); used by the
-    /// resource meters.
+    /// resource meters. O(1): the sum is maintained incrementally as entries
+    /// are inserted and removed, so per-batch stat refreshes no longer scan
+    /// the whole relation (the old O(rows × values) walk dominated ingest
+    /// wall time at fig5 scale).
     pub fn byte_size(&self) -> usize {
-        self.entries.keys().map(Tuple::byte_size).sum()
+        self.bytes
     }
 
     /// Returns the entries as a sorted vector — deterministic order for
@@ -293,6 +326,26 @@ mod tests {
         let f = z.filter(|t| t.get(0).as_i64() == Some(1));
         assert_eq!(f.weight(&tuple![1i64]), 4);
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn byte_size_is_maintained_incrementally() {
+        let mut z = ZSet::new();
+        z.add(tuple![1i64, "ann"], 2);
+        z.add(tuple![2i64, "bobby"], 1);
+        z.add(tuple![1i64, "ann"], -2); // cancels → bytes reclaimed
+        z.extend_unconsolidated([(tuple![3i64, "c"], 1), (tuple![3i64, "c"], -1)]);
+        z.consolidate();
+        let mut other = ZSet::new();
+        other.add(tuple![2i64, "bobby"], 4);
+        other.add(tuple![9i64, "zed"], 1);
+        z.merge(&other);
+        z.merge_owned(ZSet::from_tuples([tuple![10i64, "qq"]]));
+        let f = z.filter(|t| t.get(0).as_i64() != Some(9));
+        for set in [&z, &f] {
+            let recomputed: usize = set.iter().map(|(t, _)| t.byte_size()).sum();
+            assert_eq!(set.byte_size(), recomputed);
+        }
     }
 
     fn arb_zset() -> impl Strategy<Value = ZSet> {

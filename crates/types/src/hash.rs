@@ -1,0 +1,151 @@
+//! Fast deterministic hashing for the storage hot path.
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3 behind a per-process
+//! random seed. That is the right default for maps keyed by untrusted
+//! input, but it is the single largest per-tuple cost on the ingest and
+//! probe paths: every z-set insert and every arrangement probe pays tens
+//! of nanoseconds of keyed permutation for keys the platform generated
+//! itself. [`FastHasher`] replaces it on those paths with an FxHash-style
+//! multiply-rotate word hash plus a murmur-style finalizer — a few cycles
+//! per 8-byte word — and, because it is seedless, map behaviour becomes
+//! **deterministic across processes**: the same inserts in the same order
+//! produce the same internal layout on every run, which the differential
+//! conformance harness leans on when comparing engine modes.
+//!
+//! HashDoS is not a concern here: keys are tuples of the platform's own
+//! working data (row ids, join keys), never attacker-controlled protocol
+//! input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplicative constant (high-entropy, from the golden-ratio
+/// family) used by the word mixer.
+const MULT: u64 = 0x517c_c1b7_2722_0a95;
+
+/// A seedless multiply-rotate hasher for trusted, platform-generated keys.
+///
+/// Each 8-byte word is folded as `h = (rotl(h, 26) ^ w) * MULT`; `finish`
+/// applies an xor-shift-multiply finalizer so both the low bits (bucket
+/// index) and high bits (control bytes) of the output are well mixed.
+#[derive(Clone, Debug, Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(26) ^ word).wrapping_mul(MULT);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Murmur3-style avalanche: without it, the multiplicative mix
+        // leaves the low output bits (hashbrown's bucket index) weak.
+        let mut h = self.hash;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^ (h >> 33)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail));
+        }
+        // Length folds in so "ab" + "c" and "a" + "bc" differ even when
+        // the concatenated bytes agree per call.
+        self.mix(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] — seedless, so maps built with it are
+/// layout-deterministic across processes.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` on the fast deterministic hasher; the storage hot path's
+/// map type (z-set entries, arrangement indexes and buckets).
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` on the fast deterministic hasher.
+pub type FastSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let hashes: Vec<u64> = (0i64..64).map(|i| hash_of(&i)).collect();
+        let distinct: FastSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(distinct.len(), hashes.len());
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_collide() {
+        // Same concatenated bytes, different write() splits must differ.
+        let mut a = FastHasher::default();
+        a.write(b"ab");
+        a.write(b"c");
+        let mut b = FastHasher::default();
+        b.write(b"a");
+        b.write(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fast_map_basics() {
+        let mut m: FastMap<String, i64> = FastMap::default();
+        m.insert("k".into(), 1);
+        *m.entry("k".into()).or_insert(0) += 2;
+        assert_eq!(m["k"], 3);
+    }
+}

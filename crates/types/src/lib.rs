@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod hash;
 pub mod id;
 pub mod schema;
 pub mod time;
@@ -23,6 +24,7 @@ pub mod tuple;
 pub mod value;
 
 pub use error::{Result, SmileError};
+pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use id::{MachineId, RelationId, SharingId, VertexId};
 pub use schema::{Column, ColumnType, Schema};
 pub use time::{SimDuration, Timestamp};

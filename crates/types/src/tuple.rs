@@ -1,6 +1,7 @@
 //! Tuples (rows) of scalar values.
 
 use crate::value::Value;
+use std::borrow::Borrow;
 use std::fmt;
 use std::sync::Arc;
 
@@ -55,6 +56,28 @@ impl Tuple {
     /// resource meters of the cost model.
     pub fn byte_size(&self) -> usize {
         self.values.iter().map(Value::byte_size).sum::<usize>() + 16
+    }
+}
+
+/// Collects values straight into the shared `Arc<[Value]>` payload — with
+/// an exact-size iterator (e.g. draining a scratch buffer) this is a single
+/// allocation, which is what the WAL land path leans on to materialize one
+/// tuple per frame row without an intermediate `Vec`.
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Self {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Allows hash-map lookups keyed by `Tuple` to be driven by a borrowed
+/// `&[Value]` scratch slice without allocating a `Tuple` per probe. Sound
+/// because the derived `Hash`/`Eq` on `Tuple` delegate to `Arc<[Value]>`,
+/// which hashes and compares exactly like the underlying `[Value]` slice.
+impl Borrow<[Value]> for Tuple {
+    fn borrow(&self) -> &[Value] {
+        &self.values
     }
 }
 

@@ -704,3 +704,111 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Columnar hot-path properties: the arena-backed batch must behave exactly
+// like the row-at-a-time z-set algebra it replaces.
+
+use smile::storage::ColumnarBatch;
+use smile::types::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Small scalar domain covering every codec tag, hash-sensitive floats and
+/// multi-byte UTF-8.
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-4i64..5).prop_map(Value::I64),
+        (-2i32..3).prop_map(|v| Value::F64(f64::from(v) * 0.5)),
+        (0usize..4).prop_map(|i| Value::str(["", "a", "bb", "ß"][i])),
+    ]
+}
+
+/// Raw delta entries with duplicate-prone rows, zero and negative weights,
+/// and non-monotone timestamps — everything consolidation must normalize.
+fn arb_columnar_entries() -> impl Strategy<Value = Vec<DeltaEntry>> {
+    proptest::collection::vec(
+        (arb_value(), arb_value(), -3i64..4, 0u64..4),
+        0..48,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(a, b, w, ts)| DeltaEntry {
+                tuple: Tuple::new(vec![a, b]),
+                weight: w,
+                ts: Timestamp::from_secs(ts),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        .. ProptestConfig::default()
+    })]
+
+    /// In-place consolidation (sorted-run merge fast path included) is
+    /// byte-identical to the unconditional sort-and-merge oracle, drops
+    /// every annihilated weight, leaves rows strictly ascending, and agrees
+    /// with the row-at-a-time z-set semantics of the batch.
+    #[test]
+    fn columnar_consolidate_matches_sort_merge_oracle(
+        entries in arb_columnar_entries()
+    ) {
+        let mut fast = ColumnarBatch::from_entries(&entries);
+        let mut naive = ColumnarBatch::from_entries(&entries);
+        let stats = fast.consolidate_in_place();
+        naive.consolidate_naive();
+        prop_assert_eq!(&fast, &naive, "in-place != sort-and-merge oracle");
+        prop_assert_eq!(stats.rows_in, entries.len());
+        prop_assert_eq!(stats.rows_out, fast.len());
+
+        // Zero-weight annihilation and strict row order.
+        for i in 0..fast.len() {
+            prop_assert!(fast.weight(i) != 0, "weight-zero row survived");
+            if i > 0 {
+                prop_assert!(fast.row(i - 1) < fast.row(i), "rows not strictly ascending");
+            }
+        }
+
+        // Z-set semantics oracle: same multiset as the legacy row pipeline.
+        let legacy = DeltaBatch { entries }.to_zset();
+        prop_assert_eq!(
+            fast.to_zset().sorted_entries(),
+            legacy.sorted_entries()
+        );
+    }
+
+    /// Batched key hashing over the arena — no tuple materialization —
+    /// produces exactly the hash a per-tuple `project` + `DefaultHasher`
+    /// computes, for every projection shape.
+    #[test]
+    fn batched_key_hashes_match_per_tuple_hashing(
+        rows in proptest::collection::vec((arb_value(), arb_value(), -2i64..3, 0u64..4), 1..32),
+        cols_sel in 0usize..5
+    ) {
+        let cols: &[usize] = match cols_sel {
+            0 => &[],
+            1 => &[0],
+            2 => &[1],
+            3 => &[0, 1],
+            _ => &[1, 0],
+        };
+        let mut batch = ColumnarBatch::new();
+        let mut tuples = Vec::new();
+        for (a, b, w, ts) in rows {
+            let t = Tuple::new(vec![a, b]);
+            batch.push(&t, w, Timestamp::from_secs(ts));
+            tuples.push(t);
+        }
+        let hashes = batch.key_hashes(cols);
+        prop_assert_eq!(hashes.len(), tuples.len());
+        for (i, t) in tuples.iter().enumerate() {
+            let mut h = DefaultHasher::new();
+            t.project(cols).hash(&mut h);
+            prop_assert_eq!(hashes[i], h.finish(), "hash diverges at row {}", i);
+        }
+    }
+}

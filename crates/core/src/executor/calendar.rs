@@ -1,0 +1,625 @@
+//! Event-driven push calendar: O(due + invalidated) tick scheduling.
+//!
+//! The scan scheduler reconsiders every sharing on every tick and recomputes
+//! its critical path from the full plan graph — O(N·plan-size) even when
+//! nothing is due. This module replaces the scan with three pieces:
+//!
+//! 1. **[`PushCalendar`]** — a hierarchical timer wheel over scheduler
+//!    ticks. Each idle sharing carries a *conservative lower bound* on the
+//!    first tick at which its lazy projection `staleness + CP + tick` can
+//!    reach `l·SLA`; a tick pops only the due slots. Popping early is safe
+//!    (the slot re-projects and goes back to sleep); popping late never
+//!    happens (the bound is proven conservative, see
+//!    `Executor::project_wake_tick`).
+//! 2. **[`CalendarState`]** — the per-slot state machine plus the
+//!    invalidation index. Heartbeat advances wake only the sharings parked
+//!    on that base vertex; push completions, retry abandonment, deferral
+//!    and live submit/retire re-enqueue only the affected slot. Every
+//!    transition bumps the slot's generation, lazily invalidating stale
+//!    wheel entries.
+//! 3. **[`CpEval`]** — a cached compact critical-path evaluator: the
+//!    sharing's in-scope edges in topological order with their estimate
+//!    parameters, so one evaluation is O(subgraph) with no full-plan
+//!    topo sort. It calls the *same* `TimeCostModel::edge_estimate` the
+//!    full sweep calls, so its result is byte-identical to
+//!    `critical_path(plan, Scope::Sharing(id), x, model)` — the calendar
+//!    and scan schedulers must plan byte-identical batches. Alongside the
+//!    exact evaluator it derives affine coefficients `(C, S)` with
+//!    `CP(x) ≤ inflation · (C + S·x)`, used only for wake projection.
+//!
+//! ### Cache invalidation obligations
+//!
+//! The cached evaluator snapshots edge op/rate/byte estimates at build
+//! time. This is sound because merging a new sharing only *adds* vertices
+//! and edges (dedup reuses existing ones without touching their
+//! estimates), retiring a sharing only shrinks `SHR` sets of *other*
+//! sharings' edges, and operator models are only overridden before
+//! install (the Figure 5 calibration harness). The one run-time moving
+//! part — the feedback inflation factor — multiplies every edge uniformly,
+//! so the exact evaluator reads it live from the model and the affine
+//! bound folds in a high-water bound that triggers a wake-all when
+//! crossed (see `CalendarState::inflation_bound`).
+
+use crate::plan::dag::{EdgeOp, Plan};
+use crate::plan::timecost::TimeCostModel;
+use smile_types::{MachineId, SharingId, SimDuration, Timestamp, VertexId};
+use std::collections::HashMap;
+
+/// Bits per wheel level: 64 slots each.
+const WHEEL_BITS: u32 = 6;
+/// Slots per level.
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+/// Levels; the horizon is `64^6` ticks, far-future wakes park in the top
+/// level and re-cascade (a rare conservative early wake).
+const WHEEL_LEVELS: usize = 6;
+const SLOT_MASK: u64 = (WHEEL_SLOTS - 1) as u64;
+
+/// Headroom multiplied onto the observed inflation when (re)setting the
+/// affine bound, so a slowly creeping inflation does not trigger a
+/// wake-all every tick. The clamp on inflation ([1, 50]) bounds the number
+/// of crossings over a run's lifetime to ~log₁.₂₅(50) ≈ 18.
+pub(crate) const INFLATION_HEADROOM: f64 = 1.25;
+
+/// An entry queued in the wheel. `gen` must match the slot's current
+/// generation when popped or the entry is stale and dropped.
+#[derive(Clone, Copy, Debug)]
+struct WheelEntry {
+    idx: usize,
+    gen: u64,
+    due_tick: u64,
+}
+
+/// Hierarchical timer wheel keyed on scheduler ticks.
+///
+/// Level 0 resolves single ticks; level `L` buckets spans of `64^L` ticks.
+/// Advancing one tick cascades any level whose window boundary was crossed
+/// (highest wrapping level first, so refills propagate downward) and then
+/// pops the level-0 slot.
+struct PushCalendar {
+    levels: Vec<Vec<Vec<WheelEntry>>>,
+    now_tick: u64,
+    len: usize,
+}
+
+impl PushCalendar {
+    fn new() -> Self {
+        Self {
+            levels: (0..WHEEL_LEVELS)
+                .map(|_| (0..WHEEL_SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            now_tick: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Queues an entry. Past or current due ticks clamp to the next tick;
+    /// wakes beyond the horizon clamp into the top level (early is safe).
+    fn schedule(&mut self, idx: usize, gen: u64, due_tick: u64) {
+        let horizon = 1u64 << (WHEEL_BITS * WHEEL_LEVELS as u32);
+        let due = due_tick
+            .max(self.now_tick + 1)
+            .min(self.now_tick.saturating_add(horizon - 1));
+        self.insert_raw(WheelEntry {
+            idx,
+            gen,
+            due_tick: due,
+        });
+        self.len += 1;
+    }
+
+    fn insert_raw(&mut self, e: WheelEntry) {
+        let delta = e.due_tick - self.now_tick;
+        let mut level = 0usize;
+        while level + 1 < WHEEL_LEVELS && delta >= 1u64 << (WHEEL_BITS * (level as u32 + 1)) {
+            level += 1;
+        }
+        let slot = ((e.due_tick >> (WHEEL_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.levels[level][slot].push(e);
+    }
+
+    /// Advances the wheel to `to_tick`, pushing every entry whose due tick
+    /// was reached onto `out`.
+    fn advance(&mut self, to_tick: u64, out: &mut Vec<WheelEntry>) {
+        while self.now_tick < to_tick {
+            self.now_tick += 1;
+            let t = self.now_tick;
+            // Cascade every level whose window boundary `t` crosses,
+            // highest first: at t = 64² the level-2 slot must refill
+            // level 1 before level 1 refills level 0.
+            let mut highest = 0usize;
+            while highest + 1 < WHEEL_LEVELS
+                && t & ((1u64 << (WHEEL_BITS * (highest as u32 + 1))) - 1) == 0
+            {
+                highest += 1;
+            }
+            for level in (1..=highest).rev() {
+                let slot = ((t >> (WHEEL_BITS * level as u32)) & SLOT_MASK) as usize;
+                let entries = std::mem::take(&mut self.levels[level][slot]);
+                for e in entries {
+                    self.insert_raw(e);
+                }
+            }
+            let slot0 = (t & SLOT_MASK) as usize;
+            if !self.levels[0][slot0].is_empty() {
+                for e in std::mem::take(&mut self.levels[0][slot0]) {
+                    debug_assert_eq!(e.due_tick, t, "level-0 entry popped off its due tick");
+                    self.len -= 1;
+                    out.push(e);
+                }
+            }
+        }
+    }
+}
+
+/// Scheduling state of one sharing slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    /// Queued in the wheel (or the due-now buffer) under the current
+    /// generation.
+    Scheduled,
+    /// Parked until the heartbeat of this base vertex advances — either no
+    /// heartbeat has arrived yet or the push window is empty.
+    WaitingSrc(VertexId),
+    /// A push or retry is active; completion/abandonment events re-enqueue
+    /// the slot.
+    InFlight,
+    /// Tombstone (retired sharing).
+    Retired,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    gen: u64,
+    state: SlotState,
+}
+
+/// The calendar scheduler's state: wheel + per-slot state machine + the
+/// base-vertex → waiting-slots invalidation index.
+pub(crate) struct CalendarState {
+    wheel: PushCalendar,
+    slots: Vec<Slot>,
+    /// Slots to evaluate at the next planning pass regardless of the wheel
+    /// (freshly added, push-completed, heartbeat-woken).
+    due_now: Vec<usize>,
+    /// Base vertex → slots parked on its heartbeat, with the generation
+    /// each was parked under (stale entries are dropped lazily on drain).
+    src_waiters: HashMap<VertexId, Vec<(usize, u64)>>,
+    /// High-water bound on the model's inflation folded into every
+    /// scheduled wake projection. When the learned inflation crosses it,
+    /// every scheduled wake is stale: the executor wakes all scheduled
+    /// slots and raises the bound.
+    pub inflation_bound: f64,
+    tick_us: u64,
+    n_scheduled: usize,
+    n_waiting: usize,
+}
+
+impl CalendarState {
+    /// A fresh calendar with every slot due at the next planning pass —
+    /// the first tick evaluates everything, exactly like the scan
+    /// scheduler's first tick.
+    pub fn new(n: usize, tick: SimDuration, inflation_bound: f64) -> Self {
+        Self {
+            wheel: PushCalendar::new(),
+            slots: vec![
+                Slot {
+                    gen: 0,
+                    state: SlotState::Scheduled,
+                };
+                n
+            ],
+            due_now: (0..n).collect(),
+            src_waiters: HashMap::new(),
+            inflation_bound,
+            tick_us: tick.as_micros().max(1),
+            n_scheduled: n,
+            n_waiting: 0,
+        }
+    }
+
+    /// The scheduler tick index containing simulated time `t`.
+    pub fn tick_of(&self, t: Timestamp) -> u64 {
+        (t - Timestamp::ZERO).as_micros() / self.tick_us
+    }
+
+    pub fn scheduled_count(&self) -> usize {
+        self.n_scheduled
+    }
+
+    pub fn waiting_count(&self) -> usize {
+        self.n_waiting
+    }
+
+    pub fn wheel_len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Invalidates the slot's current attachment (wheel entry, waiter
+    /// registration, due-now membership) by bumping its generation.
+    fn detach(&mut self, idx: usize) {
+        let slot = &mut self.slots[idx];
+        match slot.state {
+            SlotState::Scheduled => self.n_scheduled -= 1,
+            SlotState::WaitingSrc(_) => self.n_waiting -= 1,
+            _ => {}
+        }
+        slot.gen += 1;
+    }
+
+    /// Queues the slot to wake at `due_tick`.
+    pub fn schedule_at(&mut self, idx: usize, due_tick: u64) {
+        self.detach(idx);
+        self.slots[idx].state = SlotState::Scheduled;
+        self.n_scheduled += 1;
+        let gen = self.slots[idx].gen;
+        self.wheel.schedule(idx, gen, due_tick);
+    }
+
+    /// Queues the slot for the next planning pass.
+    pub fn wake_now(&mut self, idx: usize) {
+        self.detach(idx);
+        self.slots[idx].state = SlotState::Scheduled;
+        self.n_scheduled += 1;
+        self.due_now.push(idx);
+    }
+
+    /// Parks the slot until `src`'s heartbeat advances.
+    pub fn park_on_src(&mut self, idx: usize, src: VertexId) {
+        self.detach(idx);
+        self.slots[idx].state = SlotState::WaitingSrc(src);
+        self.n_waiting += 1;
+        let gen = self.slots[idx].gen;
+        self.src_waiters.entry(src).or_default().push((idx, gen));
+    }
+
+    /// Marks the slot in flight: completion/abandonment events own its
+    /// next wake, so no calendar entry exists for it.
+    pub fn mark_in_flight(&mut self, idx: usize) {
+        self.detach(idx);
+        self.slots[idx].state = SlotState::InFlight;
+    }
+
+    /// Tombstones the slot.
+    pub fn retire(&mut self, idx: usize) {
+        self.detach(idx);
+        self.slots[idx].state = SlotState::Retired;
+    }
+
+    /// Registers a freshly added sharing slot, due at the next pass.
+    pub fn add_slot(&mut self) {
+        let idx = self.slots.len();
+        self.slots.push(Slot {
+            gen: 0,
+            state: SlotState::Scheduled,
+        });
+        self.n_scheduled += 1;
+        self.due_now.push(idx);
+    }
+
+    /// A base vertex's heartbeat advanced: wake every slot parked on it.
+    pub fn heartbeat_advanced(&mut self, src: VertexId) {
+        let Some(waiters) = self.src_waiters.remove(&src) else {
+            return;
+        };
+        for (idx, gen) in waiters {
+            let slot = self.slots[idx];
+            if slot.gen == gen && slot.state == SlotState::WaitingSrc(src) {
+                self.wake_now(idx);
+            }
+        }
+    }
+
+    /// The learned inflation crossed the folded-in bound: every scheduled
+    /// wake projection is stale. Wake all scheduled slots (they re-project
+    /// under the new bound) and raise the bound. Parked slots are
+    /// unaffected — their gating (missing heartbeat, empty window) does not
+    /// depend on the time model.
+    pub fn raise_inflation_bound(&mut self, new_bound: f64) {
+        self.inflation_bound = new_bound;
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].state == SlotState::Scheduled {
+                self.wake_now(idx);
+            }
+        }
+    }
+
+    /// Drains everything due at `now`: wheel pops up to the current tick
+    /// plus the due-now buffer, stale generations dropped, deduplicated
+    /// and sorted ascending — the same slot order the scan scheduler
+    /// visits.
+    pub fn take_woken(&mut self, now: Timestamp) -> Vec<usize> {
+        let mut popped: Vec<WheelEntry> = Vec::new();
+        self.wheel.advance(self.tick_of(now), &mut popped);
+        let mut woken: Vec<usize> = Vec::new();
+        for e in popped {
+            let slot = self.slots[e.idx];
+            if slot.gen == e.gen && slot.state == SlotState::Scheduled {
+                woken.push(e.idx);
+            }
+        }
+        woken.append(&mut self.due_now);
+        woken.sort_unstable();
+        woken.dedup();
+        woken.retain(|&i| self.slots[i].state == SlotState::Scheduled);
+        woken
+    }
+}
+
+/// One cached in-scope edge of a sharing's subgraph, in topological order.
+#[derive(Clone, Debug)]
+struct CpEdge {
+    op: EdgeOp,
+    est_rate: f64,
+    est_tuple_bytes: f64,
+    /// Positions (into [`CpEval::edges`]) of inputs produced in scope;
+    /// out-of-scope inputs contribute zero distance, as in the full sweep.
+    inputs: Vec<u32>,
+}
+
+/// Cached compact critical-path evaluator for one sharing, plus affine
+/// upper-bound coefficients for wake projection.
+#[derive(Clone, Debug)]
+pub(crate) struct CpEval {
+    edges: Vec<CpEdge>,
+    /// `C`: inflation-free upper bound on the path constant (seconds),
+    /// including per-edge rounding slack.
+    pub const_secs: f64,
+    /// `S`: inflation-free upper bound on the path slope (seconds of CP
+    /// per second of window).
+    pub slope_per_sec: f64,
+}
+
+impl CpEval {
+    /// Builds the evaluator from a sharing's push order (its non-base
+    /// subgraph vertices in topological order — exactly the vertices whose
+    /// producer edges `critical_path` sweeps for this scope).
+    pub fn build(plan: &Plan, id: SharingId, order: &[VertexId], model: &TimeCostModel) -> Self {
+        let mut pos: HashMap<VertexId, u32> = HashMap::with_capacity(order.len());
+        let mut edges: Vec<CpEdge> = Vec::with_capacity(order.len());
+        // Affine bound per cached edge position: longest-path constant and
+        // slope reaching it, maximized independently (their joint max at
+        // any x is bounded by the independent maxima).
+        let mut const_at: Vec<f64> = Vec::with_capacity(order.len());
+        let mut slope_at: Vec<f64> = Vec::with_capacity(order.len());
+        let (mut const_secs, mut slope_per_sec) = (0f64, 0f64);
+        for &v in order {
+            let Some(edge) = plan.producer(v) else {
+                continue;
+            };
+            if !edge.sharings.contains(&id) {
+                // Mirrors the scope filter of the full sweep: the vertex
+                // contributes zero distance.
+                continue;
+            }
+            let inputs: Vec<u32> = edge
+                .inputs
+                .iter()
+                .filter_map(|i| pos.get(i).copied())
+                .collect();
+            let lm = model.op_model(&edge.op);
+            let mut a = lm.fixed.as_secs_f64();
+            let mut b = lm.per_tuple.as_secs_f64() * edge.est_rate.max(0.0);
+            if matches!(edge.op, EdgeOp::CopyDelta) {
+                a += model.net_latency.as_secs_f64();
+                b += edge.est_rate.max(0.0) * edge.est_tuple_bytes / model.net_bandwidth;
+            }
+            // `edge_estimate` rounds to whole microseconds up to three
+            // times (per-tuple term, wire term, inflation scaling); cover
+            // the ceiling with explicit slack.
+            a += 2e-6;
+            let arrive_const = inputs
+                .iter()
+                .map(|&i| const_at[i as usize])
+                .fold(0f64, f64::max);
+            let arrive_slope = inputs
+                .iter()
+                .map(|&i| slope_at[i as usize])
+                .fold(0f64, f64::max);
+            let (ac, bs) = (arrive_const + a, arrive_slope + b);
+            const_secs = const_secs.max(ac);
+            slope_per_sec = slope_per_sec.max(bs);
+            let slot = edges.len() as u32;
+            pos.insert(v, slot);
+            edges.push(CpEdge {
+                op: edge.op.clone(),
+                est_rate: edge.est_rate,
+                est_tuple_bytes: edge.est_tuple_bytes,
+                inputs,
+            });
+            const_at.push(ac);
+            slope_at.push(bs);
+        }
+        Self {
+            edges,
+            const_secs,
+            slope_per_sec,
+        }
+    }
+
+    /// `CP(x)` over the cached subgraph — the same topological sweep as
+    /// `critical_path`, calling the same `edge_estimate`, restricted to
+    /// the in-scope edges. Byte-identical to the full sweep by
+    /// construction: the scope's subgraph is closed under in-scope
+    /// ancestors and any topo-consistent visit order yields the same
+    /// distances.
+    pub fn eval(&self, x_secs: f64, model: &TimeCostModel) -> SimDuration {
+        let mut dist: Vec<SimDuration> = vec![SimDuration::ZERO; self.edges.len()];
+        let mut best = SimDuration::ZERO;
+        for (i, e) in self.edges.iter().enumerate() {
+            let n = e.est_rate * x_secs;
+            let w = model.edge_estimate(&e.op, n, e.est_tuple_bytes);
+            let arrive = e
+                .inputs
+                .iter()
+                .map(|&j| dist[j as usize])
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            dist[i] = arrive + w;
+            if dist[i] > best {
+                best = dist[i];
+            }
+        }
+        best
+    }
+}
+
+/// Per-sharing scheduling caches, invalidated together: the compact
+/// critical-path evaluator and the deduplicated set of machines the
+/// sharing's pushes touch (for the crash-deferral check).
+pub(crate) struct SharingCache {
+    pub cp: CpEval,
+    pub machines: Vec<MachineId>,
+}
+
+impl SharingCache {
+    pub fn build(
+        plan: &Plan,
+        id: SharingId,
+        order: &[VertexId],
+        srcs: &[VertexId],
+        model: &TimeCostModel,
+    ) -> Self {
+        let mut machines: Vec<MachineId> = order
+            .iter()
+            .chain(srcs.iter())
+            .map(|&v| plan.vertex(v).machine)
+            .collect();
+        machines.sort_unstable_by_key(|m| m.index());
+        machines.dedup();
+        Self {
+            cp: CpEval::build(plan, id, order, model),
+            machines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic LCG so wheel tests need no RNG dependency.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    #[test]
+    fn wheel_pops_exactly_at_due_tick_across_cascades() {
+        let mut w = PushCalendar::new();
+        // Due ticks crossing level-0, level-1 and level-2 boundaries.
+        let dues = [1u64, 63, 64, 65, 127, 4095, 4096, 4100, 262144, 262209];
+        for (i, &d) in dues.iter().enumerate() {
+            w.schedule(i, 0, d);
+        }
+        assert_eq!(w.len(), dues.len());
+        let mut out = Vec::new();
+        for t in 1..=262300u64 {
+            out.clear();
+            w.advance(t, &mut out);
+            for e in &out {
+                assert_eq!(e.due_tick, t, "entry {} popped at {t}", e.idx);
+            }
+        }
+        assert_eq!(w.len(), 0, "every entry popped");
+    }
+
+    #[test]
+    fn wheel_random_schedule_pops_on_time() {
+        let mut rng = Lcg(7);
+        let mut w = PushCalendar::new();
+        let mut due_of: HashMap<usize, u64> = HashMap::new();
+        let mut next_id = 0usize;
+        let mut popped = 0usize;
+        let mut out = Vec::new();
+        for t in 1..=20_000u64 {
+            // Schedule a few entries at random future offsets.
+            for _ in 0..(rng.next() % 3) {
+                let due = t + rng.next() % 10_000;
+                w.schedule(next_id, 0, due);
+                due_of.insert(next_id, due.max(w.now_tick + 1));
+                next_id += 1;
+            }
+            out.clear();
+            w.advance(t, &mut out);
+            for e in &out {
+                assert_eq!(due_of[&e.idx], t, "entry {} popped at {t}", e.idx);
+                popped += 1;
+            }
+        }
+        assert!(popped > 1_000, "exercised {popped} pops");
+        assert_eq!(w.len() + popped, next_id);
+    }
+
+    #[test]
+    fn wheel_clamps_past_and_far_future() {
+        let mut w = PushCalendar::new();
+        let mut out = Vec::new();
+        w.advance(100, &mut out);
+        assert!(out.is_empty());
+        w.schedule(0, 0, 5); // already past: clamps to now+1
+        w.schedule(1, 0, u64::MAX); // beyond horizon: clamps inside
+        out.clear();
+        w.advance(101, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].idx, 0);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn calendar_generations_invalidate_stale_entries() {
+        let mut c = CalendarState::new(2, SimDuration::from_secs(1), 1.25);
+        // Initial state: both slots due now.
+        let woken = c.take_woken(Timestamp::ZERO);
+        assert_eq!(woken, vec![0, 1]);
+        c.schedule_at(0, 5);
+        c.schedule_at(1, 5);
+        // Slot 1 transitions before its wake: the wheel entry goes stale.
+        c.mark_in_flight(1);
+        let woken = c.take_woken(Timestamp::from_secs(5));
+        assert_eq!(woken, vec![0]);
+        // A woken slot stays Scheduled until the planner transitions it.
+        assert_eq!(c.scheduled_count(), 1);
+        c.mark_in_flight(0);
+        assert_eq!(c.scheduled_count(), 0);
+    }
+
+    #[test]
+    fn heartbeat_wakes_only_parked_waiters() {
+        let src_a = VertexId::new(7);
+        let src_b = VertexId::new(9);
+        let mut c = CalendarState::new(3, SimDuration::from_secs(1), 1.25);
+        c.take_woken(Timestamp::ZERO);
+        c.park_on_src(0, src_a);
+        c.park_on_src(1, src_b);
+        c.schedule_at(2, 1_000);
+        assert_eq!(c.waiting_count(), 2);
+        c.heartbeat_advanced(src_a);
+        let woken = c.take_woken(Timestamp::from_secs(1));
+        assert_eq!(woken, vec![0], "only the slot parked on src_a wakes");
+        // Re-parking under a new generation drops the old registration.
+        c.park_on_src(0, src_b);
+        c.heartbeat_advanced(src_b);
+        let woken = c.take_woken(Timestamp::from_secs(2));
+        assert_eq!(woken, vec![0, 1]);
+    }
+
+    #[test]
+    fn inflation_crossing_wakes_all_scheduled() {
+        let mut c = CalendarState::new(3, SimDuration::from_secs(1), 1.25);
+        c.take_woken(Timestamp::ZERO);
+        c.schedule_at(0, 500);
+        c.schedule_at(1, 900);
+        c.mark_in_flight(2);
+        c.raise_inflation_bound(2.0);
+        assert_eq!(c.inflation_bound, 2.0);
+        let woken = c.take_woken(Timestamp::from_secs(1));
+        assert_eq!(woken, vec![0, 1], "scheduled slots re-project, in-flight does not");
+    }
+}

@@ -17,7 +17,14 @@
 //!    real data movement;
 //! 5. feeds realized push durations back into its time-cost model so the
 //!    critical-path projections track machine load (Figure 14).
+//!
+//! Scheduling itself is event-driven by default: a push calendar (timer
+//! wheel + cached critical paths, see [`calendar`]) makes the per-tick host
+//! cost O(due + invalidated) instead of O(sharings · plan-size). The scan
+//! scheduler stays reachable behind `calendar_scheduling = false` as the
+//! differential baseline; both plan byte-identical batches.
 
+mod calendar;
 pub mod messages;
 pub mod push;
 pub mod seed;
@@ -28,15 +35,17 @@ use crate::plan::cost::{critical_path, Scope};
 use crate::plan::dag::{EdgeOp, VertexKind};
 use crate::plan::timecost::TimeCostModel;
 use crate::sharing::Sharing;
+use calendar::{CalendarState, SharingCache, INFLATION_HEADROOM};
 use messages::{AgentMsg, TOPIC_TO_EXECUTOR};
 use push::JobFaults;
 use smile_sim::pubsub::SubscriberId;
 use smile_sim::{Cluster, EventQueue, PubSub, WaveMeter};
-use smile_telemetry::{Counter, Histogram, SpanKind, SpanRecord, Telemetry};
+use smile_telemetry::{Counter, Gauge, Histogram, SpanKind, SpanRecord, Telemetry};
 use smile_types::{
     MachineId, RelationId, Result, SharingId, SimDuration, SmileError, Timestamp, VertexId,
 };
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Simulated instant as microseconds since time zero — the only clock that
@@ -90,6 +99,13 @@ pub struct ExecConfig {
     /// differential-conformance baseline; results are byte-identical either
     /// way (the wire format does not change).
     pub columnar: bool,
+    /// Event-driven push-calendar scheduling (default): a timer wheel
+    /// tracks each sharing's projected fire tick and a tick evaluates only
+    /// due slots, with cached per-sharing critical paths. `false` scans
+    /// every sharing each tick recomputing critical paths from the full
+    /// plan — the pre-calendar baseline kept for differential conformance;
+    /// both modes plan byte-identical batches.
+    pub calendar_scheduling: bool,
 }
 
 impl Default for ExecConfig {
@@ -106,6 +122,7 @@ impl Default for ExecConfig {
             retry: RetryPolicy::default(),
             workers: default_workers(),
             columnar: true,
+            calendar_scheduling: true,
         }
     }
 }
@@ -183,7 +200,9 @@ pub struct ExecFaultStats {
 }
 
 /// A push attempt scheduled for re-execution after a transient fault.
-#[derive(Clone, Copy, Debug)]
+/// Field order doubles as the min-heap key: `(due, idx)` first, so draining
+/// in heap order matches the old sorted-scan order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct PendingRetry {
     /// When the retry fires.
     due: Timestamp,
@@ -296,6 +315,50 @@ enum ExecEvent {
     },
 }
 
+/// Outcome of evaluating one sharing for a push at the current tick. The
+/// scan scheduler only acts on `Fire`/`Deferred`; the calendar scheduler
+/// maps every other variant to the event that will next make the outcome
+/// change, so it can sleep until then.
+enum Consider {
+    /// Push now, to `target`.
+    Fire { target: Timestamp },
+    /// A source has no heartbeat yet; changes when `src` first beats.
+    NoHeartbeat { src: VertexId },
+    /// `MINTS(SRC) ≤ TS(MV)` — nothing to move; changes when the minimum
+    /// source heartbeat (`src`) advances.
+    NoWindow { src: VertexId },
+    /// The lazy projection has not reached `l·SLA`; time-driven.
+    Lazy,
+    /// The skew clamp `min(MINTS(SRC), now)` emptied the window; resolves
+    /// as `now` advances, so re-evaluate next tick.
+    SkewClamped,
+    /// A machine the push needs is down; re-evaluate (and re-count) next
+    /// tick, exactly like the scan scheduler does.
+    Deferred,
+}
+
+/// Copy-on-write shadow of `data_ts` for one planning pass: requests
+/// advance shared vertices here as they are planned, so later requests in
+/// the same batch see their effect — without cloning the full per-vertex
+/// timestamp vector every tick.
+#[derive(Default)]
+struct PlanTs {
+    overlay: HashMap<usize, Timestamp>,
+}
+
+impl PlanTs {
+    fn get(&self, base: &[Timestamp], v: VertexId) -> Timestamp {
+        self.overlay
+            .get(&v.index())
+            .copied()
+            .unwrap_or(base[v.index()])
+    }
+
+    fn set(&mut self, v: VertexId, ts: Timestamp) {
+        self.overlay.insert(v.index(), ts);
+    }
+}
+
 /// The sharing executor.
 pub struct Executor {
     /// The merged global plan being executed.
@@ -310,13 +373,17 @@ pub struct Executor {
     /// Last heartbeat-reported timestamp per base vertex.
     heartbeats: HashMap<VertexId, Timestamp>,
     sharings: Vec<SharingRt>,
+    /// Live (non-retired) sharing id → slot index, so the per-id accessors
+    /// the snapshot auditor hits every period stay O(1) at 100k sharings.
+    by_id: HashMap<SharingId, usize>,
     events: EventQueue<ExecEvent>,
     bus: PubSub<AgentMsg>,
     exec_sub: SubscriberId,
     last_heartbeat: Option<Timestamp>,
     last_compaction: Timestamp,
-    /// Transiently-failed pushes awaiting their backoff.
-    pending_retries: Vec<PendingRetry>,
+    /// Transiently-failed pushes awaiting their backoff, min-heap keyed
+    /// `(due, idx)`.
+    pending_retries: BinaryHeap<Reverse<PendingRetry>>,
     /// Fault-recovery statistics.
     pub fault_stats: ExecFaultStats,
     /// Total tuples moved across all edges (snapshot-module metric).
@@ -339,11 +406,39 @@ pub struct Executor {
     /// Per join edge id: the sibling half-join's output vertex, whose
     /// coverage anchors this join's snapshot (consistency under skew).
     anchor_of: HashMap<usize, VertexId>,
+    /// Per-vertex position in one canonical topological order of the
+    /// merged plan, shared by every per-sharing build and the wave
+    /// assignment pass (rebuilt on live submit).
+    topo_rank: Vec<u32>,
+    /// Per-sharing scheduling caches (compact critical-path evaluator,
+    /// machine set), parallel to `sharings`.
+    caches: Vec<SharingCache>,
+    /// Base Relation vertices that heartbeat each round, in plan order
+    /// (the publish order the per-vertex scan produced).
+    base_beats: Vec<(MachineId, VertexId)>,
+    /// Push-calendar scheduler state; `None` runs the scan baseline.
+    cal: Option<CalendarState>,
+    /// Host wall-clock per tick spent in the scheduling phase (drain +
+    /// heartbeats + planning), µs. `host_` marks it excluded from
+    /// cross-mode conformance.
+    hist_sched_us: Arc<Histogram>,
+    /// The same per-tick scheduling latencies as a raw log, for benches
+    /// that window percentiles past warmup (host-side only).
+    pub sched_host_us: Vec<u64>,
+    ctr_cal_wakes: Arc<Counter>,
+    ctr_cal_early: Arc<Counter>,
+    gauge_cal_scheduled: Arc<Gauge>,
+    gauge_cal_waiting: Arc<Gauge>,
+    gauge_cal_wheel: Arc<Gauge>,
 }
 
 impl Executor {
-    fn build_rt(global: &GlobalPlan, s: &Sharing, telemetry: &Telemetry) -> Result<SharingRt> {
-        let topo = global.plan.topo_order()?;
+    fn build_rt(
+        global: &GlobalPlan,
+        s: &Sharing,
+        telemetry: &Telemetry,
+        topo_rank: &[u32],
+    ) -> Result<SharingRt> {
         let mv = global.mv_vertex(s.id)?;
         let (anc, _) = global.plan.ancestors(mv);
         // `SRC(S_i)`: the base *relations* feeding the sharing. A plan may
@@ -376,11 +471,17 @@ impl Executor {
                 s.id
             )));
         }
-        let order: Vec<VertexId> = topo
+        // Sorting the subgraph members by their rank in the shared
+        // canonical topo order yields exactly the filtered-topo order the
+        // old per-sharing full sweep produced, at O(sub log sub).
+        let mut order: Vec<VertexId> = anc
             .iter()
             .copied()
-            .filter(|&v| (anc.contains(&v) || v == mv) && !global.plan.vertex(v).is_base)
+            .chain(std::iter::once(mv))
+            .filter(|&v| !global.plan.vertex(v).is_base)
             .collect();
+        order.sort_unstable_by_key(|v| topo_rank[v.index()]);
+        order.dedup();
         let sid = s.id.0;
         Ok(SharingRt {
             id: s.id,
@@ -413,10 +514,21 @@ impl Executor {
         config: ExecConfig,
         telemetry: Arc<Telemetry>,
     ) -> Result<Self> {
+        let topo_rank = Self::rank_of(&global)?;
         let mut rts = Vec::with_capacity(sharings.len());
         for s in sharings {
-            rts.push(Self::build_rt(&global, s, &telemetry)?);
+            rts.push(Self::build_rt(&global, s, &telemetry, &topo_rank)?);
         }
+        let by_id: HashMap<SharingId, usize> =
+            rts.iter().enumerate().map(|(i, rt)| (rt.id, i)).collect();
+        let caches: Vec<SharingCache> = rts
+            .iter()
+            .map(|rt| SharingCache::build(&global.plan, rt.id, &rt.order, &rt.srcs, &model))
+            .collect();
+        let base_beats = global.base_relation_vertices();
+        let cal = config
+            .calendar_scheduling
+            .then(|| CalendarState::new(rts.len(), config.tick, model.inflation() * INFLATION_HEADROOM));
         let n = global.plan.vertex_count();
         let mut bus = PubSub::new(config.command_latency);
         let exec_sub = bus.subscribe(TOPIC_TO_EXECUTOR);
@@ -427,6 +539,16 @@ impl Executor {
             reg.counter("wave.jobs"),
             reg.counter("wave.host_busy_nanos"),
         );
+        let hist_sched_us = reg.histogram("sched.host_tick_us");
+        let (ctr_cal_wakes, ctr_cal_early) = (
+            reg.counter("sched.calendar.host_wakes"),
+            reg.counter("sched.calendar.host_early_wakes"),
+        );
+        let (gauge_cal_scheduled, gauge_cal_waiting, gauge_cal_wheel) = (
+            reg.gauge("sched.calendar.host_scheduled"),
+            reg.gauge("sched.calendar.host_waiting"),
+            reg.gauge("sched.calendar.host_wheel_len"),
+        );
         Ok(Self {
             global,
             model,
@@ -435,12 +557,13 @@ impl Executor {
             visible_ts: vec![Timestamp::ZERO; n],
             heartbeats: HashMap::new(),
             sharings: rts,
+            by_id,
             events: EventQueue::new(),
             bus,
             exec_sub,
             last_heartbeat: None,
             last_compaction: Timestamp::ZERO,
-            pending_retries: Vec::new(),
+            pending_retries: BinaryHeap::new(),
             fault_stats: ExecFaultStats::default(),
             tuples_moved: 0,
             tuples_per_sharing: HashMap::new(),
@@ -451,7 +574,28 @@ impl Executor {
             ctr_jobs,
             ctr_busy_nanos,
             anchor_of,
+            topo_rank,
+            caches,
+            base_beats,
+            cal,
+            hist_sched_us,
+            sched_host_us: Vec::new(),
+            ctr_cal_wakes,
+            ctr_cal_early,
+            gauge_cal_scheduled,
+            gauge_cal_waiting,
+            gauge_cal_wheel,
         })
+    }
+
+    /// One canonical topological rank per vertex of the merged plan.
+    fn rank_of(global: &GlobalPlan) -> Result<Vec<u32>> {
+        let topo = global.plan.topo_order()?;
+        let mut rank = vec![0u32; global.plan.vertex_count()];
+        for (i, v) in topo.iter().enumerate() {
+            rank[v.index()] = i as u32;
+        }
+        Ok(rank)
     }
 
     /// Host-side profile of the wave engine, assembled on demand: scalar
@@ -495,8 +639,25 @@ impl Executor {
         let after = self.global.plan.vertex_count();
         self.data_ts.resize(after, Timestamp::ZERO);
         self.visible_ts.resize(after, Timestamp::ZERO);
-        let rt = Self::build_rt(&self.global, sharing, &self.telemetry)?;
+        // Merging only *adds* vertices/edges (dedup reuses existing ones
+        // untouched), so existing per-sharing caches stay valid; only the
+        // shared rank vector and heartbeat list must account for the new
+        // vertices.
+        self.topo_rank = Self::rank_of(&self.global)?;
+        let rt = Self::build_rt(&self.global, sharing, &self.telemetry, &self.topo_rank)?;
+        self.caches.push(SharingCache::build(
+            &self.global.plan,
+            rt.id,
+            &rt.order,
+            &rt.srcs,
+            &self.model,
+        ));
+        self.by_id.insert(rt.id, self.sharings.len());
         self.sharings.push(rt);
+        self.base_beats = self.global.base_relation_vertices();
+        if let Some(cal) = &mut self.cal {
+            cal.add_slot();
+        }
         self.anchor_of = self.global.plan.half_join_anchors();
         Ok((before..after).map(|i| VertexId::new(i as u32)).collect())
     }
@@ -518,12 +679,12 @@ impl Executor {
     /// to drop. The inert plan vertices themselves remain until the next
     /// full install — they cost nothing at run time.
     pub fn remove_sharing(&mut self, id: SharingId) -> Result<Vec<(MachineId, RelationId)>> {
-        let rt = self
-            .sharings
-            .iter_mut()
-            .find(|r| r.id == id && !r.retired)
-            .ok_or(SmileError::UnknownSharing(id))?;
-        rt.retired = true;
+        // `by_id` indexes only live sharings, so a hit is never a tombstone.
+        let idx = self.by_id.remove(&id).ok_or(SmileError::UnknownSharing(id))?;
+        self.sharings[idx].retired = true;
+        if let Some(cal) = &mut self.cal {
+            cal.retire(idx);
+        }
         if self.global.indexed_shr {
             self.global.strip_sharing(id);
         } else {
@@ -552,9 +713,9 @@ impl Executor {
     /// `now`, so staleness is `now − TS(MV)`.
     pub fn staleness(&self, id: SharingId, now: Timestamp) -> Result<SimDuration> {
         let rt = self
-            .sharings
-            .iter()
-            .find(|r| r.id == id)
+            .by_id
+            .get(&id)
+            .map(|&i| &self.sharings[i])
             .ok_or(SmileError::UnknownSharing(id))?;
         Ok(now - self.visible_ts[rt.mv.index()])
     }
@@ -562,16 +723,16 @@ impl Executor {
     /// Committed MV timestamp of a sharing.
     pub fn mv_ts(&self, id: SharingId) -> Result<Timestamp> {
         let rt = self
-            .sharings
-            .iter()
-            .find(|r| r.id == id)
+            .by_id
+            .get(&id)
+            .map(|&i| &self.sharings[i])
             .ok_or(SmileError::UnknownSharing(id))?;
         Ok(self.visible_ts[rt.mv.index()])
     }
 
     /// The executor's view of a sharing's SLA.
     pub fn sla(&self, id: SharingId) -> Option<SimDuration> {
-        self.sharings.iter().find(|r| r.id == id).map(|r| r.sla)
+        self.by_id.get(&id).map(|&i| self.sharings[i].sla)
     }
 
     /// One scheduler tick at simulated time `now`: drain message/event
@@ -579,10 +740,22 @@ impl Executor {
     /// newly triggered pushes) into one batch of edge jobs, then execute the
     /// batch wave by wave on the worker pool.
     pub fn tick(&mut self, cluster: &mut Cluster, now: Timestamp) -> Result<()> {
+        // Host wall-clock over the scheduling phase only (drain + heartbeats
+        // + planning) — the cost the calendar makes O(due + invalidated).
+        // Execution cost is proportional to planned work either way.
+        let sched_start = std::time::Instant::now();
         self.drain_events(now);
         self.heartbeat_round(cluster, now);
         self.poll_bus(now);
         let (requests, jobs) = self.plan_batch(cluster, now)?;
+        let sched_us = sched_start.elapsed().as_micros() as u64;
+        self.hist_sched_us.record(sched_us);
+        self.sched_host_us.push(sched_us);
+        if let Some(cal) = &self.cal {
+            self.gauge_cal_scheduled.set(cal.scheduled_count() as f64);
+            self.gauge_cal_waiting.set(cal.waiting_count() as f64);
+            self.gauge_cal_wheel.set(cal.wheel_len() as f64);
+        }
         self.execute_batch(cluster, now, &requests, &jobs)?;
         if now - self.last_compaction >= self.config.compaction_period {
             self.compact(cluster, now)?;
@@ -597,18 +770,18 @@ impl Executor {
     /// would only be thrown away by batch dedup. Dropped duplicates are
     /// counted in [`ExecFaultStats::retries_coalesced`].
     fn collect_due_retries(&mut self, now: Timestamp) -> Vec<(usize, Timestamp, u32)> {
-        let mut due: Vec<PendingRetry> = Vec::new();
-        self.pending_retries.retain(|r| {
-            if r.due <= now {
-                due.push(*r);
-                false
-            } else {
-                true
-            }
-        });
-        due.sort_by_key(|r| (r.due, r.idx));
+        // Early return without allocating on the overwhelmingly common
+        // no-retries-due tick.
+        match self.pending_retries.peek() {
+            Some(r) if r.0.due <= now => {}
+            _ => return Vec::new(),
+        }
         let mut out: Vec<(usize, Timestamp, u32)> = Vec::new();
-        for r in due {
+        while let Some(&Reverse(r)) = self.pending_retries.peek() {
+            if r.due > now {
+                break;
+            }
+            self.pending_retries.pop();
             if let Some(e) = out.iter_mut().find(|e| e.0 == r.idx) {
                 e.1 = e.1.max(r.target);
                 e.2 = e.2.max(r.attempt);
@@ -639,6 +812,12 @@ impl Executor {
                     tuples,
                 } => {
                     self.sharings[idx].in_flight = false;
+                    // The scan scheduler would see `in_flight = false` on
+                    // this very tick (events drain before planning), so the
+                    // calendar must re-evaluate the slot now too.
+                    if let Some(cal) = &mut self.cal {
+                        cal.wake_now(idx);
+                    }
                     let actual = at - issued;
                     if self.config.feedback {
                         self.model.observe(predicted, actual);
@@ -685,13 +864,7 @@ impl Executor {
             return;
         }
         self.last_heartbeat = Some(now);
-        let mut beats = Vec::new();
-        for v in self.global.plan.vertices() {
-            if v.is_base && v.kind == VertexKind::Relation {
-                beats.push((v.machine, v.id));
-            }
-        }
-        for (machine, vertex) in beats {
+        for &(machine, vertex) in &self.base_beats {
             if cluster.faults.machine_down(machine, now) {
                 continue;
             }
@@ -714,27 +887,52 @@ impl Executor {
     fn poll_bus(&mut self, now: Timestamp) {
         for msg in self.bus.poll(self.exec_sub, now) {
             if let AgentMsg::Heartbeat { vertex, ts, .. } = msg {
-                let e = self.heartbeats.entry(vertex).or_insert(ts);
-                if ts > *e {
-                    *e = ts;
+                let advanced = match self.heartbeats.entry(vertex) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(ts);
+                        true
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        if ts > *e.get() {
+                            e.insert(ts);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                // A source advancing is exactly what unblocks a sharing
+                // parked on NoHeartbeat/NoWindow. Waking here, before
+                // `plan_batch` runs, means the calendar fires on the same
+                // tick the scan scheduler would first see the new minimum.
+                if advanced {
+                    if let Some(cal) = &mut self.cal {
+                        cal.heartbeat_advanced(vertex);
+                    }
                 }
             }
         }
     }
 
-    /// `MINTS(SRC(S_i))` / `MAXTS(SRC(S_i))` from the heartbeat cache.
-    fn src_ts_range(&self, rt: &SharingRt) -> Option<(Timestamp, Timestamp)> {
-        if rt.srcs.is_empty() {
-            return None;
+    /// `MINTS(SRC(S_i))` from the heartbeat cache, with its argmin source
+    /// (the first minimal vertex in `srcs` order — the vertex whose next
+    /// heartbeat advance can change the scheduling outcome). `Err(src)`
+    /// names the first source with no heartbeat yet.
+    fn src_min(&self, rt: &SharingRt) -> std::result::Result<(Timestamp, VertexId), VertexId> {
+        let mut min: Option<(Timestamp, VertexId)> = None;
+        for &v in &rt.srcs {
+            let Some(&ts) = self.heartbeats.get(&v) else {
+                return Err(v);
+            };
+            let better = match min {
+                Some((m, _)) => ts < m,
+                None => true,
+            };
+            if better {
+                min = Some((ts, v));
+            }
         }
-        let mut min = Timestamp::MAX;
-        let mut max = Timestamp::ZERO;
-        for v in &rt.srcs {
-            let ts = *self.heartbeats.get(v)?;
-            min = min.min(ts);
-            max = max.max(ts);
-        }
-        Some((min, max))
+        min.ok_or(rt.mv) // srcs is never empty (checked at build)
     }
 
     /// Plans everything that should fire this tick — due retries first,
@@ -742,11 +940,17 @@ impl Executor {
     /// (one per sharing push) and the edge jobs that realize them, each job
     /// tagged with its dependencies and topological wave.
     ///
-    /// Planning runs against `plan_ts`, a shadow of `data_ts` advanced as
-    /// each request is planned, so a request sees exactly the vertex state
-    /// the serial scheduler would have seen after executing its
-    /// predecessors: a shared vertex an earlier request already covers is
-    /// not re-planned, only depended upon.
+    /// Planning runs against `plan_ts`, a copy-on-write shadow of `data_ts`
+    /// advanced as each request is planned, so a request sees exactly the
+    /// vertex state the serial scheduler would have seen after executing
+    /// its predecessors: a shared vertex an earlier request already covers
+    /// is not re-planned, only depended upon.
+    ///
+    /// Candidates come from the push calendar (only slots whose projected
+    /// fire tick arrived or that an event re-enqueued — O(due)) or, with
+    /// `calendar_scheduling = false`, from the full scan. Both paths run
+    /// the same guard chain ([`Executor::consider`]) in ascending slot
+    /// order, so they plan byte-identical batches.
     fn plan_batch(
         &mut self,
         cluster: &mut Cluster,
@@ -754,9 +958,9 @@ impl Executor {
     ) -> Result<(Vec<BatchRequest>, Vec<BatchJob>)> {
         let mut requests: Vec<BatchRequest> = Vec::new();
         let mut jobs: Vec<BatchJob> = Vec::new();
-        let mut plan_ts = self.data_ts.clone();
+        let mut plan_ts = PlanTs::default();
         let mut last_job_on: HashMap<VertexId, usize> = HashMap::new();
-        let mut busy: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut busy: HashSet<usize> = HashSet::new();
 
         for (idx, target, attempt) in self.collect_due_retries(now) {
             busy.insert(idx);
@@ -772,61 +976,21 @@ impl Executor {
             )?;
         }
 
-        for idx in 0..self.sharings.len() {
-            let rt = self.sharings[idx].clone();
-            if rt.in_flight || rt.retired || busy.contains(&idx) {
-                continue;
-            }
-            let Some((min_src, _max_src)) = self.src_ts_range(&rt) else {
-                continue; // no heartbeats yet
-            };
-            let mv_data_ts = plan_ts[rt.mv.index()];
-            if min_src <= mv_data_ts {
-                continue; // nothing new to move
-            }
-            let window_secs = (min_src - mv_data_ts).as_secs_f64();
-            let cp = critical_path(
-                &self.global.plan,
-                Scope::Sharing(rt.id),
-                window_secs,
-                &self.model,
-            );
-            let staleness_now = now - self.visible_ts[rt.mv.index()];
-            if self.config.lazy {
-                // Wait as long as possible: fire only when finishing a push
-                // started one tick later would land at l·SLA or beyond.
-                let projected = staleness_now + cp + self.config.tick;
-                if projected < rt.sla.mul_f64(self.config.l_factor) {
-                    continue;
-                }
-            }
-            // Clamp the target to local time: a skewed machine clock can
-            // heartbeat a timestamp *ahead* of true time, and pushing past
-            // `now` would permanently skip entries that arrive inside the
-            // already-consumed window.
-            let min_src = min_src.min(now);
-            if min_src <= mv_data_ts {
-                continue;
-            }
-            // Crash-aware re-planning: a push that needs a down machine is
-            // deferred to a later tick instead of being fired into a
-            // guaranteed timeout (the staleness it accrues meanwhile is
-            // real and shows up in the snapshot audit).
-            let needs_down_machine = rt
-                .order
-                .iter()
-                .chain(rt.srcs.iter())
-                .any(|&v| cluster.faults.machine_down(self.global.plan.vertex(v).machine, now));
-            if needs_down_machine {
-                self.fault_stats.pushes_deferred += 1;
-                continue;
-            }
-            let target = self.choose_target(&rt, mv_data_ts, min_src, now);
-            self.push_request(
-                idx,
-                target,
-                1,
+        if self.cal.is_some() {
+            self.plan_calendar(
+                cluster,
                 now,
+                &busy,
+                &mut plan_ts,
+                &mut last_job_on,
+                &mut requests,
+                &mut jobs,
+            )?;
+        } else {
+            self.plan_scan(
+                cluster,
+                now,
+                &busy,
                 &mut plan_ts,
                 &mut last_job_on,
                 &mut requests,
@@ -840,14 +1004,9 @@ impl Executor {
         // ascending pass settles everything).
         if !jobs.is_empty() {
             let mut subset: Vec<VertexId> = jobs.iter().map(|j| j.vertex).collect();
-            subset.sort();
+            subset.sort_unstable_by_key(|v| self.topo_rank[v.index()]);
             subset.dedup();
-            let mut vwave: HashMap<VertexId, usize> = HashMap::new();
-            for (w, wave) in self.global.plan.wavefronts(&subset)?.into_iter().enumerate() {
-                for v in wave {
-                    vwave.insert(v, w);
-                }
-            }
+            let vwave = self.wavefronts_of(&subset);
             for jid in 0..jobs.len() {
                 let mut w = vwave.get(&jobs[jid].vertex).copied().unwrap_or(0);
                 for &d in &jobs[jid].deps {
@@ -859,6 +1018,258 @@ impl Executor {
         Ok((requests, jobs))
     }
 
+    /// The pre-calendar baseline scheduler: evaluate every live sharing,
+    /// every tick, in slot order. Kept reachable for differential
+    /// conformance and as the bench's scan arm.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_scan(
+        &mut self,
+        cluster: &mut Cluster,
+        now: Timestamp,
+        busy: &HashSet<usize>,
+        plan_ts: &mut PlanTs,
+        last_job_on: &mut HashMap<VertexId, usize>,
+        requests: &mut Vec<BatchRequest>,
+        jobs: &mut Vec<BatchJob>,
+    ) -> Result<()> {
+        for idx in 0..self.sharings.len() {
+            {
+                let rt = &self.sharings[idx];
+                if rt.in_flight || rt.retired || busy.contains(&idx) {
+                    continue;
+                }
+            }
+            match self.consider(idx, cluster, now, plan_ts) {
+                Consider::Fire { target } => {
+                    self.push_request(idx, target, 1, now, plan_ts, last_job_on, requests, jobs)?;
+                }
+                Consider::Deferred => self.fault_stats.pushes_deferred += 1,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The event-driven scheduler: evaluate only the slots the calendar
+    /// woke this tick. Every wake is conservative — never later than the
+    /// tick the scan scheduler would fire on — and an early wake is
+    /// side-effect-free (the guard chain says `Lazy` and the slot goes
+    /// back to sleep), so evaluating the woken set in ascending slot order
+    /// plans exactly the batch the scan would have.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_calendar(
+        &mut self,
+        cluster: &mut Cluster,
+        now: Timestamp,
+        busy: &HashSet<usize>,
+        plan_ts: &mut PlanTs,
+        last_job_on: &mut HashMap<VertexId, usize>,
+        requests: &mut Vec<BatchRequest>,
+        jobs: &mut Vec<BatchJob>,
+    ) -> Result<()> {
+        // Wake projections assume the model's inflation factor stays below
+        // the calendar's ratcheted bound. When feedback pushes it past, all
+        // scheduled slots' bounds are void: re-derive them. Rare — the
+        // bound ratchets ×1.25 inside the model's [1, 50] clamp, so this
+        // fires O(log_1.25 50) times over a run, not per tick.
+        let inflation = self.model.inflation();
+        {
+            let cal = self.cal.as_mut().expect("plan_calendar without calendar");
+            if inflation > cal.inflation_bound {
+                cal.raise_inflation_bound(inflation * INFLATION_HEADROOM);
+            }
+        }
+        let skew_bound = cluster.clock.skew_bound();
+        let woken = self
+            .cal
+            .as_mut()
+            .expect("plan_calendar without calendar")
+            .take_woken(now);
+        self.ctr_cal_wakes.add(woken.len() as u64);
+        for idx in woken {
+            if self.sharings[idx].retired {
+                self.cal.as_mut().expect("calendar").retire(idx);
+                continue;
+            }
+            if self.sharings[idx].in_flight || busy.contains(&idx) {
+                // A push (or a just-fired retry) owns this slot; its
+                // completion/retry/abandon event re-wakes it.
+                self.cal.as_mut().expect("calendar").mark_in_flight(idx);
+                continue;
+            }
+            match self.consider(idx, cluster, now, plan_ts) {
+                Consider::Fire { target } => {
+                    self.push_request(idx, target, 1, now, plan_ts, last_job_on, requests, jobs)?;
+                    self.cal.as_mut().expect("calendar").mark_in_flight(idx);
+                }
+                Consider::Lazy => {
+                    self.ctr_cal_early.inc();
+                    let due = self.project_wake_tick(idx, now, skew_bound);
+                    self.cal.as_mut().expect("calendar").schedule_at(idx, due);
+                }
+                Consider::NoHeartbeat { src } | Consider::NoWindow { src } => {
+                    self.cal.as_mut().expect("calendar").park_on_src(idx, src);
+                }
+                Consider::SkewClamped => {
+                    let cal = self.cal.as_mut().expect("calendar");
+                    let next = cal.tick_of(now) + 1;
+                    cal.schedule_at(idx, next);
+                }
+                Consider::Deferred => {
+                    // The scan scheduler re-counts a deferral on every tick
+                    // the machine stays down; match it exactly.
+                    self.fault_stats.pushes_deferred += 1;
+                    let cal = self.cal.as_mut().expect("calendar");
+                    let next = cal.tick_of(now) + 1;
+                    cal.schedule_at(idx, next);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates sharing `idx` for a push at `now` against the batch's
+    /// `plan_ts` shadow — the single guard chain both schedulers share.
+    /// The order of guards reproduces the original scan loop exactly.
+    fn consider(
+        &self,
+        idx: usize,
+        cluster: &mut Cluster,
+        now: Timestamp,
+        plan_ts: &PlanTs,
+    ) -> Consider {
+        let rt = &self.sharings[idx];
+        let (min_src, min_vertex) = match self.src_min(rt) {
+            Ok(m) => m,
+            Err(src) => return Consider::NoHeartbeat { src }, // no heartbeats yet
+        };
+        let mv_data_ts = plan_ts.get(&self.data_ts, rt.mv);
+        if min_src <= mv_data_ts {
+            return Consider::NoWindow { src: min_vertex }; // nothing new to move
+        }
+        let window_secs = (min_src - mv_data_ts).as_secs_f64();
+        let cp = self.cp_for(idx, window_secs);
+        let staleness_now = now - self.visible_ts[rt.mv.index()];
+        if self.config.lazy {
+            // Wait as long as possible: fire only when finishing a push
+            // started one tick later would land at l·SLA or beyond.
+            let projected = staleness_now + cp + self.config.tick;
+            if projected < rt.sla.mul_f64(self.config.l_factor) {
+                return Consider::Lazy;
+            }
+        }
+        // Clamp the target to local time: a skewed machine clock can
+        // heartbeat a timestamp *ahead* of true time, and pushing past
+        // `now` would permanently skip entries that arrive inside the
+        // already-consumed window.
+        let min_src = min_src.min(now);
+        if min_src <= mv_data_ts {
+            return Consider::SkewClamped;
+        }
+        // Crash-aware re-planning: a push that needs a down machine is
+        // deferred to a later tick instead of being fired into a
+        // guaranteed timeout (the staleness it accrues meanwhile is real
+        // and shows up in the snapshot audit).
+        if self.needs_down_machine(idx, cluster, now) {
+            return Consider::Deferred;
+        }
+        Consider::Fire {
+            target: self.choose_target(idx, mv_data_ts, min_src, now),
+        }
+    }
+
+    /// Critical path of sharing `idx` over a window of `x_secs`: the cached
+    /// compact evaluator under the calendar scheduler, the full plan walk
+    /// under the scan baseline. Both issue the identical `edge_estimate`
+    /// call sequence over the sharing's in-scope edges, so the results are
+    /// byte-equal — the cache only skips re-walking (and re-toposorting)
+    /// the whole merged plan.
+    fn cp_for(&self, idx: usize, x_secs: f64) -> SimDuration {
+        if self.cal.is_some() {
+            self.caches[idx].cp.eval(x_secs, &self.model)
+        } else {
+            critical_path(
+                &self.global.plan,
+                Scope::Sharing(self.sharings[idx].id),
+                x_secs,
+                &self.model,
+            )
+        }
+    }
+
+    /// Whether any machine hosting the sharing's subgraph or sources is
+    /// currently down — over the machine set cached at plan install.
+    /// `machine_down` is schedule-driven and idempotent, so probing the
+    /// deduplicated set gives the same answer as the old per-vertex walk
+    /// without touching the fault draw streams.
+    fn needs_down_machine(&self, idx: usize, cluster: &mut Cluster, now: Timestamp) -> bool {
+        self.caches[idx]
+            .machines
+            .iter()
+            .any(|&m| cluster.faults.machine_down(m, now))
+    }
+
+    /// First tick at which the lazy guard could pass for idle sharing
+    /// `idx`. Conservative by construction: staleness grows at 1 s/s
+    /// (`visible_ts` only advances), the window upper bound grows at
+    /// ≤ 1 s/s (heartbeats lead true time by at most `skew_bound`, and the
+    /// committed `data_ts` only advances), and the critical path is bounded
+    /// by the cached affine majorant scaled by the calendar's inflation
+    /// bound. So the projection grows at ≤ `1 + Ib·slope` per second, and
+    /// sleeping until it could first reach `l·SLA` — minus one tick of
+    /// margin for µs rounding — can never skip past the scan scheduler's
+    /// fire tick. An early wake just re-evaluates and goes back to sleep.
+    fn project_wake_tick(&self, idx: usize, now: Timestamp, skew_bound: SimDuration) -> u64 {
+        let cal = self.cal.as_ref().expect("calendar");
+        let rt = &self.sharings[idx];
+        let cp = &self.caches[idx].cp;
+        let tick_secs = self.config.tick.as_secs_f64();
+        let l_sla = rt.sla.mul_f64(self.config.l_factor).as_secs_f64();
+        let staleness = (now - self.visible_ts[rt.mv.index()]).as_secs_f64();
+        // Window bound from the *committed* data_ts, not the plan shadow: a
+        // same-tick overlay entry can be rolled back by a failed push, so
+        // the bound must not assume it.
+        let w0 = ((now + skew_bound) - self.data_ts[rt.mv.index()]).as_secs_f64();
+        let ib = cal.inflation_bound;
+        let projected0 = staleness + tick_secs + ib * (cp.const_secs + cp.slope_per_sec * w0);
+        let gap = l_sla - projected0;
+        if gap <= 0.0 {
+            return cal.tick_of(now) + 1;
+        }
+        let denom = 1.0 + ib * cp.slope_per_sec;
+        let dt_ticks = ((gap / denom) / tick_secs).floor() - 1.0;
+        let dt = if dt_ticks >= 1.0 {
+            // Clamp before the u64 cast; the wheel clamps to its horizon
+            // anyway.
+            dt_ticks.min(1e18) as u64
+        } else {
+            1
+        };
+        cal.tick_of(now) + dt
+    }
+
+    /// Vertex → wavefront index over `subset` (must be topologically
+    /// sorted, which `topo_rank` order guarantees): a vertex's wave is one
+    /// past the maximum wave of its in-subset producer inputs. Same
+    /// recurrence as `PlanDag::wavefronts`, minus the per-call topo sort of
+    /// the whole plan and the grouping the caller never used.
+    fn wavefronts_of(&self, subset: &[VertexId]) -> HashMap<VertexId, usize> {
+        let mut wave_of: HashMap<VertexId, usize> = HashMap::with_capacity(subset.len());
+        for &v in subset {
+            let w = match self.global.plan.producer(v) {
+                Some(e) => e
+                    .inputs
+                    .iter()
+                    .filter_map(|i| wave_of.get(i).map(|w| w + 1))
+                    .max()
+                    .unwrap_or(0),
+                None => 0,
+            };
+            wave_of.insert(v, w);
+        }
+        wave_of
+    }
+
     /// Plans one push request (sharing `idx` advancing to `target`) into
     /// edge jobs appended to the batch.
     #[allow(clippy::too_many_arguments)]
@@ -868,20 +1279,15 @@ impl Executor {
         target: Timestamp,
         attempt: u32,
         now: Timestamp,
-        plan_ts: &mut [Timestamp],
+        plan_ts: &mut PlanTs,
         last_job_on: &mut HashMap<VertexId, usize>,
         requests: &mut Vec<BatchRequest>,
         jobs: &mut Vec<BatchJob>,
     ) -> Result<()> {
         let rt = &self.sharings[idx];
         let staleness_before = now - self.visible_ts[rt.mv.index()];
-        let window_secs = (target - plan_ts[rt.mv.index()]).as_secs_f64();
-        let predicted = critical_path(
-            &self.global.plan,
-            Scope::Sharing(rt.id),
-            window_secs,
-            &self.model,
-        );
+        let window_secs = (target - plan_ts.get(&self.data_ts, rt.mv)).as_secs_f64();
+        let predicted = self.cp_for(idx, window_secs);
         let req = requests.len();
         requests.push(BatchRequest {
             idx,
@@ -893,7 +1299,7 @@ impl Executor {
             sharing: rt.id,
         });
         for &v in &rt.order {
-            if plan_ts[v.index()] >= target {
+            if plan_ts.get(&self.data_ts, v) >= target {
                 // Another request (this batch or an earlier tick) already
                 // advances this shared vertex far enough; depend on its job
                 // if it is in this batch, plan nothing.
@@ -933,13 +1339,13 @@ impl Executor {
             jobs.push(BatchJob {
                 vertex: v,
                 edge: edge.id,
-                from: plan_ts[v.index()],
+                from: plan_ts.get(&self.data_ts, v),
                 to: target,
                 req,
                 deps,
                 wave: 0,
             });
-            plan_ts[v.index()] = target;
+            plan_ts.set(v, target);
             last_job_on.insert(v, jid);
         }
         Ok(())
@@ -950,14 +1356,15 @@ impl Executor {
     /// SLA; falls back to `MINTS(SRC)` (best effort) when none does.
     fn choose_target(
         &self,
-        rt: &SharingRt,
+        idx: usize,
         mv_ts: Timestamp,
         min_src: Timestamp,
         now: Timestamp,
     ) -> Timestamp {
+        let rt = &self.sharings[idx];
         let projected = |t: Timestamp| -> SimDuration {
             let x = (t - mv_ts).as_secs_f64();
-            let cp = critical_path(&self.global.plan, Scope::Sharing(rt.id), x, &self.model);
+            let cp = self.cp_for(idx, x);
             // Completion at now + cp; sources will have advanced there too.
             (now + cp) - t
         };
@@ -1238,18 +1645,25 @@ impl Executor {
                 if req.attempt >= self.config.retry.max_attempts {
                     self.fault_stats.pushes_abandoned += 1;
                     self.sharings[req.idx].in_flight = false;
+                    // The slot left the wheel when its push fired; hand it
+                    // back to the scheduler at the next tick — the first
+                    // tick the scan baseline would re-evaluate it too.
+                    if let Some(cal) = &mut self.cal {
+                        let next = cal.tick_of(now) + 1;
+                        cal.schedule_at(req.idx, next);
+                    }
                     if let Some(ts_id) = tick_span {
                         self.record_retry_span(ts_id, req, now, now, "abandoned");
                     }
                 } else {
                     self.fault_stats.pushes_retried += 1;
                     let due = now + self.config.retry.delay_after(req.attempt);
-                    self.pending_retries.push(PendingRetry {
+                    self.pending_retries.push(Reverse(PendingRetry {
                         due,
                         idx: req.idx,
                         target: req.target,
                         attempt: req.attempt + 1,
-                    });
+                    }));
                     self.sharings[req.idx].in_flight = true;
                     if let Some(ts_id) = tick_span {
                         self.record_retry_span(ts_id, req, now, due, "scheduled");
@@ -1462,10 +1876,9 @@ impl Executor {
 
     /// Whether a push for the sharing is currently in flight.
     pub fn in_flight(&self, id: SharingId) -> bool {
-        self.sharings
-            .iter()
-            .find(|r| r.id == id)
-            .is_some_and(|r| r.in_flight)
+        self.by_id
+            .get(&id)
+            .is_some_and(|&i| self.sharings[i].in_flight)
     }
 }
 
@@ -1658,12 +2071,51 @@ mod tests {
                 target: t(8),
                 attempt: 2,
             },
-        ];
+        ]
+        .into_iter()
+        .map(Reverse)
+        .collect();
         let due = ex.collect_due_retries(t(4));
         assert_eq!(due, vec![(0, t(7), 3)], "one attempt at the max target");
         assert_eq!(ex.fault_stats.retries_coalesced, 2);
         assert_eq!(ex.pending_retries.len(), 1);
-        assert_eq!(ex.pending_retries[0].due, t(9));
+        assert_eq!(ex.pending_retries.peek().unwrap().0.due, t(9));
+    }
+
+    #[test]
+    fn no_due_retries_returns_without_draining() {
+        let (mut smile, _a, _b, _id) = installed(true, 20);
+        let ex = smile.executor.as_mut().unwrap();
+        let t = Timestamp::from_secs;
+        ex.pending_retries.push(Reverse(PendingRetry {
+            due: t(9),
+            idx: 0,
+            target: t(8),
+            attempt: 2,
+        }));
+        assert!(ex.collect_due_retries(t(4)).is_empty());
+        assert!(ex.collect_due_retries(Timestamp::ZERO).is_empty());
+        assert_eq!(ex.pending_retries.len(), 1);
+    }
+
+    #[test]
+    fn cached_critical_path_matches_full_walk() {
+        let (mut smile, a, b, _id) = installed(true, 20);
+        feed(&mut smile, a, b, 40); // feedback shifts inflation off 1.0
+        let ex = smile.executor.as_ref().unwrap();
+        assert!(ex.model.inflation() != 1.0, "feedback never calibrated");
+        for idx in 0..ex.sharings.len() {
+            for w in [0.0, 0.5, 1.0, 3.25, 10.0, 123.456, 3600.0] {
+                let cached = ex.caches[idx].cp.eval(w, &ex.model);
+                let full = critical_path(
+                    &ex.global.plan,
+                    Scope::Sharing(ex.sharings[idx].id),
+                    w,
+                    &ex.model,
+                );
+                assert_eq!(cached, full, "window {w}s diverged at sharing {idx}");
+            }
+        }
     }
 
     #[test]

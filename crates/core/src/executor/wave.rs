@@ -103,7 +103,13 @@ pub(crate) fn run_wave(
     columnar: bool,
 ) -> Vec<JobOutcome> {
     let w = workers.max(1).min(machines.len().max(1));
-    let ships: Vec<ShipSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    // Ship mailboxes are only ever indexed for jobs with a ship machine;
+    // the common all-local wave skips the per-job mutex allocation.
+    let ships: Vec<ShipSlot> = if jobs.iter().any(|j| j.ship_machine.is_some()) {
+        jobs.iter().map(|_| Mutex::new(None)).collect()
+    } else {
+        Vec::new()
+    };
     let barrier = Barrier::new(w);
     let mut outcomes: Vec<JobOutcome> = if w <= 1 {
         // Same engine, inline: the barrier trivially passes with one
@@ -142,7 +148,7 @@ pub(crate) fn run_wave(
                 .collect()
         })
     };
-    outcomes.sort_by_key(|o| o.job);
+    outcomes.sort_unstable_by_key(|o| o.job);
     outcomes
 }
 

@@ -80,6 +80,15 @@ pub struct SmileConfig {
     /// contents, meters, fault reports and traces are byte-identical in
     /// both modes (the WAL wire format does not change).
     pub columnar: bool,
+    /// Whether the executor schedules pushes with the event-driven push
+    /// calendar (default): a timer wheel of projected fire ticks plus
+    /// cached per-sharing critical paths make the per-tick scheduling cost
+    /// O(due + invalidated) in the number of sharings. When false every
+    /// tick scans all sharings recomputing critical paths from the full
+    /// merged plan — the pre-calendar baseline kept for differential
+    /// conformance and the scan arm of the executor-scale bench. Both
+    /// modes plan byte-identical batches, so all observable state matches.
+    pub calendar_scheduling: bool,
     /// Whether admission goes through the merge catalog (default): the
     /// global plan is merged incrementally at submit time, committed
     /// utilization is tracked incrementally, and SHR membership is extended
@@ -108,6 +117,7 @@ impl SmileConfig {
             use_arrangements: true,
             telemetry: TelemetryConfig::default(),
             columnar: true,
+            calendar_scheduling: true,
             indexed_admission: true,
         }
     }
@@ -207,6 +217,7 @@ impl Smile {
         // The executor owns only an `ExecConfig`; mirror the platform-level
         // storage-mode switch into it so every push sees one flag.
         config.exec.columnar = config.columnar;
+        config.exec.calendar_scheduling = config.calendar_scheduling;
         let mut cluster = Cluster::with_configs(vec![config.machine_config; config.machines]);
         cluster.prices = config.prices;
         cluster.set_fault_profile(config.faults);

@@ -31,6 +31,8 @@ fn schema(cols: &[(&str, ColumnType)], key: Vec<usize>) -> Schema {
 #[derive(Clone, Copy, Debug)]
 struct Scenario {
     columnar: bool,
+    /// Event-driven push-calendar scheduling vs the full per-tick scan.
+    calendar: bool,
     workers: usize,
     chaos: bool,
 }
@@ -59,6 +61,7 @@ impl Scenario {
     fn run(self) -> RunResult {
         let mut config = SmileConfig::with_machines(2);
         config.columnar = self.columnar;
+        config.calendar_scheduling = self.calendar;
         config.exec.workers = self.workers;
         if self.chaos {
             config.faults = FaultProfile::chaos(4242);
@@ -176,12 +179,14 @@ fn columnar_equals_legacy_across_workers_and_faults() {
         for workers in [1usize, 4] {
             let legacy = Scenario {
                 columnar: false,
+                calendar: true,
                 workers,
                 chaos,
             }
             .run();
             let columnar = Scenario {
                 columnar: true,
+                calendar: true,
                 workers,
                 chaos,
             }
@@ -210,6 +215,7 @@ fn columnar_equals_legacy_across_workers_and_faults() {
 fn columnar_matches_ground_truth_fault_free() {
     let r = Scenario {
         columnar: true,
+        calendar: true,
         workers: 1,
         chaos: false,
     }
@@ -224,6 +230,7 @@ fn modes_agree_under_chaos_with_recovery_exercised() {
     // names it directly: chaos + multi-worker, columnar vs legacy.
     let legacy = Scenario {
         columnar: false,
+        calendar: true,
         workers: 4,
         chaos: true,
     }
@@ -235,9 +242,49 @@ fn modes_agree_under_chaos_with_recovery_exercised() {
     );
     let columnar = Scenario {
         columnar: true,
+        calendar: true,
         workers: 4,
         chaos: true,
     }
     .run();
     assert_identical(&legacy, &columnar, "chaos workers=4");
+}
+
+#[test]
+fn calendar_equals_scan_across_workers_and_faults() {
+    // The scheduling axis: the event-driven push calendar must plan the
+    // same batches the full per-tick scan does, so every observable —
+    // MV bytes, fault attribution, PUSH records, billing, trace, logical
+    // metrics — is byte-identical under chaos and at any worker count.
+    for chaos in [false, true] {
+        for workers in [1usize, 4] {
+            let scan = Scenario {
+                columnar: true,
+                calendar: false,
+                workers,
+                chaos,
+            }
+            .run();
+            let calendar = Scenario {
+                columnar: true,
+                calendar: true,
+                workers,
+                chaos,
+            }
+            .run();
+            assert_identical(
+                &scan,
+                &calendar,
+                &format!("calendar vs scan at workers={workers} chaos={chaos}"),
+            );
+            if chaos {
+                assert!(
+                    scan.report.crashes + scan.report.deltas_dropped + scan.report.pushes_retried
+                        >= 1,
+                    "chaos profile injected nothing: {:?}",
+                    scan.report
+                );
+            }
+        }
+    }
 }

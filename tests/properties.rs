@@ -38,7 +38,11 @@ fn arb_ops() -> impl Strategy<Value = Vec<Vec<Op>>> {
 }
 
 fn build_platform() -> (Smile, RelationId, RelationId) {
-    let mut smile = Smile::new(SmileConfig::with_machines(2));
+    build_platform_with(SmileConfig::with_machines(2))
+}
+
+fn build_platform_with(config: SmileConfig) -> (Smile, RelationId, RelationId) {
+    let mut smile = Smile::new(config);
     let left = smile
         .register_base(
             "left",
@@ -810,5 +814,168 @@ proptest! {
             t.project(cols).hash(&mut h);
             prop_assert_eq!(hashes[i], h.finish(), "hash diverges at row {}", i);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential scheduling oracle: the event-driven push calendar vs the
+// scan-everything baseline scheduler, on randomized SLA/heartbeat/fault/skew
+// schedules. Scheduling mode is the only axis varied, so every observable —
+// the per-tick (requests, jobs, waves) batch structure captured span by span
+// in the exported trace, the PUSH record stream, fault attribution, billing,
+// logical metrics, and final MV bytes — must be byte-identical.
+// ---------------------------------------------------------------------------
+
+use smile::sim::DistributedClock;
+
+/// One sharing of the randomized schedule: query shape (as in
+/// [`spec_query`]) and staleness SLA in seconds.
+type SchedSharing = (u8, u64);
+
+fn arb_sched_case() -> impl Strategy<Value = (Vec<SchedSharing>, Vec<Vec<Op>>, u64, u8)> {
+    (
+        proptest::collection::vec((0u8..4, 4u64..30), 1..4),
+        // Ingest/heartbeat schedule; an empty tick still ticks the platform
+        // (heartbeats advance, windows stay), which is exactly the
+        // mostly-idle regime the calendar sleeps through.
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    ((0i64..8), (0i64..4)).prop_map(|(k, v)| Op::InsertLeft { k, v }),
+                    ((0i64..8), (0i64..4)).prop_map(|(k, v)| Op::InsertRight { k, v }),
+                    (0i64..8).prop_map(|k| Op::DeleteLeftByKey { k }),
+                ],
+                0..4,
+            ),
+            1..40,
+        ),
+        // Fault-schedule selector; 0 runs fault-free.
+        0u64..4,
+        // Clock-skew selector: perfect, mild, heavy.
+        0u8..3,
+    )
+}
+
+/// Runs one platform under the given scheduler mode and returns every
+/// observable that must not depend on it.
+fn run_sched(
+    calendar: bool,
+    sharings: &[SchedSharing],
+    ticks: &[Vec<Op>],
+    chaos: u64,
+    skew: u8,
+) -> Vec<String> {
+    let mut config = SmileConfig::with_machines(2);
+    config.calendar_scheduling = calendar;
+    if chaos > 0 {
+        config.faults = smile::sim::FaultProfile::chaos(chaos * 1000 + 7);
+    }
+    let (mut smile, left, right) = build_platform_with(config);
+    match skew {
+        0 => {}
+        1 => {
+            smile.cluster.clock = DistributedClock::with_skew(
+                2,
+                SimDuration::from_millis(20),
+                SimDuration::from_secs(10),
+            )
+        }
+        _ => {
+            smile.cluster.clock = DistributedClock::with_skew(
+                2,
+                SimDuration::from_millis(200),
+                SimDuration::from_secs(5),
+            )
+        }
+    }
+    let mut outcomes = Vec::new();
+    let mut admitted = Vec::new();
+    for (i, &(shape, sla)) in sharings.iter().enumerate() {
+        let q = spec_query(left, right, shape, 1);
+        match smile.submit(&format!("s{i}"), q, SimDuration::from_secs(sla), 0.001) {
+            Ok(id) => {
+                admitted.push(id);
+                outcomes.push(format!("ok:{id}"));
+            }
+            Err(e) => outcomes.push(format!("err:{e}")),
+        }
+    }
+    if admitted.is_empty() {
+        return outcomes;
+    }
+    smile.install().unwrap();
+
+    let mut live: Vec<(i64, i64)> = Vec::new();
+    for ops in ticks {
+        let now = smile.now();
+        let mut lbatch = Vec::new();
+        let mut rbatch = Vec::new();
+        for op in ops {
+            match op {
+                Op::InsertLeft { k, v } => {
+                    live.push((*k, *v));
+                    lbatch.push(DeltaEntry::insert(tuple![*k, *v], now));
+                }
+                Op::InsertRight { k, v } => {
+                    rbatch.push(DeltaEntry::insert(tuple![*k, *v], now));
+                }
+                Op::DeleteLeftByKey { k } => {
+                    if let Some(pos) = live.iter().position(|(lk, _)| lk == k) {
+                        let (lk, lv) = live.swap_remove(pos);
+                        lbatch.push(DeltaEntry::delete(tuple![lk, lv], now));
+                    }
+                }
+            }
+        }
+        if !lbatch.is_empty() {
+            smile.ingest(left, DeltaBatch { entries: lbatch }).unwrap();
+        }
+        if !rbatch.is_empty() {
+            smile.ingest(right, DeltaBatch { entries: rbatch }).unwrap();
+        }
+        smile.step().unwrap();
+    }
+    smile.run_idle(SimDuration::from_secs(30)).unwrap();
+
+    let trace = smile.export_trace();
+    let metrics = smile
+        .telemetry_snapshot()
+        .to_text()
+        .lines()
+        .filter(|l| !l.contains("host_"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let executor = smile.executor.as_ref().unwrap();
+    let mut out = outcomes;
+    out.push(format!("{:?}", executor.push_records));
+    out.push(format!("{:?}", smile.fault_report()));
+    out.push(executor.tuples_moved.to_string());
+    out.push(format!("{:.9}", smile.total_dollars()));
+    out.push(trace);
+    out.push(metrics);
+    for &id in &admitted {
+        out.push(format!("{:?}", smile.mv_contents(id).unwrap().sorted_entries()));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        .. ProptestConfig::default()
+    })]
+
+    /// The push calendar plans the same batches the full per-tick scan
+    /// does, on any random SLA mix, heartbeat/ingest schedule, fault
+    /// schedule and clock skew: identical traces (hence identical per-tick
+    /// request/job/wave structure), PUSH records, fault reports, billing,
+    /// logical metrics and final MV bytes.
+    #[test]
+    fn calendar_scheduler_matches_scan_oracle(
+        (sharings, ticks, chaos, skew) in arb_sched_case()
+    ) {
+        let cal = run_sched(true, &sharings, &ticks, chaos, skew);
+        let scan = run_sched(false, &sharings, &ticks, chaos, skew);
+        prop_assert_eq!(cal, scan);
     }
 }

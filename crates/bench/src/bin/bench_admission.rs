@@ -132,8 +132,7 @@ fn mv_pin(i: usize) -> Option<MachineId> {
 
 fn p99_us(window: &mut Vec<u64>) -> f64 {
     window.sort_unstable();
-    let idx = ((window.len() - 1) as f64 * 0.99).round() as usize;
-    let v = window[idx] as f64;
+    let v = smile_bench::percentile_sorted(window, 0.99);
     window.clear();
     v
 }

@@ -560,7 +560,7 @@ fn tick_latency(cfg: &Config) -> TickStats {
     smile.run_idle(SimDuration::from_secs(60)).unwrap();
 
     lat_us.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    let pct = |p: f64| smile_bench::percentile_sorted_f64(&lat_us, p);
     let meter = smile.arrangement_meter();
     TickStats {
         p50_us: pct(0.50),
@@ -806,17 +806,13 @@ fn telemetry_ablation(cfg: &Config, reps: usize) -> TraceStats {
     assert!(smile.telemetry().spans_len() > 0, "instrumented run has no spans");
 
     let snap = smile.telemetry_snapshot();
-    let mut headroom = HistogramSnapshot::empty();
-    for (_, h) in snap.histograms_with_prefix("push.staleness_headroom_us") {
-        headroom.merge(h);
-    }
+    // Fleet-wide headroom rollup: one histogram regardless of sharing count.
+    let headroom = snap
+        .histogram("push.staleness_headroom_us")
+        .cloned()
+        .unwrap_or_else(HistogramSnapshot::empty);
     assert!(headroom.count > 0, "no staleness-headroom samples recorded");
-    let sla_missed: u64 = snap
-        .counters
-        .iter()
-        .filter(|(n, _)| n.starts_with("push.sla_missed"))
-        .map(|(_, v)| *v)
-        .sum();
+    let sla_missed = snap.counter("push.sla_missed").unwrap_or(0);
     let trace = smile.export_trace();
     TraceStats {
         ticks: cfg.ticks,

@@ -234,8 +234,7 @@ fn run_scale(n: usize, calendar: bool, ticks: usize) -> ScaleRun {
 }
 
 fn pct_us(sorted: &[u64], q: f64) -> f64 {
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx] as f64
+    smile_bench::percentile_sorted(sorted, q)
 }
 
 struct Fig5Run {

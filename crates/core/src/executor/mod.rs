@@ -40,7 +40,10 @@ use messages::{AgentMsg, TOPIC_TO_EXECUTOR};
 use push::JobFaults;
 use smile_sim::pubsub::SubscriberId;
 use smile_sim::{Cluster, EventQueue, PubSub, WaveMeter};
-use smile_telemetry::{Counter, Gauge, Histogram, SpanKind, SpanRecord, Telemetry};
+use smile_telemetry::{
+    Alert, BurnRateMonitor, Counter, FleetRollup, Gauge, Histogram, SharingSummary, SpanKind,
+    SpanRecord, Telemetry,
+};
 use smile_types::{
     MachineId, RelationId, Result, SharingId, SimDuration, SmileError, Timestamp, VertexId,
 };
@@ -291,13 +294,6 @@ struct SharingRt {
     /// Tombstone: the slot stays (event indexes must remain stable) but the
     /// scheduler ignores it.
     retired: bool,
-    /// Staleness headroom (SLA − staleness at each MV advance, µs, clamped
-    /// at zero) — the headline per-sharing telemetry histogram.
-    headroom_us: Arc<Histogram>,
-    /// Staleness observed at each MV advance, µs.
-    staleness_after_us: Arc<Histogram>,
-    /// MV advances that landed *beyond* the SLA bound.
-    sla_missed: Arc<Counter>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -430,15 +426,26 @@ pub struct Executor {
     gauge_cal_scheduled: Arc<Gauge>,
     gauge_cal_waiting: Arc<Gauge>,
     gauge_cal_wheel: Arc<Gauge>,
+    /// Fleet-wide staleness-headroom histogram (one instrument for the
+    /// whole fleet — the per-sharing `{sharing=N}` family it replaces was
+    /// O(N) registry cardinality at 100k sharings). Cached at build so the
+    /// completion path is an O(1) handle deref, never a name lookup.
+    hist_headroom_us: Arc<Histogram>,
+    /// Fleet-wide staleness-at-completion histogram.
+    hist_after_us: Arc<Histogram>,
+    /// Fleet-wide SLA-miss counter.
+    ctr_sla_missed: Arc<Counter>,
+    /// Bounded per-sharing accounting: compact summaries + deterministic
+    /// top-K worst-headroom rows, O(K) snapshot cardinality.
+    rollup: FleetRollup,
+    /// SLA burn-rate monitor over sharing cohorts (sim-time windows).
+    monitor: BurnRateMonitor,
+    /// Alerts fired so far, in fire order — the adaptive-runtime feed.
+    alerts: Vec<Alert>,
 }
 
 impl Executor {
-    fn build_rt(
-        global: &GlobalPlan,
-        s: &Sharing,
-        telemetry: &Telemetry,
-        topo_rank: &[u32],
-    ) -> Result<SharingRt> {
+    fn build_rt(global: &GlobalPlan, s: &Sharing, topo_rank: &[u32]) -> Result<SharingRt> {
         let mv = global.mv_vertex(s.id)?;
         let (anc, _) = global.plan.ancestors(mv);
         // `SRC(S_i)`: the base *relations* feeding the sharing. A plan may
@@ -482,7 +489,6 @@ impl Executor {
             .collect();
         order.sort_unstable_by_key(|v| topo_rank[v.index()]);
         order.dedup();
-        let sid = s.id.0;
         Ok(SharingRt {
             id: s.id,
             sla: s.staleness_sla,
@@ -491,15 +497,6 @@ impl Executor {
             order,
             in_flight: false,
             retired: false,
-            headroom_us: telemetry
-                .registry()
-                .histogram(&format!("push.staleness_headroom_us{{sharing={sid}}}")),
-            staleness_after_us: telemetry
-                .registry()
-                .histogram(&format!("push.staleness_after_us{{sharing={sid}}}")),
-            sla_missed: telemetry
-                .registry()
-                .counter(&format!("push.sla_missed{{sharing={sid}}}")),
         })
     }
 
@@ -516,8 +513,11 @@ impl Executor {
     ) -> Result<Self> {
         let topo_rank = Self::rank_of(&global)?;
         let mut rts = Vec::with_capacity(sharings.len());
+        let mut rollup = FleetRollup::new();
         for s in sharings {
-            rts.push(Self::build_rt(&global, s, &telemetry, &topo_rank)?);
+            let rt = Self::build_rt(&global, s, &topo_rank)?;
+            rollup.register(rt.id.0, rt.sla.as_micros());
+            rts.push(rt);
         }
         let by_id: HashMap<SharingId, usize> =
             rts.iter().enumerate().map(|(i, rt)| (rt.id, i)).collect();
@@ -549,6 +549,10 @@ impl Executor {
             reg.gauge("sched.calendar.host_waiting"),
             reg.gauge("sched.calendar.host_wheel_len"),
         );
+        let hist_headroom_us = reg.histogram("push.staleness_headroom_us");
+        let hist_after_us = reg.histogram("push.staleness_after_us");
+        let ctr_sla_missed = reg.counter("push.sla_missed");
+        let monitor = BurnRateMonitor::new(telemetry.monitor_config());
         Ok(Self {
             global,
             model,
@@ -585,6 +589,12 @@ impl Executor {
             gauge_cal_scheduled,
             gauge_cal_waiting,
             gauge_cal_wheel,
+            hist_headroom_us,
+            hist_after_us,
+            ctr_sla_missed,
+            rollup,
+            monitor,
+            alerts: Vec::new(),
         })
     }
 
@@ -644,7 +654,8 @@ impl Executor {
         // shared rank vector and heartbeat list must account for the new
         // vertices.
         self.topo_rank = Self::rank_of(&self.global)?;
-        let rt = Self::build_rt(&self.global, sharing, &self.telemetry, &self.topo_rank)?;
+        let rt = Self::build_rt(&self.global, sharing, &self.topo_rank)?;
+        self.rollup.register(rt.id.0, rt.sla.as_micros());
         self.caches.push(SharingCache::build(
             &self.global.plan,
             rt.id,
@@ -682,6 +693,7 @@ impl Executor {
         // `by_id` indexes only live sharings, so a hit is never a tombstone.
         let idx = self.by_id.remove(&id).ok_or(SmileError::UnknownSharing(id))?;
         self.sharings[idx].retired = true;
+        self.rollup.retire(idx);
         if let Some(cal) = &mut self.cal {
             cal.retire(idx);
         }
@@ -735,6 +747,46 @@ impl Executor {
         self.by_id.get(&id).map(|&i| self.sharings[i].sla)
     }
 
+    /// Alerts the burn-rate monitor has fired so far, in fire order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// The bounded fleet headroom rollup.
+    pub fn rollup(&self) -> &FleetRollup {
+        &self.rollup
+    }
+
+    /// The compact rollup summary for one live sharing.
+    pub fn sharing_summary(&self, id: SharingId) -> Option<&SharingSummary> {
+        self.by_id.get(&id).and_then(|&i| self.rollup.summary(i))
+    }
+
+    /// Fast/slow burn ratios (ppm) and fast-window push count for the
+    /// cohort of `id` at sim-time `now` — surfaced by `Smile::explain`.
+    pub fn cohort_burn(&self, id: SharingId, now: Timestamp) -> Option<(u64, u64, u64)> {
+        let sla = self.sla(id)?;
+        Some(
+            self.monitor
+                .cohort_burn(smile_telemetry::cohort_of(sla.as_micros()), us(now)),
+        )
+    }
+
+    /// True when every monitor window is empty — pinned by the quiet-mode
+    /// determinism tests.
+    pub fn monitor_windows_empty(&self) -> bool {
+        self.monitor.windows_empty()
+    }
+
+    /// The sharing's push-order subgraph and base-relation sources, for
+    /// introspection reports.
+    pub fn sharing_topology(&self, id: SharingId) -> Option<(&[VertexId], &[VertexId])> {
+        self.by_id.get(&id).map(|&i| {
+            let rt = &self.sharings[i];
+            (rt.order.as_slice(), rt.srcs.as_slice())
+        })
+    }
+
     /// One scheduler tick at simulated time `now`: drain message/event
     /// queues, plan every push that should fire this tick (due retries plus
     /// newly triggered pushes) into one batch of edge jobs, then execute the
@@ -745,6 +797,19 @@ impl Executor {
         // Execution cost is proportional to planned work either way.
         let sched_start = std::time::Instant::now();
         self.drain_events(now);
+        // Evaluate the burn-rate monitor right after completions land, in
+        // the path shared by the calendar and scan schedulers — the alert
+        // stream is identical across modes and worker counts by
+        // construction. Gated on telemetry so quiet mode stays silent.
+        if self.telemetry.enabled() {
+            let fired = self.monitor.on_tick(us(now));
+            for a in &fired {
+                if let Some(s) = a.sharing {
+                    self.telemetry.capture_incident(s, us(now), "alert");
+                }
+            }
+            self.alerts.extend(fired);
+        }
         self.heartbeat_round(cluster, now);
         self.poll_bus(now);
         let (requests, jobs) = self.plan_batch(cluster, now)?;
@@ -839,14 +904,33 @@ impl Executor {
                     });
                     // Staleness headroom at this MV advance: how much of the
                     // SLA bound was left unspent. A miss records zero
-                    // headroom and bumps the per-sharing violation counter.
-                    let rt = &self.sharings[idx];
-                    rt.staleness_after_us.record(after.as_micros());
-                    if after <= rt.sla {
-                        rt.headroom_us.record((rt.sla - after).as_micros());
+                    // headroom and bumps the fleet violation counter; the
+                    // per-sharing attribution goes through the bounded
+                    // rollup, not a per-sharing instrument family.
+                    let (sid, sla) = {
+                        let rt = &self.sharings[idx];
+                        (rt.id.0, rt.sla)
+                    };
+                    self.hist_after_us.record(after.as_micros());
+                    let (headroom, missed) = if after <= sla {
+                        ((sla - after).as_micros(), false)
                     } else {
-                        rt.headroom_us.record(0);
-                        rt.sla_missed.inc();
+                        (0, true)
+                    };
+                    self.hist_headroom_us.record(headroom);
+                    if missed {
+                        self.ctr_sla_missed.inc();
+                    }
+                    self.rollup.record(idx, headroom, missed, us(at));
+                    // The monitor and flight recorder are observability
+                    // surfaces, not accounting: quiet mode keeps their
+                    // windows provably empty.
+                    if self.telemetry.enabled() {
+                        self.monitor
+                            .record_push(sla.as_micros(), sid, headroom, missed, us(at));
+                        if missed {
+                            self.telemetry.capture_incident(sid, us(at), "sla_miss");
+                        }
                     }
                 }
             }

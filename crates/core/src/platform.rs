@@ -29,7 +29,10 @@ use smile_sim::{Cluster, FaultProfile, MachineConfig, PriceSheet};
 use smile_storage::registry::ArrangementKey;
 use smile_storage::spj::RelationProvider;
 use smile_storage::{ArrangementRegistry, DeltaBatch, SpjQuery, ZSet};
-use smile_telemetry::{chrome_trace, MetricsSnapshot, Telemetry, TelemetryConfig, TraceInstant};
+use smile_telemetry::{
+    chrome_trace, Alert, FlightIncident, MetricsSnapshot, Severity, Telemetry, TelemetryConfig,
+    TraceInstant,
+};
 use smile_types::{
     MachineId, RelationId, Result, Schema, SharingId, SimDuration, SmileError, Timestamp,
 };
@@ -788,8 +791,10 @@ impl Smile {
     /// Point-in-time metrics snapshot: the telemetry registry plus every
     /// legacy meter (arrangements, WAL traffic, usage ledger, fault
     /// recovery) projected into gauges so one artifact carries the whole
-    /// platform state. The headline metric is the per-sharing
-    /// `push.staleness_headroom_us{sharing=N}` histogram family.
+    /// platform state. The headline metric is the fleet-wide
+    /// `push.staleness_headroom_us` histogram plus the bounded
+    /// `push.worst_headroom_us{rank=..}` top-K rows — snapshot cardinality
+    /// is O(K) in the sharing count, not O(N).
     pub fn telemetry_snapshot(&self) -> MetricsSnapshot {
         let reg = self.telemetry.registry();
         let arr = self.arrangement_meter();
@@ -838,7 +843,182 @@ impl Smile {
             .set(self.arrangements.total_refs() as f64);
         reg.gauge("arrangement_registry.reclaimed")
             .set(self.arrangements.reclaimed as f64);
-        self.telemetry.snapshot()
+        let mut snap = self.telemetry.snapshot();
+        if let Some(e) = &self.executor {
+            // The top-K worst-headroom rows are folded into the snapshot
+            // without ever registering instruments: the registry stays
+            // bounded no matter the fleet size. Rank is zero-padded so the
+            // rows sort together; keys and values derive only from the
+            // deterministic rollup.
+            for (rank, row) in e
+                .rollup()
+                .top_k_worst(self.telemetry.top_k_worst())
+                .iter()
+                .enumerate()
+            {
+                snap.gauges.push((
+                    format!(
+                        "push.worst_headroom_us{{rank={rank:02},sharing={}}}",
+                        row.sharing
+                    ),
+                    row.min_headroom_us as f64,
+                ));
+            }
+            let alerts = e.alerts();
+            snap.gauges
+                .push(("obs.alerts_total".to_string(), alerts.len() as f64));
+            let pages = alerts
+                .iter()
+                .filter(|a| a.severity == Severity::Page)
+                .count();
+            snap.gauges
+                .push(("obs.alerts_page".to_string(), pages as f64));
+            snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        snap
+    }
+
+    /// Alerts the SLA burn-rate monitor has fired so far, in fire order —
+    /// the control-signal feed for the adaptive runtime (ROADMAP item 5).
+    pub fn alerts(&self) -> &[Alert] {
+        self.executor.as_ref().map(|e| e.alerts()).unwrap_or(&[])
+    }
+
+    /// Flight-recorder incidents frozen so far (SLA misses and alerts),
+    /// oldest first.
+    pub fn flight_incidents(&self) -> Vec<FlightIncident> {
+        self.telemetry.flight_incidents()
+    }
+
+    /// One-call introspection report for a sharing: plan shape and
+    /// placement, structures shared through the merge catalog, arrangement
+    /// hit rates, headroom percentiles from the bounded rollup, burn-rate
+    /// state, dollar attribution, alerts and flight incidents. The text is
+    /// assembled exclusively from deterministic state (sim-time, fixed
+    /// float precision, canonical orders), so it is byte-identical at any
+    /// worker count and across scheduler modes — and pinned as a golden
+    /// output in the test suite.
+    pub fn explain(&self, id: SharingId) -> Result<String> {
+        use std::fmt::Write as _;
+        let sharing = self
+            .sharings
+            .iter()
+            .find(|s| s.id == id)
+            .ok_or(SmileError::UnknownSharing(id))?;
+        let executor = self
+            .executor
+            .as_ref()
+            .ok_or_else(|| SmileError::Internal("explain requires an installed plan".into()))?;
+        let planned = self.planned(id)?;
+        let (order, srcs) = executor
+            .sharing_topology(id)
+            .ok_or(SmileError::UnknownSharing(id))?;
+        let plan = &executor.global.plan;
+        let mut out = String::new();
+        let _ = writeln!(out, "== sharing {} \"{}\" ==", id.0, sharing.name);
+        let sla_us = sharing.staleness_sla.as_micros();
+        let _ = writeln!(
+            out,
+            "sla: {}us  penalty_per_tuple: ${:.6}  cohort: {}",
+            sla_us,
+            sharing.penalty_per_tuple,
+            smile_telemetry::cohort_of(sla_us)
+        );
+        let _ = writeln!(
+            out,
+            "critical_path: {}us  mv: {} on m{}",
+            planned.critical_path.as_micros(),
+            planned.mv,
+            planned.mv_machine.0
+        );
+        // Plan shape: the sharing's push subgraph (sources + non-base
+        // vertices in push order), flagging vertices the merge catalog
+        // shares with other sharings.
+        let shared = order
+            .iter()
+            .chain(srcs.iter())
+            .filter(|&&v| plan.vertex(v).sharings.len() > 1)
+            .count();
+        let _ = writeln!(
+            out,
+            "plan: {} source(s), {} push vertices, {} shared with other sharings",
+            srcs.len(),
+            order.len(),
+            shared
+        );
+        for &v in srcs.iter().chain(order.iter()) {
+            let vert = plan.vertex(v);
+            let kind = match vert.kind {
+                VertexKind::Relation => "relation",
+                VertexKind::Delta => "delta",
+            };
+            let _ = writeln!(
+                out,
+                "  {} {} m{} shr={} sig={}",
+                vert.id,
+                kind,
+                vert.machine.0,
+                vert.sharings.len(),
+                vert.sig
+            );
+        }
+        // Fleet-shared infrastructure this sharing rides on.
+        let arr = self.arrangement_meter();
+        let _ = writeln!(
+            out,
+            "catalog: {} entries, {} probe keys  arrangements: {} installed, hit_rate {:.4}",
+            self.merge_catalog.len(),
+            self.merge_catalog.probe_key_count(),
+            arr.arrangements,
+            arr.hit_rate()
+        );
+        // Headroom percentiles from the bounded rollup.
+        match executor.sharing_summary(id) {
+            Some(s) if s.pushes > 0 => {
+                let _ = writeln!(
+                    out,
+                    "headroom: pushes={} misses={} min={}us p50<={}us p90<={}us max={}us mean={:.1}us",
+                    s.pushes,
+                    s.misses,
+                    s.min_headroom_us,
+                    s.band_quantile_us(0.50),
+                    s.band_quantile_us(0.90),
+                    s.max_headroom_us,
+                    s.mean_headroom_us()
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "headroom: no completed pushes yet");
+            }
+        }
+        if let Some((fast, slow, pushes)) = executor.cohort_burn(id, self.now) {
+            let _ = writeln!(
+                out,
+                "burn: fast={}ppm slow={}ppm fast_window_pushes={}",
+                fast, slow, pushes
+            );
+        }
+        let mine = |s: Option<u32>| s == Some(id.0);
+        let alerts = executor.alerts();
+        let _ = writeln!(
+            out,
+            "alerts: {} fleet-wide, {} naming this sharing",
+            alerts.len(),
+            alerts.iter().filter(|a| mine(a.sharing)).count()
+        );
+        let incidents = self.flight_incidents();
+        let _ = writeln!(
+            out,
+            "flight: {} incident(s) captured for this sharing",
+            incidents.iter().filter(|i| i.sharing == id.0).count()
+        );
+        let _ = writeln!(
+            out,
+            "dollars: total=${:.9} penalty=${:.9}",
+            self.sharing_dollars(id),
+            self.cluster.ledger.penalty(id)
+        );
+        Ok(out)
     }
 
     /// Exports the retained spans plus the injected fault events as Chrome

@@ -14,7 +14,15 @@
 //!   deterministic snapshots rendered as JSON or text;
 //! * [`span`] — parented spans over the push lifecycle in a bounded ring,
 //!   recorded coordinator-side in canonical order, sim-time only;
-//! * [`trace`] — Chrome `trace_event` JSON export (Perfetto-loadable).
+//! * [`trace`] — Chrome `trace_event` JSON export (Perfetto-loadable);
+//! * [`window`] — sim-time sliding windows (fixed ring of rotating
+//!   sub-windows) for recent-statistics instruments;
+//! * [`rollup`] — the bounded fleet headroom rollup: O(K) snapshot
+//!   cardinality instead of one instrument family per sharing;
+//! * [`monitor`] — the SLA burn-rate monitor emitting deterministic
+//!   [`monitor::Alert`] records per sharing cohort;
+//! * [`sample`] — seeded sharing-coherent span sampling plus the incident
+//!   flight recorder.
 //!
 //! The [`Telemetry`] handle ties these together and implements the quiet
 //! mode: when disabled, span recording is a branch on a `bool` — nothing is
@@ -25,17 +33,25 @@
 #![warn(missing_docs)]
 
 pub mod instrument;
+pub mod monitor;
 pub mod registry;
+pub mod rollup;
+pub mod sample;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 pub use instrument::{Counter, Gauge, Histogram, HistogramSnapshot, ShardedHistogram};
+pub use monitor::{cohort_of, Alert, AlertKind, BurnRateMonitor, MonitorConfig, Severity};
 pub use registry::{MetricsSnapshot, Registry};
+pub use rollup::{FleetRollup, SharingSummary, WorstRow};
+pub use sample::{FlightIncident, FlightRecorder, SpanSampler};
 pub use span::{SpanKind, SpanRecord, SpanRing};
 pub use trace::{chrome_trace, TraceInstant};
+pub use window::{SlidingWindow, WindowSpec, WindowStats};
 
 /// Telemetry settings, carried in `SmileConfig`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +63,21 @@ pub struct TelemetryConfig {
     pub ring_capacity: usize,
     /// Number of shards for per-worker histograms (worker indices wrap).
     pub worker_shards: usize,
+    /// Span sampling rate: keep spans for roughly 1-in-`rate` sharings
+    /// (sharing-coherent, seeded). 1 keeps every span.
+    pub span_sample_rate: u32,
+    /// Seed for the sampling hash.
+    pub sample_seed: u64,
+    /// Flight-recorder recent-span ring capacity (0 disables the flight
+    /// recorder entirely).
+    pub flight_recent: usize,
+    /// Maximum frozen incidents the flight recorder retains.
+    pub flight_max_incidents: usize,
+    /// How many worst-headroom sharings the snapshot exports as rows —
+    /// the K in the O(K) rollup cardinality bound.
+    pub top_k_worst: usize,
+    /// Burn-rate monitor thresholds and window shapes.
+    pub monitor: MonitorConfig,
 }
 
 impl Default for TelemetryConfig {
@@ -55,6 +86,12 @@ impl Default for TelemetryConfig {
             enabled: true,
             ring_capacity: 1 << 16,
             worker_shards: 64,
+            span_sample_rate: 1,
+            sample_seed: 0x5137_1e5eed,
+            flight_recent: 2048,
+            flight_max_incidents: 16,
+            top_k_worst: 8,
+            monitor: MonitorConfig::default(),
         }
     }
 }
@@ -72,6 +109,14 @@ pub struct Telemetry {
     /// nondeterministic; named with the `host_` prefix that marks a metric
     /// as excluded from logical-determinism comparisons.
     job_host_nanos: ShardedHistogram,
+    /// `None` at rate 1 (keep everything): the common case skips the hash.
+    sampler: Option<SpanSampler>,
+    sampled_out: AtomicU64,
+    flight: Mutex<FlightRecorder>,
+    /// Cached so the span hot path can skip the flight lock when disabled.
+    flight_on: bool,
+    monitor_cfg: MonitorConfig,
+    top_k_worst: usize,
 }
 
 impl Telemetry {
@@ -83,6 +128,16 @@ impl Telemetry {
             ring: Mutex::new(SpanRing::new(cfg.ring_capacity)),
             registry: Registry::new(),
             job_host_nanos: ShardedHistogram::new(cfg.worker_shards),
+            sampler: (cfg.span_sample_rate > 1)
+                .then(|| SpanSampler::new(cfg.span_sample_rate, cfg.sample_seed)),
+            sampled_out: AtomicU64::new(0),
+            flight: Mutex::new(FlightRecorder::new(
+                cfg.flight_recent,
+                cfg.flight_max_incidents,
+            )),
+            flight_on: cfg.flight_recent > 0,
+            monitor_cfg: cfg.monitor,
+            top_k_worst: cfg.top_k_worst,
         }
     }
 
@@ -112,11 +167,57 @@ impl Telemetry {
     /// Records a span. No-op (no allocation, no lock) when disabled;
     /// callers building attribute strings should guard on [`Self::enabled`]
     /// to keep quiet mode allocation-free end to end.
+    ///
+    /// With a sampler configured, spans for unsampled sharings skip the
+    /// main ring (counted in `spans.sampled_out`) but still pass through
+    /// the flight recorder's recent window, so incident captures see the
+    /// full picture.
     pub fn record_span(&self, rec: SpanRecord) {
         if !self.enabled {
             return;
         }
+        if let Some(sampler) = &self.sampler {
+            if !sampler.keep(&rec) {
+                self.sampled_out.fetch_add(1, Ordering::Relaxed);
+                if self.flight_on {
+                    self.flight.lock().unwrap().note(rec);
+                }
+                return;
+            }
+        }
+        if self.flight_on {
+            self.flight.lock().unwrap().note(rec.clone());
+        }
         self.ring.lock().unwrap().push(rec);
+    }
+
+    /// Freezes the flight-recorder window around an incident for `sharing`.
+    /// No-op in quiet mode or with the recorder disabled.
+    pub fn capture_incident(&self, sharing: u32, at_us: u64, reason: &'static str) {
+        if !self.enabled || !self.flight_on {
+            return;
+        }
+        self.flight.lock().unwrap().capture(sharing, at_us, reason);
+    }
+
+    /// Copies the frozen flight incidents, oldest first.
+    pub fn flight_incidents(&self) -> Vec<FlightIncident> {
+        self.flight.lock().unwrap().incidents().to_vec()
+    }
+
+    /// Number of spans dropped from the main ring by the sampler.
+    pub fn spans_sampled_out(&self) -> u64 {
+        self.sampled_out.load(Ordering::Relaxed)
+    }
+
+    /// The monitor configuration the executor should instantiate.
+    pub fn monitor_config(&self) -> MonitorConfig {
+        self.monitor_cfg
+    }
+
+    /// How many worst-headroom rows snapshots export.
+    pub fn top_k_worst(&self) -> usize {
+        self.top_k_worst
     }
 
     /// Copies the retained spans, oldest first.
@@ -140,16 +241,48 @@ impl Telemetry {
     }
 
     /// Snapshot of every instrument: the registry plus the merged
-    /// per-worker host-time histogram and span-ring occupancy counters.
+    /// per-worker host-time histogram, span-ring occupancy counters,
+    /// sampler/flight counters, and — so silent span loss and cardinality
+    /// creep are visible — registry instrument counts and ring-loss gauges.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.registry.snapshot();
+        // Registry cardinality, measured before the synthetic rows below.
+        let (nc, ng, nh) = (
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len(),
+        );
         let ring = self.ring.lock().unwrap();
-        snap.counters
-            .push(("spans.dropped".to_string(), ring.dropped()));
-        snap.counters
-            .push(("spans.retained".to_string(), ring.len() as u64));
+        let (ring_dropped, ring_len) = (ring.dropped(), ring.len() as u64);
         drop(ring);
+        let flight = self.flight.lock().unwrap();
+        let (flight_incidents, flight_suppressed) =
+            (flight.incidents().len() as u64, flight.suppressed());
+        drop(flight);
+        snap.counters
+            .push(("spans.dropped".to_string(), ring_dropped));
+        snap.counters
+            .push(("spans.retained".to_string(), ring_len));
+        snap.counters
+            .push(("spans.sampled_out".to_string(), self.spans_sampled_out()));
+        snap.counters
+            .push(("flight.incidents".to_string(), flight_incidents));
+        snap.counters
+            .push(("flight.suppressed".to_string(), flight_suppressed));
         snap.counters.sort();
+        snap.gauges
+            .push(("spans.ring_dropped".to_string(), ring_dropped as f64));
+        snap.gauges.push((
+            "telemetry.instruments".to_string(),
+            (nc + ng + nh) as f64,
+        ));
+        snap.gauges
+            .push(("telemetry.instruments_counters".to_string(), nc as f64));
+        snap.gauges
+            .push(("telemetry.instruments_gauges".to_string(), ng as f64));
+        snap.gauges
+            .push(("telemetry.instruments_histograms".to_string(), nh as f64));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         let host = self.job_host_nanos.snapshot();
         if host.count > 0 {
             snap.histograms

@@ -2,7 +2,8 @@
 //!
 //! The registry is the single vocabulary all SMILE meters speak: names are
 //! dotted paths with optional `{key=value}` labels (for example
-//! `push.staleness_headroom_us{sharing=3}`), and lookups are get-or-create
+//! `push.worst_headroom_us{rank=00,sharing=3}`), and lookups are
+//! get-or-create
 //! so call sites never coordinate registration. Instruments are stored in
 //! `BTreeMap`s, which makes every snapshot iterate in name order — the
 //! rendered output is deterministic byte-for-byte.
@@ -137,8 +138,8 @@ impl MetricsSnapshot {
             .map(|(_, v)| v)
     }
 
-    /// Histograms whose name starts with `prefix` (used to enumerate the
-    /// per-sharing staleness-headroom family).
+    /// Histograms whose name starts with `prefix` (used to enumerate
+    /// labelled instrument families).
     pub fn histograms_with_prefix<'a>(
         &'a self,
         prefix: &'a str,

@@ -51,6 +51,11 @@ struct RunResult {
     /// Metrics snapshot with host wall-clock lines (`host_` marker)
     /// filtered out; the rest is logical and must be mode-independent.
     metrics: String,
+    /// Burn-rate monitor alert stream, Debug-formatted.
+    alerts: String,
+    /// `Smile::explain` report for the sharing — assembled only from
+    /// deterministic state, so its bytes are a conformance surface too.
+    explain: String,
 }
 
 impl Scenario {
@@ -117,6 +122,8 @@ impl Scenario {
             .filter(|l| !l.contains("host_"))
             .collect::<Vec<_>>()
             .join("\n");
+        let alerts = format!("{:?}", smile.alerts());
+        let explain = smile.explain(id).unwrap();
         let executor = smile.executor.as_ref().unwrap();
         RunResult {
             mv: format!("{:?}", smile.mv_contents(id).unwrap().sorted_entries()),
@@ -130,6 +137,8 @@ impl Scenario {
             dollars: format!("{:.9}", smile.total_dollars()),
             trace,
             metrics,
+            alerts,
+            explain,
         }
     }
 }
@@ -171,6 +180,11 @@ fn assert_identical(base: &RunResult, other: &RunResult, cell: &str) {
     assert_eq!(other.dollars, base.dollars, "billing differs: {cell}");
     assert_eq!(other.trace, base.trace, "exported trace differs: {cell}");
     assert_eq!(other.metrics, base.metrics, "logical metrics differ: {cell}");
+    assert_eq!(other.alerts, base.alerts, "alert stream differs: {cell}");
+    assert_eq!(
+        other.explain, base.explain,
+        "explain() report differs: {cell}"
+    );
 }
 
 #[test]

@@ -36,16 +36,25 @@ struct RunResult {
     /// `host_` marker) filtered out; everything else is logical and must
     /// not depend on the worker count.
     metrics: String,
+    /// The burn-rate monitor's alert stream, Debug-formatted — alerts fire
+    /// on sim-time windows over the canonical push stream, so the bytes
+    /// must be identical.
+    alerts: String,
+    /// Flight-recorder incidents as `(sharing, at_us, reason, span ids)` —
+    /// captures happen coordinator-side in canonical order.
+    flight: String,
 }
 
 /// Two machines, one cross-machine joined sharing, seeded chaos, `workers`
 /// worker threads. The explicit `workers` setting wins over the
 /// `SMILE_WORKERS` env override, so this test is meaningful under either CI
-/// leg.
-fn run(workers: usize) -> RunResult {
+/// leg. `sample_rate` > 1 additionally exercises the deterministic span
+/// sampler on the exported trace.
+fn run_sampled(workers: usize, sample_rate: u32) -> RunResult {
     let mut config = SmileConfig::with_machines(2);
     config.faults = FaultProfile::chaos(4242);
     config.exec.workers = workers;
+    config.telemetry.span_sample_rate = sample_rate;
     let mut smile = Smile::new(config);
     let a = smile
         .register_base(
@@ -89,6 +98,21 @@ fn run(workers: usize) -> RunResult {
         .filter(|l| !l.contains("host_"))
         .collect::<Vec<_>>()
         .join("\n");
+    let alerts = format!("{:?}", smile.alerts());
+    let flight = smile
+        .flight_incidents()
+        .iter()
+        .map(|i| {
+            format!(
+                "({}, {}, {}, {:?})",
+                i.sharing,
+                i.at_us,
+                i.reason,
+                i.spans.iter().map(|s| s.id).collect::<Vec<_>>()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(";");
     let executor = smile.executor.as_ref().unwrap();
     RunResult {
         mv: format!("{:?}", smile.mv_contents(id).unwrap().sorted_entries()),
@@ -102,7 +126,14 @@ fn run(workers: usize) -> RunResult {
         dollars: format!("{:.9}", smile.total_dollars()),
         trace,
         metrics,
+        alerts,
+        flight,
     }
+}
+
+/// The default full-fidelity run (sampler off).
+fn run(workers: usize) -> RunResult {
+    run_sampled(workers, 1)
 }
 
 /// One insert into each base per tick, then a tick.
@@ -177,6 +208,43 @@ fn chaos_run_is_byte_identical_at_any_worker_count() {
             r.metrics, base.metrics,
             "logical metrics differ at workers={workers}"
         );
+        assert_eq!(
+            r.alerts, base.alerts,
+            "alert stream differs at workers={workers}"
+        );
+        assert_eq!(
+            r.flight, base.flight,
+            "flight incidents differ at workers={workers}"
+        );
+    }
+}
+
+/// The sampled trace is a determinism surface of its own: with a 1-in-4
+/// sharing sampler the retained span set (and everything else) must still
+/// be byte-identical at any worker count, chaos included.
+#[test]
+fn sampled_chaos_run_is_byte_identical_at_any_worker_count() {
+    let base = run_sampled(1, 4);
+    assert!(!base.pushes.is_empty(), "no pushes completed");
+    for workers in [2usize, 8] {
+        let r = run_sampled(workers, 4);
+        assert_eq!(
+            r.trace, base.trace,
+            "sampled trace differs at workers={workers}"
+        );
+        assert_eq!(
+            r.metrics, base.metrics,
+            "sampled-run metrics differ at workers={workers}"
+        );
+        assert_eq!(
+            r.alerts, base.alerts,
+            "sampled-run alerts differ at workers={workers}"
+        );
+        assert_eq!(
+            r.flight, base.flight,
+            "sampled-run flight incidents differ at workers={workers}"
+        );
+        assert_eq!(r.pushes, base.pushes, "pushes differ at workers={workers}");
     }
 }
 

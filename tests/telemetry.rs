@@ -1,8 +1,9 @@
 //! End-to-end telemetry: every SLA-relevant event must be attributable to
-//! a concrete span path in the exported trace, the per-sharing
-//! staleness-headroom histograms must be populated, `push_records()` must
-//! come back in canonical order, and quiet mode must record no spans at
-//! all while the accounting instruments keep working.
+//! a concrete span path in the exported trace, the fleet-wide
+//! staleness-headroom histogram and bounded per-sharing rollup must be
+//! populated, `push_records()` must come back in canonical order, and
+//! quiet mode must record no spans at all while the accounting
+//! instruments keep working.
 
 use smile::core::catalog::BaseStats;
 use smile::core::platform::{Smile, SmileConfig};
@@ -157,20 +158,21 @@ fn retries_are_attributable_through_the_span_tree() {
     assert!(land.start_us >= ship.start_us, "land began before ship");
 }
 
-/// The headline metric: per-sharing staleness-headroom histograms are
-/// present in the snapshot, consistent with the push record stream, and the
-/// snapshot renders deterministically.
+/// The headline metric: the fleet-wide staleness-headroom histogram and
+/// the bounded per-sharing rollup are present in the snapshot, consistent
+/// with the push record stream, and the snapshot renders
+/// deterministically. Registry cardinality stays O(1) in the sharing
+/// count — the per-sharing `{sharing=N}` instrument family is gone.
 #[test]
-fn snapshot_exposes_staleness_headroom_per_sharing() {
+fn snapshot_exposes_staleness_headroom_rollup() {
     let (mut smile, a, b, id) = build(SmileConfig::with_machines(2), 20);
     feed(&mut smile, a, b, 200);
     smile.run_idle(SimDuration::from_secs(60)).unwrap();
 
     let snap = smile.telemetry_snapshot();
-    let name = format!("push.staleness_headroom_us{{sharing={}}}", id.0);
     let headroom = snap
-        .histogram(&name)
-        .unwrap_or_else(|| panic!("missing {name}"));
+        .histogram("push.staleness_headroom_us")
+        .expect("missing fleet headroom histogram");
     let pushes = smile.push_records();
     assert!(!pushes.is_empty());
     assert_eq!(
@@ -184,15 +186,31 @@ fn snapshot_exposes_staleness_headroom_per_sharing() {
         headroom.max <= SimDuration::from_secs(20).as_micros(),
         "headroom exceeds the SLA bound"
     );
-    // Companion family and enumeration by prefix.
-    assert!(snap
-        .histogram(&format!("push.staleness_after_us{{sharing={}}}", id.0))
-        .is_some());
+    // Companion fleet histogram; exactly one headroom-family histogram —
+    // no per-sharing cardinality.
+    assert!(snap.histogram("push.staleness_after_us").is_some());
     assert_eq!(
         snap.histograms_with_prefix("push.staleness_headroom_us")
             .count(),
         1
     );
+    // The bounded rollup carries per-sharing attribution instead: the
+    // single sharing is the worst-headroom row, and its summary matches
+    // the fleet histogram.
+    let rollup = smile.executor.as_ref().unwrap().rollup();
+    let top = rollup.top_k_worst(8);
+    assert_eq!(top.len(), 1);
+    assert_eq!(top[0].sharing, id.0);
+    assert_eq!(top[0].pushes, pushes.len() as u64);
+    assert_eq!(
+        snap.gauge(&format!(
+            "push.worst_headroom_us{{rank=00,sharing={}}}",
+            id.0
+        )),
+        Some(top[0].min_headroom_us as f64)
+    );
+    // Instrument-count gauges make cardinality creep visible.
+    assert!(snap.gauge("telemetry.instruments").unwrap() >= 1.0);
     // The accounting views agree with the legacy meters.
     assert_eq!(
         snap.gauge("exec.tuples_moved"),
@@ -244,11 +262,19 @@ fn quiet_mode_keeps_the_ring_empty() {
     assert_eq!(smile.telemetry().spans_dropped(), 0);
     assert!(smile.telemetry().spans().is_empty());
 
-    // Instruments still work: waves ran, headroom was recorded.
+    // Instruments still work: waves ran, headroom was recorded into the
+    // fleet histogram and the per-sharing rollup.
     let snap = smile.telemetry_snapshot();
     assert!(snap.counter("wave.waves").unwrap_or(0) >= 1);
-    let name = format!("push.staleness_headroom_us{{sharing={}}}", id.0);
-    assert!(snap.histogram(&name).unwrap().count >= 1);
+    assert!(snap.histogram("push.staleness_headroom_us").unwrap().count >= 1);
+    let exec = smile.executor.as_ref().unwrap();
+    assert!(exec.sharing_summary(id).unwrap().pushes >= 1);
+    // The observability surfaces stay provably empty in quiet mode: no
+    // monitor windows, no alerts, no flight incidents, nothing sampled.
+    assert!(exec.monitor_windows_empty(), "quiet mode filled windows");
+    assert!(smile.alerts().is_empty());
+    assert!(smile.flight_incidents().is_empty());
+    assert_eq!(smile.telemetry().spans_sampled_out(), 0);
     // The trace export degenerates to instants-only (here: none at all).
     let trace = smile.export_trace();
     assert!(trace.contains("\"traceEvents\""));

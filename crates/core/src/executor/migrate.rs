@@ -1,0 +1,341 @@
+//! Live sharing migration: dual-write handoff between an MV's current
+//! placement and a re-planned one, with atomic cutover.
+//!
+//! The protocol, driven by `Smile::migrate_sharing` / the adaptive control
+//! loop:
+//!
+//! 1. **Shadow install** ([`Executor::begin_migration`]): the re-planned
+//!    arrangement is merged into the running global plan as a *shadow
+//!    chain* — deduplicated against the live plan but registered with no
+//!    sharing, so the scheduler ignores it. The platform then materializes
+//!    and seeds the new vertices: the sharing's full state ships to the
+//!    new placement as ordinary seeding + WAL frames.
+//! 2. **Dual write**: while the migration is in flight, every push of the
+//!    migrating sharing additionally plans a *shadow request* over the new
+//!    chain to the same target, in the same batch. Vertices the two
+//!    placements share are planned once and depended upon through the
+//!    batch's plan shadow, so the dual write costs only the delta between
+//!    the placements. The old placement keeps answering throughout — no
+//!    MV advance waits on the migration.
+//! 3. **Cutover** ([`Executor::finish_migrations`]): once a dual write has
+//!    succeeded, nothing is in flight for the sharing, and the shadow MV's
+//!    committed timestamp has caught up with the old MV's, the sharing's
+//!    MV coordinates are atomically repointed
+//!    ([`GlobalPlan::repoint_mv`](crate::multi::GlobalPlan::repoint_mv)),
+//!    the runtime's sources/push-order swap to the new chain, the cached
+//!    critical-path evaluator is rebuilt (a placement change invalidates
+//!    `CpEval`), the push calendar re-evaluates the slot, and the old
+//!    chain's now-unserved storage slots are reported for the platform to
+//!    drop and reconcile against the arrangement registry.
+//! 4. **Abort**: any shadow-side failure — the target machine crashing
+//!    mid-handoff, a lost frame, a failed dependency — marks the migration
+//!    failed; the shadow chain's exclusive slots are torn down and the old
+//!    placement continues untouched. Under crash-only fault profiles the
+//!    shadow work consumes no fault draws, so MV bytes are identical to a
+//!    run that never attempted the migration (pinned by the chaos suite).
+//!
+//! Every decision here is made coordinator-side from deterministic
+//! simulation state in canonical (sharing-slot) order, so migrations are
+//! byte-stable at any worker count.
+
+use super::calendar::SharingCache;
+use super::{us, Executor};
+use crate::optimizer::PlannedSharing;
+use crate::plan::sig::ExprSig;
+use smile_telemetry::{SpanKind, SpanRecord};
+use smile_types::{MachineId, RelationId, Result, SharingId, SmileError, Timestamp, VertexId};
+use std::collections::HashSet;
+
+/// Runtime state of one in-flight migration, keyed by the sharing's slot
+/// index in the executor's migration table.
+#[derive(Clone, Debug)]
+pub(crate) struct MigrationRt {
+    /// The migrating sharing.
+    pub id: SharingId,
+    /// The currently serving MV vertex (old placement).
+    pub old_mv: VertexId,
+    /// Machine the MV is migrating away from.
+    pub from: MachineId,
+    /// The shadow MV vertex (new placement).
+    pub new_mv: VertexId,
+    /// The shadow MV's signature — the cutover repoints the sharing's meta
+    /// to `(new_mv_sig, to)`.
+    pub new_mv_sig: ExprSig,
+    /// Machine the MV is migrating to.
+    pub to: MachineId,
+    /// `SRC(S_i)` of the new placement.
+    pub new_srcs: Vec<VertexId>,
+    /// Push-order subgraph of the new placement.
+    pub new_order: Vec<VertexId>,
+    /// Vertices the shadow merge added to the global plan (the chain's
+    /// exclusive part; shared vertices were deduplicated away).
+    pub shadow_vertices: Vec<VertexId>,
+    /// When the migration began (span timing).
+    pub started: Timestamp,
+    /// At least one dual-write push has fully succeeded on the new chain.
+    pub pushed_ok: bool,
+    /// A shadow-side failure occurred; the migration aborts at the next
+    /// [`Executor::finish_migrations`].
+    pub failed: bool,
+}
+
+/// Settled migration, handed to the platform by
+/// [`Executor::take_migration_outcomes`] for slot drops, arrangement
+/// reconciliation and action logging.
+#[derive(Clone, Debug)]
+pub struct MigrationOutcome {
+    /// The sharing that migrated (or tried to).
+    pub id: SharingId,
+    /// Machine the MV was leaving.
+    pub from: MachineId,
+    /// Machine the MV was moving to.
+    pub to: MachineId,
+    /// When the migration began.
+    pub started: Timestamp,
+    /// When it cut over (or aborted).
+    pub finished: Timestamp,
+    /// `true` = cut over; `false` = aborted (old placement still serves).
+    pub completed: bool,
+    /// Storage slots that no longer serve any sharing and should be
+    /// dropped by the platform (old-chain exclusives on completion,
+    /// shadow-chain exclusives on abort), in canonical order.
+    pub dropped: Vec<(MachineId, RelationId)>,
+}
+
+impl Executor {
+    /// Installs the shadow chain of a live migration: merges the re-planned
+    /// arrangement into the running global plan without registering the
+    /// sharing on it, and returns the vertices new to the plan so the
+    /// platform can materialize and seed them (then call
+    /// [`Executor::mark_vertices_seeded`]). The sharing keeps being served
+    /// by its old placement; every subsequent push dual-writes both chains
+    /// until [`Executor::finish_migrations`] cuts over.
+    pub fn begin_migration(
+        &mut self,
+        id: SharingId,
+        planned: &PlannedSharing,
+        now: Timestamp,
+    ) -> Result<Vec<VertexId>> {
+        let idx = *self.by_id.get(&id).ok_or(SmileError::UnknownSharing(id))?;
+        if self.migrations.contains_key(&idx) {
+            return Err(SmileError::Internal(format!(
+                "sharing {id} is already migrating"
+            )));
+        }
+        let old_mv = self.sharings[idx].mv;
+        let from = self.global.plan.vertex(old_mv).machine;
+        let before = self.global.plan.vertex_count();
+        let remap = self.global.merge_shadow(planned)?;
+        let after = self.global.plan.vertex_count();
+        let new_mv = *remap.get(&planned.mv).ok_or_else(|| {
+            SmileError::Internal("shadow merge lost the MV vertex".into())
+        })?;
+        if new_mv == old_mv {
+            // The whole new plan deduplicated onto the current placement:
+            // nothing would move. Roll nothing back — merge added nothing.
+            return Err(SmileError::Internal(format!(
+                "migration of sharing {id} would not move its MV"
+            )));
+        }
+        self.data_ts.resize(after, Timestamp::ZERO);
+        self.visible_ts.resize(after, Timestamp::ZERO);
+        // Merging only *adds* vertices/edges, so existing per-sharing
+        // runtime state stays valid; only the shared structures rebuilt on
+        // live submit must account for the new vertices here too.
+        self.topo_rank = Self::rank_of(&self.global)?;
+        self.base_beats = self.global.base_relation_vertices();
+        self.anchor_of = self.global.plan.half_join_anchors();
+        let new_mv_sig = self.global.plan.vertex(new_mv).sig.clone();
+        let (new_srcs, new_order) = Self::subgraph_of(&self.global, id, new_mv, &self.topo_rank)?;
+        let shadow_vertices: Vec<VertexId> =
+            (before..after).map(|i| VertexId::new(i as u32)).collect();
+        self.migrations.insert(
+            idx,
+            MigrationRt {
+                id,
+                old_mv,
+                from,
+                new_mv,
+                new_mv_sig,
+                to: planned.mv_machine,
+                new_srcs,
+                new_order,
+                shadow_vertices: shadow_vertices.clone(),
+                started: now,
+                pushed_ok: false,
+                failed: false,
+            },
+        );
+        Ok(shadow_vertices)
+    }
+
+    /// True while `id` has a migration in flight.
+    pub fn migrating(&self, id: SharingId) -> bool {
+        self.by_id
+            .get(&id)
+            .is_some_and(|i| self.migrations.contains_key(i))
+    }
+
+    /// Number of migrations currently in flight.
+    pub fn active_migrations(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// True if any in-flight migration moves an MV from or to `m` — such a
+    /// machine must not be retired out from under the handoff.
+    pub fn migrations_touching(&self, m: MachineId) -> bool {
+        self.migrations.values().any(|mg| mg.from == m || mg.to == m)
+    }
+
+    /// Machines currently hosting at least one live MV, in canonical order
+    /// (the elastic-shrink loop's "is this machine empty" signal).
+    pub fn mv_machines(&self) -> std::collections::BTreeSet<MachineId> {
+        self.sharings
+            .iter()
+            .filter(|rt| !rt.retired)
+            .map(|rt| self.global.plan.vertex(rt.mv).machine)
+            .collect()
+    }
+
+    /// Drains settled migrations (completed or aborted) accumulated by
+    /// [`Executor::finish_migrations`], in settle order.
+    pub fn take_migration_outcomes(&mut self) -> Vec<MigrationOutcome> {
+        std::mem::take(&mut self.migration_outcomes)
+    }
+
+    /// Settles in-flight migrations, in sharing-slot order. A failed one
+    /// aborts: its shadow-exclusive slots are reported droppable and the
+    /// old placement continues untouched. A ready one cuts over: ready
+    /// means a dual write succeeded, no push is in flight, and the shadow
+    /// MV's committed timestamp has caught up with the old MV's — so the
+    /// swap can never publish an MV staler than the one it replaces.
+    pub(crate) fn finish_migrations(&mut self, now: Timestamp) -> Result<()> {
+        if self.migrations.is_empty() {
+            return Ok(());
+        }
+        let idxs: Vec<usize> = self.migrations.keys().copied().collect();
+        for idx in idxs {
+            let (failed, ready) = {
+                let mig = &self.migrations[&idx];
+                let ready = mig.pushed_ok
+                    && !self.sharings[idx].in_flight
+                    && self.visible_ts[mig.new_mv.index()] >= self.visible_ts[mig.old_mv.index()];
+                (mig.failed, ready)
+            };
+            if failed {
+                let mig = self.migrations.remove(&idx).expect("keyed");
+                let dropped = self.droppable_slots();
+                self.record_migration_span(&mig, now, "aborted");
+                self.migration_outcomes.push(MigrationOutcome {
+                    id: mig.id,
+                    from: mig.from,
+                    to: mig.to,
+                    started: mig.started,
+                    finished: now,
+                    completed: false,
+                    dropped,
+                });
+                continue;
+            }
+            if !ready {
+                continue;
+            }
+            let mig = self.migrations.remove(&idx).expect("keyed");
+            // Atomic cutover: repoint the sharing's MV coordinates (SHR
+            // sets recompute, so the old chain's exclusive vertices drop
+            // out), swap the runtime subgraph, and rebuild the cached
+            // critical-path evaluator — the placement change invalidates
+            // the old `CpEval`.
+            self.global
+                .repoint_mv(mig.id, mig.new_mv_sig.clone(), mig.to)?;
+            {
+                let rt = &mut self.sharings[idx];
+                rt.mv = mig.new_mv;
+                rt.srcs = mig.new_srcs.clone();
+                rt.order = mig.new_order.clone();
+            }
+            let rt = &self.sharings[idx];
+            self.caches[idx] =
+                SharingCache::build(&self.global.plan, rt.id, &rt.order, &rt.srcs, &self.model);
+            if let Some(cal) = &mut self.cal {
+                // The slot's projected wake was derived from the old
+                // placement's critical path; re-evaluate it next tick.
+                cal.wake_now(idx);
+            }
+            let dropped = self.droppable_slots();
+            self.record_migration_span(&mig, now, "completed");
+            self.migration_outcomes.push(MigrationOutcome {
+                id: mig.id,
+                from: mig.from,
+                to: mig.to,
+                started: mig.started,
+                finished: now,
+                completed: true,
+                dropped,
+            });
+        }
+        Ok(())
+    }
+
+    /// Storage slots no longer serving any sharing, in canonical order —
+    /// shared by sharing retirement and migration settlement. A slot is
+    /// droppable only if *all* vertices mapped to it are unserved, it is
+    /// not a base relation's, it is not part of an in-flight migration's
+    /// shadow chain (shadow vertices serve no sharing until cutover, but
+    /// their storage is the handoff target), and it has not already been
+    /// claimed by a pending [`MigrationOutcome`] — several migrations can
+    /// settle in one executor tick, and the platform only drops slots (and
+    /// clears the plan's slot assignments) after the whole tick, so
+    /// without that exclusion each later cutover would re-report the
+    /// earlier ones' slots and the platform would double-drop.
+    pub(crate) fn droppable_slots(&self) -> Vec<(MachineId, RelationId)> {
+        let mut still_used: HashSet<(MachineId, RelationId)> = HashSet::new();
+        let mut candidates: HashSet<(MachineId, RelationId)> = HashSet::new();
+        for o in &self.migration_outcomes {
+            still_used.extend(o.dropped.iter().copied());
+        }
+        for v in self.global.plan.vertices() {
+            let Some(slot) = v.slot else { continue };
+            if v.is_base || !v.sharings.is_empty() {
+                still_used.insert((v.machine, slot));
+            } else {
+                candidates.insert((v.machine, slot));
+            }
+        }
+        for mig in self.migrations.values() {
+            for &v in &mig.shadow_vertices {
+                let vert = self.global.plan.vertex(v);
+                if let Some(slot) = vert.slot {
+                    still_used.insert((vert.machine, slot));
+                }
+            }
+        }
+        let mut out: Vec<(MachineId, RelationId)> =
+            candidates.difference(&still_used).copied().collect();
+        out.sort();
+        out
+    }
+
+    /// One span covering the whole migration window, recorded at settle
+    /// time from coordinator-side state only.
+    fn record_migration_span(&self, mig: &MigrationRt, now: Timestamp, outcome: &str) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        self.telemetry.record_span(SpanRecord {
+            id: self.telemetry.next_span_id(),
+            parent: None,
+            kind: SpanKind::Migration,
+            start_us: us(mig.started),
+            end_us: us(now),
+            machine: Some(mig.to.0),
+            sharing: Some(mig.id.0),
+            batch_id: None,
+            attrs: vec![
+                ("from", format!("m{}", mig.from.0)),
+                ("to", format!("m{}", mig.to.0)),
+                ("outcome", outcome.to_string()),
+            ],
+        });
+    }
+}

@@ -26,9 +26,12 @@
 
 mod calendar;
 pub mod messages;
+mod migrate;
 pub mod push;
 pub mod seed;
 mod wave;
+
+pub use migrate::MigrationOutcome;
 
 use crate::multi::GlobalPlan;
 use crate::plan::cost::{critical_path, Scope};
@@ -235,6 +238,10 @@ struct BatchRequest {
     mv: VertexId,
     /// The sharing being advanced.
     sharing: SharingId,
+    /// Dual-write shadow of a live migration: advances the new placement's
+    /// chain alongside the real request, with no completion bookkeeping —
+    /// only the owning migration's handoff state.
+    shadow: bool,
 }
 
 /// One edge job of a batch: advance `vertex` over `(from, to]` by running
@@ -442,11 +449,26 @@ pub struct Executor {
     monitor: BurnRateMonitor,
     /// Alerts fired so far, in fire order — the adaptive-runtime feed.
     alerts: Vec<Alert>,
+    /// In-flight live migrations, keyed by sharing slot index (BTreeMap so
+    /// settlement iterates in canonical order).
+    migrations: std::collections::BTreeMap<usize, migrate::MigrationRt>,
+    /// Settled migrations awaiting platform pickup
+    /// ([`Executor::take_migration_outcomes`]).
+    migration_outcomes: Vec<MigrationOutcome>,
 }
 
 impl Executor {
-    fn build_rt(global: &GlobalPlan, s: &Sharing, topo_rank: &[u32]) -> Result<SharingRt> {
-        let mv = global.mv_vertex(s.id)?;
+    /// A sharing's executable subgraph rooted at `mv`: its base-relation
+    /// sources (`SRC(S_i)`) and the push-order list of its non-base
+    /// vertices. Shared by runtime construction and the live-migration
+    /// shadow install (which derives the *new* placement's subgraph before
+    /// any SHR set mentions it).
+    fn subgraph_of(
+        global: &GlobalPlan,
+        id: SharingId,
+        mv: VertexId,
+        topo_rank: &[u32],
+    ) -> Result<(Vec<VertexId>, Vec<VertexId>)> {
         let (anc, _) = global.plan.ancestors(mv);
         // `SRC(S_i)`: the base *relations* feeding the sharing. A plan may
         // reference a base only through its delta vertex (scan plans copy
@@ -474,8 +496,7 @@ impl Executor {
         let srcs: Vec<VertexId> = src_keys.into_iter().collect();
         if srcs.is_empty() {
             return Err(SmileError::InvalidPlan(format!(
-                "sharing {} has no base-relation sources",
-                s.id
+                "sharing {id} has no base-relation sources"
             )));
         }
         // Sorting the subgraph members by their rank in the shared
@@ -489,6 +510,12 @@ impl Executor {
             .collect();
         order.sort_unstable_by_key(|v| topo_rank[v.index()]);
         order.dedup();
+        Ok((srcs, order))
+    }
+
+    fn build_rt(global: &GlobalPlan, s: &Sharing, topo_rank: &[u32]) -> Result<SharingRt> {
+        let mv = global.mv_vertex(s.id)?;
+        let (srcs, order) = Self::subgraph_of(global, s.id, mv, topo_rank)?;
         Ok(SharingRt {
             id: s.id,
             sla: s.staleness_sla,
@@ -595,6 +622,8 @@ impl Executor {
             rollup,
             monitor,
             alerts: Vec::new(),
+            migrations: std::collections::BTreeMap::new(),
+            migration_outcomes: Vec::new(),
         })
     }
 
@@ -697,28 +726,22 @@ impl Executor {
         if let Some(cal) = &mut self.cal {
             cal.retire(idx);
         }
+        // Retiring mid-migration abandons the handoff: the next settle
+        // pass tears the shadow chain down with the rest of the sharing's
+        // now-unserved slots.
+        if let Some(mig) = self.migrations.get_mut(&idx) {
+            mig.failed = true;
+        }
         if self.global.indexed_shr {
             self.global.strip_sharing(id);
         } else {
             self.global.sharings.retain(|m| m.id != id);
             self.global.recompute_shr()?;
         }
-        // Collect every slot (Relation+Delta pairs share one; half-join
-        // deltas have their own) that no longer serves any sharing. A slot
-        // is droppable only if *all* vertices mapped to it are unserved.
-        let mut still_used: std::collections::HashSet<(MachineId, RelationId)> =
-            std::collections::HashSet::new();
-        let mut candidates: std::collections::HashSet<(MachineId, RelationId)> =
-            std::collections::HashSet::new();
-        for v in self.global.plan.vertices() {
-            let Some(slot) = v.slot else { continue };
-            if v.is_base || !v.sharings.is_empty() {
-                still_used.insert((v.machine, slot));
-            } else {
-                candidates.insert((v.machine, slot));
-            }
-        }
-        Ok(candidates.difference(&still_used).copied().collect())
+        // Every slot (Relation+Delta pairs share one; half-join deltas have
+        // their own) that no longer serves any sharing — the same reconcile
+        // migration settlement runs.
+        Ok(self.droppable_slots())
     }
 
     /// Current staleness of a sharing: base relations are current as of
@@ -810,6 +833,10 @@ impl Executor {
             }
             self.alerts.extend(fired);
         }
+        // Settle live migrations after completions landed but before this
+        // tick plans: a cutover that becomes ready at tick T re-plans the
+        // sharing over its new placement in the same tick.
+        self.finish_migrations(now)?;
         self.heartbeat_round(cluster, now);
         self.poll_bus(now);
         let (requests, jobs) = self.plan_batch(cluster, now)?;
@@ -1381,8 +1408,47 @@ impl Executor {
             predicted,
             mv: rt.mv,
             sharing: rt.id,
+            shadow: false,
         });
-        for &v in &rt.order {
+        self.plan_vertex_jobs(&rt.order, target, req, plan_ts, last_job_on, jobs)?;
+        // Dual write: while a migration is in flight, the same push also
+        // advances the new placement's chain to the same target, in the
+        // same batch. Shared vertices were just planned (or overlaid) by
+        // the real request, so `plan_ts` dedup makes the shadow pass plan
+        // only the placement delta — and its jobs naturally depend on the
+        // real jobs through `last_job_on`.
+        if let Some(mig) = self.migrations.get(&idx) {
+            if !mig.failed {
+                let sreq = requests.len();
+                requests.push(BatchRequest {
+                    idx,
+                    target,
+                    attempt,
+                    staleness_before,
+                    predicted,
+                    mv: mig.new_mv,
+                    sharing: rt.id,
+                    shadow: true,
+                });
+                self.plan_vertex_jobs(&mig.new_order, target, sreq, plan_ts, last_job_on, jobs)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Plans the edge jobs advancing `order` (a push-order vertex list) to
+    /// `target` on behalf of request `req` — the per-vertex half of
+    /// [`Executor::push_request`], shared by real and shadow requests.
+    fn plan_vertex_jobs(
+        &self,
+        order: &[VertexId],
+        target: Timestamp,
+        req: usize,
+        plan_ts: &mut PlanTs,
+        last_job_on: &mut HashMap<VertexId, usize>,
+        jobs: &mut Vec<BatchJob>,
+    ) -> Result<()> {
+        for &v in order {
             if plan_ts.get(&self.data_ts, v) >= target {
                 // Another request (this batch or an earlier tick) already
                 // advances this shared vertex far enough; depend on its job
@@ -1725,6 +1791,21 @@ impl Executor {
             // the commit events of successful jobs are already in.
             self.tuples_moved += req_tuples[r];
             *self.tuples_per_sharing.entry(req.sharing).or_default() += req_tuples[r];
+            if req.shadow {
+                // A shadow request only advances the migration's handoff
+                // state: no PushDone, no push record, no retry — the real
+                // request owns the sharing's completion bookkeeping, and
+                // the next real push re-plans the shadow chain from its
+                // landed `data_ts`.
+                if let Some(mig) = self.migrations.get_mut(&req.idx) {
+                    if req_failed[r] {
+                        mig.failed = true;
+                    } else {
+                        mig.pushed_ok = true;
+                    }
+                }
+                continue;
+            }
             if req_failed[r] {
                 if req.attempt >= self.config.retry.max_attempts {
                     self.fault_stats.pushes_abandoned += 1;
@@ -1921,6 +2002,18 @@ impl Executor {
         // and a half-join additionally corrects its snapshot relation back
         // to its *sibling's* coverage, which lags its own after a partial
         // failure, so the relation's log is pinned by both.
+        //
+        // Base logs carry one more pin: a live migration re-seeds a shadow
+        // chain from base snapshots *as of the sharing's committed MV
+        // timestamp*, so every base slot an edge reads must stay
+        // reconstructable back to the oldest committed MV among the
+        // sharings that edge serves.
+        let mv_floor: HashMap<SharingId, Timestamp> = self
+            .sharings
+            .iter()
+            .filter(|rt| !rt.retired)
+            .map(|rt| (rt.id, self.visible_ts[rt.mv.index()]))
+            .collect();
         for e in self.global.plan.edges() {
             if e.inputs.is_empty() {
                 continue; // detached
@@ -1929,11 +2022,23 @@ impl Executor {
             if let Some(sib) = self.anchor_of.get(&e.id) {
                 out_ts = out_ts.min(self.data_ts[sib.index()]);
             }
+            let base_floor = e
+                .sharings
+                .iter()
+                .filter_map(|s| mv_floor.get(s))
+                .min()
+                .copied()
+                .unwrap_or(Timestamp::MAX);
             for &input in &e.inputs {
                 let iv = self.global.plan.vertex(input);
                 let Some(slot) = iv.slot else { continue };
+                let pin = if iv.is_base {
+                    out_ts.min(base_floor)
+                } else {
+                    out_ts
+                };
                 let b = bound.entry((iv.machine, slot)).or_insert(Timestamp::MAX);
-                *b = (*b).min(out_ts);
+                *b = (*b).min(pin);
             }
         }
         for ((machine, slot), ts) in bound {

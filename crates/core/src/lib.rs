@@ -29,11 +29,13 @@ pub mod multi;
 pub mod optimizer;
 pub mod plan;
 pub mod platform;
+pub mod reoptimizer;
 pub mod sharing;
 pub mod snapshot;
 
 pub use catalog::Catalog;
 pub use executor::{ExecConfig, RetryPolicy};
 pub use merge_catalog::MergeCatalog;
-pub use platform::{FaultReport, SharingRequest, Smile, SmileConfig};
+pub use platform::{Action, ActionKind, AdaptiveConfig, FaultReport, SharingRequest, Smile, SmileConfig};
+pub use reoptimizer::Reoptimizer;
 pub use sharing::Sharing;

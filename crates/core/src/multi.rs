@@ -140,6 +140,39 @@ impl GlobalPlan {
         Ok(())
     }
 
+    /// Merges a re-planned sharing's vertices into the global plan *without*
+    /// registering the sharing on them: the shadow chain of a live
+    /// migration. Dedup works exactly as in [`GlobalPlan::merge`], so any
+    /// vertex the new placement shares with the existing plan is reused;
+    /// vertices unique to the new placement are created with empty `SHR`
+    /// sets (no sharing serves through them until cutover flips the
+    /// sharing's MV coordinates and SHR is recomputed). Returns the
+    /// old-plan → global-plan vertex remap so the caller can locate the
+    /// shadow MV (`remap[&planned.mv]`).
+    pub fn merge_shadow(&mut self, planned: &PlannedSharing) -> Result<HashMap<VertexId, VertexId>> {
+        self.merge_vertices(&planned.plan, None)
+    }
+
+    /// Atomically repoints sharing `id`'s MV to `(mv_sig, mv_machine)` —
+    /// the cutover step of a live migration — and recomputes every `SHR`
+    /// set so the old chain's exclusive vertices drop out and the shadow
+    /// chain's vertices gain the sharing.
+    pub fn repoint_mv(
+        &mut self,
+        id: SharingId,
+        mv_sig: ExprSig,
+        mv_machine: MachineId,
+    ) -> Result<()> {
+        let meta = self
+            .sharings
+            .iter_mut()
+            .find(|m| m.id == id)
+            .ok_or(SmileError::UnknownSharing(id))?;
+        meta.mv_sig = mv_sig;
+        meta.mv_machine = mv_machine;
+        self.recompute_shr()
+    }
+
     /// Removes one sharing's metadata and strips it from every `SHR` set in
     /// place — the incremental counterpart of dropping the meta and calling
     /// [`GlobalPlan::recompute_shr`]. Equivalent because stripping an id

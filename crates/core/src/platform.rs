@@ -18,14 +18,15 @@ use crate::catalog::{BaseStats, Catalog};
 use crate::executor::seed::eval_sig;
 use crate::executor::{ExecConfig, Executor};
 use crate::merge_catalog::MergeCatalog;
-use crate::multi::{hill_climb, hill_climb_indexed, GlobalPlan, HillClimbReport};
-use crate::optimizer::{Objective, Optimizer, PlannedSharing};
+use crate::multi::{GlobalPlan, HillClimbReport};
+use crate::optimizer::{Objective, PlannedSharing};
 use crate::plan::cost::{machine_utilization, Scope};
 use crate::plan::dag::{DeltaSide, EdgeOp, VertexKind};
 use crate::plan::timecost::TimeCostModel;
+use crate::reoptimizer::Reoptimizer;
 use crate::sharing::Sharing;
 use crate::snapshot::SnapshotModule;
-use smile_sim::{Cluster, FaultProfile, MachineConfig, PriceSheet};
+use smile_sim::{Cluster, FaultProfile, MachineConfig, MachineState, PriceSheet};
 use smile_storage::registry::ArrangementKey;
 use smile_storage::spj::RelationProvider;
 use smile_storage::{ArrangementRegistry, DeltaBatch, SpjQuery, ZSet};
@@ -92,6 +93,10 @@ pub struct SmileConfig {
     /// conformance and the scan arm of the executor-scale bench. Both
     /// modes plan byte-identical batches, so all observable state matches.
     pub calendar_scheduling: bool,
+    /// Adaptive-runtime actuator settings: online re-planning, live MV
+    /// migration and dollar-budgeted fleet elasticity. Disabled by default
+    /// so every pre-adaptive workload replays byte-identically.
+    pub adaptive: AdaptiveConfig,
     /// Whether admission goes through the merge catalog (default): the
     /// global plan is merged incrementally at submit time, committed
     /// utilization is tracked incrementally, and SHR membership is extended
@@ -121,7 +126,134 @@ impl SmileConfig {
             telemetry: TelemetryConfig::default(),
             columnar: true,
             calendar_scheduling: true,
+            adaptive: AdaptiveConfig::default(),
             indexed_admission: true,
+        }
+    }
+}
+
+/// Settings for the adaptive runtime actuator (the control loop run by
+/// [`Smile::step`] when `enabled`): it drains burn-rate alerts, re-plans
+/// alerted sharings off their saturated machine through the
+/// [`Reoptimizer`], live-migrates their MVs, and grows/shrinks the fleet
+/// against an hourly dollar budget.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// Master switch. Off by default: the control loop never runs, so every
+    /// pre-adaptive workload replays byte-identically.
+    pub enabled: bool,
+    /// Hourly instance-dollar ceiling for the reserved fleet. A scale-up
+    /// that would push `reserved × cpu_per_hour` past it is denied (and
+    /// logged as [`ActionKind::ScaleDenied`]).
+    pub budget_dollars_per_hour: f64,
+    /// Minimum sim-time between two migrations of the same sharing, so one
+    /// sustained alert storm cannot thrash an MV back and forth.
+    pub cooldown: SimDuration,
+    /// Migration cap per drained alert: at most this many MVs leave the
+    /// saturated machine per control decision.
+    pub max_migrations_per_alert: usize,
+    /// How long an *elastic* machine (added by scale-up) must host no MV
+    /// before the shrink pass drains and retires it.
+    pub idle_retire_after: SimDuration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            budget_dollars_per_hour: 0.0,
+            cooldown: SimDuration::from_secs(60),
+            max_migrations_per_alert: 2,
+            idle_retire_after: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// One decision the adaptive actuator took, stamped with the sim-time it
+/// was made at. The action log is derived exclusively from deterministic
+/// simulation state in canonical order, so it is byte-identical at any
+/// worker count — pinned by the adaptive conformance suite.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Action {
+    /// Simulated microseconds since time zero.
+    pub at_us: u64,
+    /// What was decided.
+    pub kind: ActionKind,
+}
+
+/// The decision taken by one adaptive-control action.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ActionKind {
+    /// A live migration began: the sharing's MV dual-writes `from` → `to`.
+    MigrationStarted {
+        /// The migrating sharing.
+        sharing: SharingId,
+        /// Machine the MV is leaving.
+        from: MachineId,
+        /// Machine the MV is moving to.
+        to: MachineId,
+    },
+    /// A live migration cut over; the MV now serves from `to`.
+    MigrationCompleted {
+        /// The migrated sharing.
+        sharing: SharingId,
+        /// Machine the MV left.
+        from: MachineId,
+        /// Machine the MV now serves from.
+        to: MachineId,
+    },
+    /// A live migration aborted; the MV keeps serving from `from`.
+    MigrationAborted {
+        /// The sharing whose migration aborted.
+        sharing: SharingId,
+        /// Machine the MV stays on.
+        from: MachineId,
+        /// Machine the handoff was targeting.
+        to: MachineId,
+    },
+    /// The fleet grew by one machine within the dollar budget.
+    ScaleUp {
+        /// The newly added machine.
+        machine: MachineId,
+    },
+    /// A scale-up was denied: the budget could not cover one more machine.
+    ScaleDenied {
+        /// Reserved (non-retired) machine count at the time of denial.
+        active: usize,
+    },
+    /// A drained elastic machine was retired from the fleet.
+    ScaleDown {
+        /// The retired machine.
+        machine: MachineId,
+    },
+}
+
+impl ActionKind {
+    /// The sharing this action concerns, if any.
+    pub fn sharing(&self) -> Option<SharingId> {
+        match self {
+            ActionKind::MigrationStarted { sharing, .. }
+            | ActionKind::MigrationCompleted { sharing, .. }
+            | ActionKind::MigrationAborted { sharing, .. } => Some(*sharing),
+            _ => None,
+        }
+    }
+
+    /// Compact deterministic label for reports and goldens.
+    pub fn label(&self) -> String {
+        match self {
+            ActionKind::MigrationStarted { from, to, .. } => {
+                format!("migration_started m{}->m{}", from.0, to.0)
+            }
+            ActionKind::MigrationCompleted { from, to, .. } => {
+                format!("migration_completed m{}->m{}", from.0, to.0)
+            }
+            ActionKind::MigrationAborted { from, to, .. } => {
+                format!("migration_aborted m{}->m{}", from.0, to.0)
+            }
+            ActionKind::ScaleUp { machine } => format!("scale_up m{}", machine.0),
+            ActionKind::ScaleDenied { active } => format!("scale_denied at {active} machines"),
+            ActionKind::ScaleDown { machine } => format!("scale_down m{}", machine.0),
         }
     }
 }
@@ -212,6 +344,17 @@ pub struct Smile {
     /// Entries ingested at or before the seed instant would fall outside
     /// the half-open push windows `(seed, t]`; ingest clamps them above it.
     seed_floor: Option<Timestamp>,
+    /// Typed log of every adaptive-actuator decision, in decision order.
+    actions: Vec<Action>,
+    /// How many of the executor's alerts the control loop has consumed.
+    alert_cursor: usize,
+    /// Last migration start per sharing (cooldown bookkeeping).
+    last_migration: HashMap<SharingId, Timestamp>,
+    /// Re-planned placements of in-flight migrations; applied to `planned`
+    /// (and committed utilization) when the cutover settles.
+    pending_plans: HashMap<SharingId, PlannedSharing>,
+    /// Since when each *elastic* machine has hosted no MV (shrink pass).
+    mv_idle_since: HashMap<MachineId, Timestamp>,
 }
 
 impl Smile {
@@ -242,6 +385,11 @@ impl Smile {
             now: Timestamp::ZERO,
             next_sharing: 1,
             seed_floor: None,
+            actions: Vec::new(),
+            alert_cursor: 0,
+            last_migration: HashMap::new(),
+            pending_plans: HashMap::new(),
+            mv_idle_since: HashMap::new(),
         }
     }
 
@@ -331,34 +479,18 @@ impl Smile {
             }
             committed
         };
-        let optimizer = Optimizer::new(
+        // The decision itself lives in the re-entrant `Reoptimizer` — the
+        // same plan-search + placement logic the adaptive control loop
+        // re-invokes online against live fleet state.
+        let plan_result = Reoptimizer::new(
             &self.catalog,
             self.cluster.machine_ids(),
             &self.config.model,
             &self.config.prices,
         )
-        .with_committed(committed)
         .with_capacity(self.config.capacity)
-        .with_mv_machine(mv_machine);
-        let plan_result = (|| match self.config.force_objective {
-            Some(obj) => {
-                let p = optimizer.plan_with(&sharing, obj)?;
-                // Even a forced objective respects the admissibility test.
-                if optimizer
-                    .plan_with(&sharing, Objective::Time)?
-                    .critical_path
-                    > sharing.staleness_sla
-                {
-                    return Err(SmileError::Inadmissible {
-                        sharing: id,
-                        critical_path_secs: p.critical_path.as_secs_f64(),
-                        sla_secs: sharing.sla_secs(),
-                    });
-                }
-                Ok(p)
-            }
-            None => optimizer.plan_pair(&sharing)?.choose(&sharing),
-        })();
+        .with_force_objective(self.config.force_objective)
+        .plan_admission(&sharing, committed, mv_machine);
         let mut planned = match plan_result {
             Ok(p) => {
                 self.telemetry
@@ -436,21 +568,17 @@ impl Smile {
         };
         global.indexed_shr = self.config.indexed_admission;
         if self.config.hill_climb {
-            let report = if self.config.indexed_admission {
-                hill_climb_indexed(
-                    &mut global,
-                    &self.config.model,
-                    &self.config.prices,
-                    self.config.hill_climb_iterations,
-                )
-            } else {
-                hill_climb(
-                    &mut global,
-                    &self.config.model,
-                    &self.config.prices,
-                    self.config.hill_climb_iterations,
-                )
-            };
+            let report = Reoptimizer::new(
+                &self.catalog,
+                self.cluster.machine_ids(),
+                &self.config.model,
+                &self.config.prices,
+            )
+            .hill_climb_placement(
+                &mut global,
+                self.config.indexed_admission,
+                self.config.hill_climb_iterations,
+            );
             self.hc_report = Some(report);
             if self.config.indexed_admission {
                 // Plumbing + garbage collection remapped vertex ids.
@@ -524,7 +652,7 @@ impl Smile {
     /// `install` and on-the-fly additions. Returns the vertices whose
     /// storage was created (and therefore freshly seeded) by this call.
     fn materialize(&mut self, global: &mut GlobalPlan) -> Result<Vec<smile_types::VertexId>> {
-        materialize_into(&mut self.catalog, &mut self.cluster, global, self.now)
+        materialize_into(&mut self.catalog, &mut self.cluster, global, None, self.now)
     }
 
     /// **On-the-fly admission** (paper §10 future work): plans, admits and
@@ -552,16 +680,16 @@ impl Smile {
             let executor = self.executor.as_ref().expect("checked");
             machine_utilization(&executor.global.plan, Scope::All, &self.config.model)
         };
-        let optimizer = Optimizer::new(
+        // Live admission places only among *active* machines: a draining
+        // or retired machine must not gain new MVs.
+        let mut planned = Reoptimizer::new(
             &self.catalog,
-            self.cluster.machine_ids(),
+            self.cluster.active_machine_ids(),
             &self.config.model,
             &self.config.prices,
         )
-        .with_committed(committed)
         .with_capacity(self.config.capacity)
-        .with_mv_machine(mv_machine);
-        let mut planned = optimizer.plan_pair(&sharing)?.choose(&sharing)?;
+        .plan_admission(&sharing, committed, mv_machine)?;
         self.telemetry
             .registry()
             .counter("planner.sharings_admitted")
@@ -576,6 +704,7 @@ impl Smile {
             &mut self.catalog,
             &mut self.cluster,
             &mut executor.global,
+            None,
             self.now,
         )?;
         executor.mark_vertices_seeded(&created, self.now);
@@ -606,14 +735,42 @@ impl Smile {
             .as_mut()
             .ok_or_else(|| SmileError::Internal("retire before install".into()))?;
         let dropped = executor.remove_sharing(id)?;
+        self.drop_slots(&dropped)?;
+        if let Some(pos) = self.sharings.iter().position(|s| s.id == id) {
+            if self.config.indexed_admission {
+                let plan = &self.planned[pos].plan;
+                for (m, u) in machine_utilization(plan, Scope::All, &self.config.model) {
+                    *self.committed.entry(m).or_default() -= u;
+                }
+            }
+            self.sharings.remove(pos);
+            self.planned.remove(pos);
+        }
+        self.pending_plans.remove(&id);
+        self.last_migration.remove(&id);
+        self.sync_arrangements()?;
+        Ok(())
+    }
+
+    /// Drops a set of now-unserved storage slots and clears their vertex
+    /// slot markers (so a future identical sharing re-materializes) — the
+    /// single reconcile shared by sharing retirement and live-migration
+    /// settlement, which used to be duplicated at every call site.
+    fn drop_slots(&mut self, dropped: &[(MachineId, RelationId)]) -> Result<()> {
         let mut dropped_set: std::collections::HashSet<(MachineId, RelationId)> =
             std::collections::HashSet::new();
-        for (machine, slot) in dropped {
+        for &(machine, slot) in dropped {
             if dropped_set.insert((machine, slot)) {
                 self.cluster.machine_mut(machine)?.db.drop_relation(slot)?;
             }
         }
-        // Clear slot markers so a future identical sharing re-materializes.
+        if dropped_set.is_empty() {
+            return Ok(());
+        }
+        let executor = self
+            .executor
+            .as_mut()
+            .ok_or_else(|| SmileError::Internal("drop_slots before install".into()))?;
         let vertex_ids: Vec<_> = executor
             .global
             .plan
@@ -629,17 +786,6 @@ impl Smile {
                 }
             }
         }
-        if let Some(pos) = self.sharings.iter().position(|s| s.id == id) {
-            if self.config.indexed_admission {
-                let plan = &self.planned[pos].plan;
-                for (m, u) in machine_utilization(plan, Scope::All, &self.config.model) {
-                    *self.committed.entry(m).or_default() -= u;
-                }
-            }
-            self.sharings.remove(pos);
-            self.planned.remove(pos);
-        }
-        self.sync_arrangements()?;
         Ok(())
     }
 
@@ -659,7 +805,11 @@ impl Smile {
         self.cluster.machine_mut(machine)?.db.ingest(rel, batch)
     }
 
-    /// Advances the platform by one executor tick.
+    /// Advances the platform by one executor tick, settles any live
+    /// migrations the tick cut over or aborted, and — when the adaptive
+    /// actuator is enabled — runs one deterministic control decision:
+    /// drain new burn-rate alerts, re-plan and migrate alerted sharings off
+    /// their saturated machine, and grow/shrink the fleet within budget.
     pub fn step(&mut self) -> Result<()> {
         let executor = self
             .executor
@@ -669,10 +819,398 @@ impl Smile {
         // plans around them.
         self.cluster.apply_faults(self.now);
         executor.tick(&mut self.cluster, self.now)?;
+        self.settle_migrations()?;
+        if self.config.adaptive.enabled {
+            self.adaptive_control()?;
+        }
+        let executor = self.executor.as_mut().expect("checked above");
         self.snapshot
             .maybe_record(executor, &mut self.cluster, self.now);
         self.now += self.config.exec.tick;
         Ok(())
+    }
+
+    /// Typed log of every adaptive-actuator decision so far, in decision
+    /// order (byte-identical at any worker count).
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    fn push_action(&mut self, kind: ActionKind) {
+        self.actions.push(Action {
+            at_us: (self.now - Timestamp::ZERO).as_micros(),
+            kind,
+        });
+    }
+
+    /// **Live migration** (tentpole of the adaptive runtime): re-plans a
+    /// running sharing over the active machine set — optionally pinning the
+    /// new MV to `to` — and, if a better placement exists, starts the
+    /// executor's dual-write handoff. Returns `Ok(true)` when a migration
+    /// began, `Ok(false)` when the current placement already wins (or the
+    /// sharing is mid-migration). The MV keeps serving throughout; the
+    /// cutover settles in a later [`Smile::step`].
+    pub fn migrate_sharing(&mut self, id: SharingId, to: Option<MachineId>) -> Result<bool> {
+        let machines = self.cluster.active_machine_ids();
+        self.replan_and_migrate(id, machines, to)
+    }
+
+    /// Re-plans `id` among `machines` against live fleet utilization and
+    /// starts the shadow-chain handoff when the placement moves.
+    fn replan_and_migrate(
+        &mut self,
+        id: SharingId,
+        machines: Vec<MachineId>,
+        pin: Option<MachineId>,
+    ) -> Result<bool> {
+        let pos = self
+            .sharings
+            .iter()
+            .position(|s| s.id == id)
+            .ok_or(SmileError::UnknownSharing(id))?;
+        let (live, cur_machine, seed_at) = {
+            let executor = self
+                .executor
+                .as_ref()
+                .ok_or_else(|| SmileError::Internal("migrate before install".into()))?;
+            if executor.migrating(id) {
+                return Ok(false);
+            }
+            let live = machine_utilization(&executor.global.plan, Scope::All, &self.config.model);
+            let mv = executor.global.mv_vertex(id)?;
+            (live, executor.global.plan.vertex(mv).machine, executor.mv_ts(id)?)
+        };
+        let mut planned = Reoptimizer::new(
+            &self.catalog,
+            machines,
+            &self.config.model,
+            &self.config.prices,
+        )
+        .with_capacity(self.config.capacity)
+        .replan(&self.sharings[pos], live, &self.planned[pos], pin)?;
+        if !self.config.use_arrangements {
+            set_join_indexing(&mut planned.plan, false);
+        }
+        if planned.mv_machine == cur_machine {
+            return Ok(false); // the current placement already wins
+        }
+        // Shadow install: merge the new chain into the running plan, then
+        // materialize + seed its storage exactly like a live admission. No
+        // arrangement sync yet — the shadow chain serves no sharing until
+        // cutover recomputes SHR; its physical indexes already exist from
+        // materialization.
+        let executor = self.executor.as_mut().expect("checked above");
+        executor.begin_migration(id, &planned, self.now)?;
+        // Seed the shadow chain *as of the old chain's committed MV
+        // timestamp*, not `now`: the shadow reuses the old chain's anchored
+        // half-join vertices, whose push windows tile forward from that
+        // commit point. A seed at `now` would double-count the in-flight
+        // window's base entries on one side and miss the cross term on the
+        // other; seeding at `mv_ts` makes the correction algebra telescope
+        // exactly (base logs are retained back to every live MV's commit
+        // point by the executor's compaction bound).
+        let created = materialize_into(
+            &mut self.catalog,
+            &mut self.cluster,
+            &mut executor.global,
+            Some(seed_at),
+            self.now,
+        )?;
+        executor.mark_vertices_seeded(&created, seed_at);
+        // Entries stamped at or before the seed instant are baked into the
+        // shadow seed; a later ingest back-dated past it would be missed by
+        // the shadow chain's half-open push windows.
+        let floor = seed_at + SimDuration::from_micros(1);
+        self.seed_floor = Some(self.seed_floor.map_or(floor, |f| f.max(floor)));
+        self.last_migration.insert(id, self.now);
+        let to = planned.mv_machine;
+        self.pending_plans.insert(id, planned);
+        self.push_action(ActionKind::MigrationStarted {
+            sharing: id,
+            from: cur_machine,
+            to,
+        });
+        Ok(true)
+    }
+
+    /// Applies migration outcomes the executor settled this tick: drops
+    /// now-unserved slots, swaps the sharing's admitted plan (and its
+    /// committed-utilization contribution) on completion, reconciles
+    /// arrangements, logs the action — and retires any drained machine
+    /// that no longer hosts MVs, migrations or base relations.
+    fn settle_migrations(&mut self) -> Result<()> {
+        let outcomes = match self.executor.as_mut() {
+            Some(e) => e.take_migration_outcomes(),
+            None => return Ok(()),
+        };
+        let any = !outcomes.is_empty();
+        for o in outcomes {
+            self.drop_slots(&o.dropped)?;
+            if o.completed {
+                let new_plan = self.pending_plans.remove(&o.id);
+                if let (Some(new_plan), Some(pos)) = (
+                    new_plan,
+                    self.sharings.iter().position(|s| s.id == o.id),
+                ) {
+                    if self.config.indexed_admission {
+                        let old = &self.planned[pos].plan;
+                        for (m, u) in machine_utilization(old, Scope::All, &self.config.model) {
+                            *self.committed.entry(m).or_default() -= u;
+                        }
+                        for (m, u) in
+                            machine_utilization(&new_plan.plan, Scope::All, &self.config.model)
+                        {
+                            *self.committed.entry(m).or_default() += u;
+                        }
+                    }
+                    self.planned[pos] = new_plan;
+                }
+                self.push_action(ActionKind::MigrationCompleted {
+                    sharing: o.id,
+                    from: o.from,
+                    to: o.to,
+                });
+            } else {
+                self.pending_plans.remove(&o.id);
+                self.push_action(ActionKind::MigrationAborted {
+                    sharing: o.id,
+                    from: o.from,
+                    to: o.to,
+                });
+            }
+        }
+        if any {
+            self.sync_arrangements()?;
+        }
+        // Drain-before-retire: a Draining machine leaves the fleet only
+        // once nothing is homed on it — no live MV, no in-flight handoff
+        // touching it, no base relation.
+        let draining: Vec<MachineId> = self
+            .cluster
+            .machine_ids()
+            .into_iter()
+            .filter(|&m| self.cluster.machine_state(m) == MachineState::Draining)
+            .collect();
+        if !draining.is_empty() {
+            let executor = self.executor.as_ref().expect("outcomes drained above");
+            let hosting = executor.mv_machines();
+            let mut retire: Vec<MachineId> = Vec::new();
+            for m in draining {
+                let busy = hosting.contains(&m)
+                    || executor.migrations_touching(m)
+                    || self.catalog.bases().iter().any(|b| b.machine == m);
+                if !busy {
+                    retire.push(m);
+                }
+            }
+            for m in retire {
+                self.cluster.retire_machine(m, self.now);
+                self.push_action(ActionKind::ScaleDown { machine: m });
+            }
+        }
+        Ok(())
+    }
+
+    /// One adaptive-control decision: consume alerts fired since the last
+    /// step and, for each, move the worst-burning sharings off the alerted
+    /// (hot) machine — growing the fleet within budget when there is
+    /// nowhere else to go — then run the elastic shrink pass. Every input
+    /// is deterministic simulation state read in canonical order.
+    fn adaptive_control(&mut self) -> Result<()> {
+        let cfg = self.config.adaptive;
+        let fresh: Vec<Alert> = {
+            let executor = self.executor.as_ref().expect("step checked");
+            let alerts = executor.alerts();
+            let from = self.alert_cursor.min(alerts.len());
+            self.alert_cursor = alerts.len();
+            alerts[from..].to_vec()
+        };
+        for alert in fresh {
+            let Some(sid) = alert.sharing else { continue };
+            let id = SharingId::new(sid);
+            // The hot machine is wherever the alerted sharing's MV lives
+            // *now* (a completed migration moves it).
+            let hot = {
+                let executor = self.executor.as_ref().expect("checked");
+                match executor.global.mv_vertex(id) {
+                    Ok(v) => executor.global.plan.vertex(v).machine,
+                    Err(_) => continue, // already retired
+                }
+            };
+            let mut machines: Vec<MachineId> = self
+                .cluster
+                .active_machine_ids()
+                .into_iter()
+                .filter(|&m| m != hot)
+                .collect();
+            if machines.is_empty() {
+                // Nowhere to migrate to: grow the fleet iff one more
+                // reserved machine still fits the hourly dollar budget.
+                let next = (self.cluster.reserved_count() + 1) as f64;
+                if next * self.config.prices.cpu_per_hour <= cfg.budget_dollars_per_hour {
+                    let m = self.cluster.add_machine(self.config.machine_config, self.now);
+                    self.push_action(ActionKind::ScaleUp { machine: m });
+                    machines.push(m);
+                } else {
+                    let active = self.cluster.reserved_count();
+                    self.push_action(ActionKind::ScaleDenied { active });
+                    continue;
+                }
+            }
+            // Candidate *targets*, lightest live load first (ties by id).
+            // The replanner itself still sees every active machine — the
+            // half-join halves must stay colocated with their base
+            // relations regardless of where the MV lands — so moving off
+            // the hot machine means pinning the MV to a cooler target,
+            // not planning over a fleet with the hot machine excluded.
+            let util = {
+                let executor = self.executor.as_ref().expect("checked");
+                machine_utilization(&executor.global.plan, Scope::All, &self.config.model)
+            };
+            machines.sort_by(|x, y| {
+                let ux = util.get(x).copied().unwrap_or(0.0);
+                let uy = util.get(y).copied().unwrap_or(0.0);
+                ux.partial_cmp(&uy)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(x.0.cmp(&y.0))
+            });
+            // Candidates: the alerted sharing first, then the fleet's
+            // deterministic worst-headroom rows.
+            let mut candidates: Vec<SharingId> = vec![id];
+            {
+                let executor = self.executor.as_ref().expect("checked");
+                for row in executor.rollup().top_k_worst(8) {
+                    let c = SharingId::new(row.sharing);
+                    if !candidates.contains(&c) {
+                        candidates.push(c);
+                    }
+                }
+            }
+            let mut moved = 0usize;
+            for cid in candidates {
+                if moved >= cfg.max_migrations_per_alert {
+                    break;
+                }
+                if !self.sharings.iter().any(|s| s.id == cid) {
+                    continue;
+                }
+                let on_hot = {
+                    let executor = self.executor.as_ref().expect("checked");
+                    if executor.migrating(cid) {
+                        continue;
+                    }
+                    executor
+                        .global
+                        .mv_vertex(cid)
+                        .map(|v| executor.global.plan.vertex(v).machine == hot)
+                        .unwrap_or(false)
+                };
+                if !on_hot {
+                    continue;
+                }
+                if let Some(&t) = self.last_migration.get(&cid) {
+                    if self.now - t < cfg.cooldown {
+                        continue;
+                    }
+                }
+                for &target in &machines {
+                    let all = self.cluster.active_machine_ids();
+                    match self.replan_and_migrate(cid, all, Some(target)) {
+                        Ok(true) => {
+                            moved += 1;
+                            break;
+                        }
+                        Ok(false) => break,
+                        // No admissible placement with the MV on this
+                        // target — try the next-coolest machine, and leave
+                        // the sharing where it is rather than fail the run.
+                        Err(SmileError::Inadmissible { .. })
+                        | Err(SmileError::CapacityExhausted { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        self.elastic_shrink();
+        Ok(())
+    }
+
+    /// The shrink half of fleet elasticity: an *elastic* machine (index at
+    /// or past the seed fleet size) that has hosted no MV for
+    /// `idle_retire_after` is drained; [`Smile::settle_migrations`] retires
+    /// it once it is fully empty.
+    fn elastic_shrink(&mut self) {
+        let idle_after = self.config.adaptive.idle_retire_after;
+        let base = self.config.machines;
+        let executor = self.executor.as_ref().expect("step checked");
+        let hosting = executor.mv_machines();
+        let mut to_drain: Vec<MachineId> = Vec::new();
+        for m in self.cluster.active_machine_ids() {
+            if (m.0 as usize) < base {
+                continue; // never drain the seed fleet
+            }
+            if hosting.contains(&m) || executor.migrations_touching(m) {
+                self.mv_idle_since.remove(&m);
+                continue;
+            }
+            let since = *self.mv_idle_since.entry(m).or_insert(self.now);
+            if self.now - since >= idle_after {
+                to_drain.push(m);
+            }
+        }
+        for m in to_drain {
+            self.cluster.begin_drain(m);
+            self.mv_idle_since.remove(&m);
+        }
+    }
+
+    /// Drains a machine out of the fleet: marks it Draining (no new MVs
+    /// land there) and live-migrates every MV it hosts to the remaining
+    /// active machines. Returns the sharings whose migrations started; the
+    /// machine retires via [`Smile::step`] once the handoffs settle.
+    pub fn drain_machine(&mut self, m: MachineId) -> Result<Vec<SharingId>> {
+        if self.executor.is_none() {
+            return Err(SmileError::Internal("drain before install".into()));
+        }
+        if self.catalog.bases().iter().any(|b| b.machine == m) {
+            return Err(SmileError::Internal(format!(
+                "machine m{} hosts base relations and cannot be drained",
+                m.0
+            )));
+        }
+        let rest: Vec<MachineId> = self
+            .cluster
+            .active_machine_ids()
+            .into_iter()
+            .filter(|&x| x != m)
+            .collect();
+        if rest.is_empty() {
+            return Err(SmileError::Internal(
+                "cannot drain the last active machine".into(),
+            ));
+        }
+        self.cluster.begin_drain(m);
+        let homed: Vec<SharingId> = {
+            let executor = self.executor.as_ref().expect("checked above");
+            self.sharings
+                .iter()
+                .map(|s| s.id)
+                .filter(|&id| {
+                    executor
+                        .global
+                        .mv_vertex(id)
+                        .map(|v| executor.global.plan.vertex(v).machine == m)
+                        .unwrap_or(false)
+                })
+                .collect()
+        };
+        let mut moved = Vec::new();
+        for id in homed {
+            if self.replan_and_migrate(id, rest.clone(), None)? {
+                moved.push(id);
+            }
+        }
+        Ok(moved)
     }
 
     /// Runs the platform for a simulated duration with no further ingest.
@@ -931,6 +1469,20 @@ impl Smile {
             planned.mv,
             planned.mv_machine.0
         );
+        // Live placement: where the MV actually serves from right now —
+        // migrations move it away from the admission-time choice.
+        let live_mv = executor.global.mv_vertex(id)?;
+        let _ = writeln!(
+            out,
+            "placement: mv {} live on m{}{}",
+            live_mv,
+            plan.vertex(live_mv).machine.0,
+            if executor.migrating(id) {
+                "  [migrating]"
+            } else {
+                ""
+            }
+        );
         // Plan shape: the sharing's push subgraph (sources + non-base
         // vertices in push order), flagging vertices the merge catalog
         // shares with other sharings.
@@ -1012,6 +1564,22 @@ impl Smile {
             "flight: {} incident(s) captured for this sharing",
             incidents.iter().filter(|i| i.sharing == id.0).count()
         );
+        // Adaptive-actuator history: fleet-wide decision count plus this
+        // sharing's own migration record, in decision order.
+        let mine_actions: Vec<&Action> = self
+            .actions
+            .iter()
+            .filter(|a| a.kind.sharing() == Some(id))
+            .collect();
+        let _ = writeln!(
+            out,
+            "actions: {} fleet-wide, {} for this sharing",
+            self.actions.len(),
+            mine_actions.len()
+        );
+        for a in mine_actions {
+            let _ = writeln!(out, "  t={}us {}", a.at_us, a.kind.label());
+        }
         let _ = writeln!(
             out,
             "dollars: total=${:.9} penalty=${:.9}",
@@ -1142,12 +1710,18 @@ fn set_join_indexing(plan: &mut crate::plan::dag::Plan, indexed: bool) {
     }
 }
 
-/// The incremental storage materializer shared by `install` and
-/// `submit_live`.
+/// The incremental storage materializer shared by `install`, `submit_live`
+/// and live migration. `seed_at` pins the seed: freshly created derived
+/// relations are evaluated from base snapshots *as of* that instant and
+/// stamped with it. Admissions seed at `now` (base tables are current);
+/// a migration must instead seed at the old chain's committed MV
+/// timestamp so the shadow chain's push windows tile exactly against the
+/// anchored half-join jobs it shares with the old chain.
 fn materialize_into(
     catalog: &mut Catalog,
     cluster: &mut Cluster,
     global: &mut GlobalPlan,
+    seed_at: Option<Timestamp>,
     now: Timestamp,
 ) -> Result<Vec<smile_types::VertexId>> {
     use crate::plan::sig::ExprSig;
@@ -1244,11 +1818,11 @@ fn materialize_into(
         if !created_slots.contains(&(vert.machine, slot)) || !seeded.insert((vert.machine, slot)) {
             continue;
         }
-        let rows = eval_sig(&vert.sig, cluster, catalog, None)?;
+        let rows = eval_sig(&vert.sig, cluster, catalog, seed_at)?;
         cluster
             .machine_mut(vert.machine)?
             .db
-            .seed_relation(slot, rows, now)?;
+            .seed_relation(slot, rows, seed_at.unwrap_or(now))?;
     }
     Ok(created)
 }

@@ -7,11 +7,35 @@ use crate::meter::UsageLedger;
 use crate::pricing::PriceSheet;
 use smile_types::{MachineId, Result, SimDuration, SmileError, Timestamp};
 
+/// Lifecycle of one machine in an elastic fleet. `MachineId`s are dense
+/// indices into the machine vector and are never reused, so a retired
+/// machine keeps its slot as a tombstone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineState {
+    /// Accepting placements and running work.
+    Active,
+    /// No new placements; existing state is being migrated off before the
+    /// machine retires.
+    Draining,
+    /// Released back to the provider; metering stopped.
+    Retired,
+}
+
+/// Reservation bookkeeping for one machine slot.
+#[derive(Clone, Copy, Debug)]
+struct MachineLife {
+    state: MachineState,
+    spawned: Timestamp,
+    retired_at: Option<Timestamp>,
+}
+
 /// The set of machines available to implement the sharings, plus the shared
 /// clock, price sheet and the per-sharing usage ledger.
 #[derive(Debug)]
 pub struct Cluster {
     machines: Vec<Machine>,
+    /// Per-slot lifecycle (parallel to `machines`).
+    lives: Vec<MachineLife>,
     /// Distributed clock used to stamp deltas and heartbeats.
     pub clock: DistributedClock,
     /// Prices applied to metered usage.
@@ -40,11 +64,99 @@ impl Cluster {
         let n = machines.len();
         Self {
             machines,
+            lives: vec![
+                MachineLife {
+                    state: MachineState::Active,
+                    spawned: Timestamp::ZERO,
+                    retired_at: None,
+                };
+                n
+            ],
             clock: DistributedClock::perfect(n),
             prices: PriceSheet::default(),
             ledger: UsageLedger::new(),
             faults: FaultInjector::disabled(n),
         }
+    }
+
+    /// Adds a fresh machine to the fleet (scale-up), returning its id. The
+    /// new machine joins fully synchronized (zero clock drift) and inherits
+    /// the installed fault profile through a fresh per-machine crash stream
+    /// — existing machines' fault streams are untouched, so growing the
+    /// fleet never perturbs already-scheduled faults.
+    pub fn add_machine(&mut self, config: MachineConfig, now: Timestamp) -> MachineId {
+        let id = MachineId::new(self.machines.len() as u32);
+        self.machines.push(Machine::new(id, config));
+        self.lives.push(MachineLife {
+            state: MachineState::Active,
+            spawned: now,
+            retired_at: None,
+        });
+        self.clock.add_machine();
+        self.faults.add_machine();
+        id
+    }
+
+    /// The lifecycle state of machine `m`.
+    pub fn machine_state(&self, m: MachineId) -> MachineState {
+        self.lives
+            .get(m.index())
+            .map(|l| l.state)
+            .unwrap_or(MachineState::Retired)
+    }
+
+    /// Marks `m` draining: no new placements land there while its existing
+    /// state is migrated off.
+    pub fn begin_drain(&mut self, m: MachineId) {
+        if let Some(l) = self.lives.get_mut(m.index()) {
+            if l.state == MachineState::Active {
+                l.state = MachineState::Draining;
+            }
+        }
+    }
+
+    /// Retires `m` at `now` (drain-before-retire is the caller's contract);
+    /// the slot stays as a tombstone so machine ids remain dense.
+    pub fn retire_machine(&mut self, m: MachineId, now: Timestamp) {
+        if let Some(l) = self.lives.get_mut(m.index()) {
+            if l.state != MachineState::Retired {
+                l.state = MachineState::Retired;
+                l.retired_at = Some(now);
+            }
+        }
+    }
+
+    /// Ids of machines currently accepting placements.
+    pub fn active_machine_ids(&self) -> Vec<MachineId> {
+        self.machines
+            .iter()
+            .zip(&self.lives)
+            .filter(|(_, l)| l.state == MachineState::Active)
+            .map(|(m, _)| m.id())
+            .collect()
+    }
+
+    /// Number of machines not yet retired (reserved capacity the fleet is
+    /// paying for).
+    pub fn reserved_count(&self) -> usize {
+        self.lives
+            .iter()
+            .filter(|l| l.state != MachineState::Retired)
+            .count()
+    }
+
+    /// Dollars of reserved machine-hours through `now` at `hourly` $/hour
+    /// per machine: each slot is billed from its spawn until its retirement
+    /// (or `now` if still reserved). This is the elasticity budget's view of
+    /// cost — paid whether or not the machine did metered work.
+    pub fn reserved_dollars(&self, now: Timestamp, hourly: f64) -> f64 {
+        self.lives
+            .iter()
+            .map(|l| {
+                let end = l.retired_at.unwrap_or(now).max(l.spawned);
+                (end - l.spawned).as_secs_f64() / 3600.0 * hourly
+            })
+            .sum()
     }
 
     /// Installs a fault profile, replacing the injector (and its history).
@@ -215,6 +327,52 @@ mod tests {
             .unwrap()
             .run_cpu(Timestamp::from_secs(10), SimDuration::from_secs(1));
         assert_eq!(res.start, Timestamp::from_secs(10));
+    }
+
+    #[test]
+    fn elastic_growth_and_drain_before_retire() {
+        let mut c = Cluster::homogeneous(2);
+        c.set_fault_profile(FaultProfile::chaos(9));
+        let spawn_at = Timestamp::from_secs(100);
+        let m2 = c.add_machine(MachineConfig::default(), spawn_at);
+        assert_eq!(m2, MachineId::new(2));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.machine_state(m2), MachineState::Active);
+        // Fresh machine: perfect sync, crash schedule exists (no panic).
+        assert_eq!(c.clock.read(m2, spawn_at), spawn_at);
+        let _ = c.faults.down_until(m2, Timestamp::from_secs(3600));
+        assert_eq!(c.active_machine_ids().len(), 3);
+        c.begin_drain(m2);
+        assert_eq!(c.machine_state(m2), MachineState::Draining);
+        assert_eq!(c.active_machine_ids().len(), 2);
+        assert_eq!(c.reserved_count(), 3);
+        c.retire_machine(m2, Timestamp::from_secs(1900));
+        assert_eq!(c.machine_state(m2), MachineState::Retired);
+        assert_eq!(c.reserved_count(), 2);
+        // Billed for exactly the 1800 reserved seconds at $2/hour, plus the
+        // two seed machines' full lifetime.
+        let d = c.reserved_dollars(Timestamp::from_secs(1900), 2.0);
+        let expect = 0.5 * 2.0 + 2.0 * (1900.0 / 3600.0) * 2.0;
+        assert!((d - expect).abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn growing_the_fleet_preserves_existing_fault_streams() {
+        let mut a = Cluster::homogeneous(2);
+        let mut b = Cluster::homogeneous(2);
+        a.set_fault_profile(FaultProfile::chaos(77));
+        b.set_fault_profile(FaultProfile::chaos(77));
+        b.add_machine(MachineConfig::default(), Timestamp::from_secs(5));
+        for s in (0..7200).step_by(13) {
+            let t = Timestamp::from_secs(s);
+            for m in 0..2u32 {
+                assert_eq!(
+                    a.faults.down_until(MachineId::new(m), t),
+                    b.faults.down_until(MachineId::new(m), t),
+                    "machine {m} schedule diverged at {s}s"
+                );
+            }
+        }
     }
 
     #[test]

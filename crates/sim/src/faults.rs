@@ -255,6 +255,24 @@ impl FaultInjector {
         }
     }
 
+    /// Registers a machine added after construction (fleet scale-up). The
+    /// new machine gets the same seed-derived per-machine crash stream it
+    /// would have had at construction time, and the shared message stream
+    /// is untouched — growing the fleet never perturbs faults already
+    /// scheduled for existing machines.
+    pub fn add_machine(&mut self) {
+        let m = self.schedules.len();
+        self.schedules.push(CrashSchedule {
+            state: self
+                .profile
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(m as u64 + 1),
+            intervals: Vec::new(),
+            horizon: Timestamp::ZERO,
+        });
+    }
+
     /// The installed profile.
     pub fn profile(&self) -> &FaultProfile {
         &self.profile

@@ -34,7 +34,7 @@ pub mod pricing;
 pub mod pubsub;
 
 pub use clock::DistributedClock;
-pub use cluster::Cluster;
+pub use cluster::{Cluster, MachineState};
 pub use event::EventQueue;
 pub use faults::{FaultCounters, FaultEvent, FaultInjector, FaultProfile};
 pub use machine::{Machine, MachineConfig};

@@ -33,6 +33,10 @@ pub enum SpanKind {
     /// A scheduled retry after a transient failure (span runs from the
     /// failure to the retry due time).
     Retry,
+    /// A live placement migration: the span runs from the shadow-chain
+    /// install to the cutover (or abort), so the dual-write handoff
+    /// window is visible in the trace.
+    Migration,
 }
 
 impl SpanKind {
@@ -47,6 +51,7 @@ impl SpanKind {
             SpanKind::Land => "land",
             SpanKind::MvApply => "mv_apply",
             SpanKind::Retry => "retry",
+            SpanKind::Migration => "migration",
         }
     }
 }

@@ -32,6 +32,35 @@ pub enum RateTrace {
     /// Piecewise-constant phases: `(phase duration, rate)` pairs, repeating
     /// the last phase after the schedule ends (Figure 14).
     Phases(Vec<(SimDuration, f64)>),
+    /// Diurnal cycle: a sinusoid over `period` between `low` and `high`
+    /// tweets/s (trough at t = 0), with small seeded minute-level jitter
+    /// (±10%) so consecutive days are not byte-identical.
+    Diurnal {
+        /// Trough rate (tweets/s).
+        low: f64,
+        /// Peak rate (tweets/s).
+        high: f64,
+        /// Cycle length (a simulated "day"; benches compress this).
+        period: SimDuration,
+        /// Seed decorrelating the jitter between runs.
+        seed: u64,
+    },
+    /// Flash crowd: a calm `base` rate that ramps to `peak · base` over
+    /// `ramp` starting at `onset`, holds for `hold`, then decays
+    /// geometrically back toward base (half-life = `ramp`). Models a
+    /// breaking-news audience arriving much faster than it leaves.
+    FlashCrowd {
+        /// Calm rate before onset (tweets/s).
+        base: f64,
+        /// Peak multiplier over `base` at full ramp.
+        peak: f64,
+        /// When the crowd starts arriving.
+        onset: SimDuration,
+        /// Ramp-up time from base to peak.
+        ramp: SimDuration,
+        /// How long the peak holds before decay starts.
+        hold: SimDuration,
+    },
 }
 
 impl RateTrace {
@@ -65,6 +94,47 @@ impl RateTrace {
                 (mean * drift * burst).max(1.0)
             }
             RateTrace::Scaled { base, factor } => base.rate_at(t) * factor,
+            RateTrace::Diurnal {
+                low,
+                high,
+                period,
+                seed,
+            } => {
+                let p = period.as_secs_f64().max(1e-9);
+                let phase = (t.as_secs_f64() / p) * std::f64::consts::TAU;
+                // Trough at t = 0: 0.5·(1 − cos) sweeps 0 → 1 → 0.
+                let wave = 0.5 * (1.0 - phase.cos());
+                let minute = (t.as_secs_f64() / 60.0) as u64;
+                let h = split_mix(seed ^ split_mix(minute));
+                let jitter = 0.9 + 0.2 * ((h % 1024) as f64 / 1023.0);
+                ((low + (high - low) * wave) * jitter).max(0.0)
+            }
+            RateTrace::FlashCrowd {
+                base,
+                peak,
+                onset,
+                ramp,
+                hold,
+            } => {
+                let secs = t.as_secs_f64();
+                let on = onset.as_secs_f64();
+                let r = ramp.as_secs_f64().max(1e-9);
+                let h = hold.as_secs_f64();
+                let surge = peak.max(1.0) - 1.0;
+                let mult = if secs < on {
+                    1.0
+                } else if secs < on + r {
+                    // Linear ramp base → peak·base.
+                    1.0 + surge * (secs - on) / r
+                } else if secs < on + r + h {
+                    1.0 + surge
+                } else {
+                    // Geometric decay, half-life = ramp.
+                    let decayed = (secs - on - r - h) / r;
+                    1.0 + surge * 0.5f64.powf(decayed)
+                };
+                base * mult
+            }
             RateTrace::Phases(phases) => {
                 let mut t_left = t.as_secs_f64();
                 for (dur, rate) in phases {
@@ -170,6 +240,60 @@ mod tests {
         assert_eq!(t.rate_at(Timestamp::from_secs(15)), 150.0);
         // Holds the last phase forever.
         assert_eq!(t.rate_at(Timestamp::from_secs(500)), 150.0);
+    }
+
+    #[test]
+    fn diurnal_cycles_between_low_and_high() {
+        let t = RateTrace::Diurnal {
+            low: 50.0,
+            high: 500.0,
+            period: SimDuration::from_secs(3600),
+            seed: 5,
+        };
+        let trough = t.rate_at(Timestamp::from_secs(0));
+        let peak = t.rate_at(Timestamp::from_secs(1800));
+        // Jitter is ±10%, so bands rather than exact values.
+        assert!(trough < 60.0, "trough too high: {trough}");
+        assert!(peak > 400.0, "peak too low: {peak}");
+        // Bounded everywhere, including across day boundaries.
+        for s in (0..14_400).step_by(60) {
+            let r = t.rate_at(Timestamp::from_secs(s));
+            assert!((40.0..=560.0).contains(&r), "rate {r} out of band at {s}s");
+        }
+        // Deterministic under the same seed.
+        let t2 = RateTrace::Diurnal {
+            low: 50.0,
+            high: 500.0,
+            period: SimDuration::from_secs(3600),
+            seed: 5,
+        };
+        for s in (0..7200).step_by(37) {
+            let at = Timestamp::from_secs(s);
+            assert_eq!(t.rate_at(at), t2.rate_at(at));
+        }
+    }
+
+    #[test]
+    fn flash_crowd_ramps_holds_and_decays() {
+        let t = RateTrace::FlashCrowd {
+            base: 100.0,
+            peak: 20.0,
+            onset: SimDuration::from_secs(60),
+            ramp: SimDuration::from_secs(30),
+            hold: SimDuration::from_secs(120),
+        };
+        assert_eq!(t.rate_at(Timestamp::from_secs(0)), 100.0);
+        assert_eq!(t.rate_at(Timestamp::from_secs(59)), 100.0);
+        let mid_ramp = t.rate_at(Timestamp::from_secs(75));
+        assert!(mid_ramp > 100.0 && mid_ramp < 2000.0, "mid-ramp {mid_ramp}");
+        assert_eq!(t.rate_at(Timestamp::from_secs(100)), 2000.0);
+        assert_eq!(t.rate_at(Timestamp::from_secs(200)), 2000.0);
+        // One half-life after the hold ends, the surge has halved.
+        let one_hl = t.rate_at(Timestamp::from_secs(240));
+        assert!((one_hl - 1050.0).abs() < 1.0, "half-life decay {one_hl}");
+        // Long after, back near base.
+        let late = t.rate_at(Timestamp::from_secs(3600));
+        assert!(late < 101.0, "late rate {late}");
     }
 
     #[test]

@@ -35,6 +35,12 @@ struct Scenario {
     calendar: bool,
     workers: usize,
     chaos: bool,
+    /// Closed-loop actuation: the control loop drains alerts into
+    /// re-planning, live migration and budgeted elasticity.
+    adaptive: bool,
+    /// Staleness SLA; the adaptive axis tightens it so the burn-rate
+    /// monitor actually pages and the actuator has something to do.
+    sla: SimDuration,
 }
 
 /// Everything observable about a run that must not depend on the engine
@@ -53,6 +59,9 @@ struct RunResult {
     metrics: String,
     /// Burn-rate monitor alert stream, Debug-formatted.
     alerts: String,
+    /// Typed control-loop action stream, Debug-formatted. Empty in static
+    /// runs; in adaptive runs it must be byte-identical across workers.
+    actions: String,
     /// `Smile::explain` report for the sharing — assembled only from
     /// deterministic state, so its bytes are a conformance surface too.
     explain: String,
@@ -70,6 +79,12 @@ impl Scenario {
         config.exec.workers = self.workers;
         if self.chaos {
             config.faults = FaultProfile::chaos(4242);
+        }
+        if self.adaptive {
+            config.adaptive.enabled = true;
+            // Two machines, no budget headroom: the actuator can only
+            // migrate between the machines it already has.
+            config.adaptive.budget_dollars_per_hour = 0.0;
         }
         let mut smile = Smile::new(config);
         let a = smile
@@ -107,9 +122,7 @@ impl Scenario {
                 value: Value::I64(18),
             },
         );
-        let id: SharingId = smile
-            .submit("conf", q, SimDuration::from_secs(20), 0.01)
-            .unwrap();
+        let id: SharingId = smile.submit("conf", q, self.sla, 0.01).unwrap();
         smile.install().unwrap();
         feed(&mut smile, a, b, 200);
         smile.run_idle(SimDuration::from_secs(60)).unwrap();
@@ -123,6 +136,7 @@ impl Scenario {
             .collect::<Vec<_>>()
             .join("\n");
         let alerts = format!("{:?}", smile.alerts());
+        let actions = format!("{:?}", smile.actions());
         let explain = smile.explain(id).unwrap();
         let executor = smile.executor.as_ref().unwrap();
         RunResult {
@@ -138,6 +152,7 @@ impl Scenario {
             trace,
             metrics,
             alerts,
+            actions,
             explain,
         }
     }
@@ -181,6 +196,7 @@ fn assert_identical(base: &RunResult, other: &RunResult, cell: &str) {
     assert_eq!(other.trace, base.trace, "exported trace differs: {cell}");
     assert_eq!(other.metrics, base.metrics, "logical metrics differ: {cell}");
     assert_eq!(other.alerts, base.alerts, "alert stream differs: {cell}");
+    assert_eq!(other.actions, base.actions, "action stream differs: {cell}");
     assert_eq!(
         other.explain, base.explain,
         "explain() report differs: {cell}"
@@ -196,6 +212,8 @@ fn columnar_equals_legacy_across_workers_and_faults() {
                 calendar: true,
                 workers,
                 chaos,
+                adaptive: false,
+                sla: SimDuration::from_secs(20),
             }
             .run();
             let columnar = Scenario {
@@ -203,6 +221,8 @@ fn columnar_equals_legacy_across_workers_and_faults() {
                 calendar: true,
                 workers,
                 chaos,
+                adaptive: false,
+                sla: SimDuration::from_secs(20),
             }
             .run();
             assert_identical(
@@ -232,6 +252,8 @@ fn columnar_matches_ground_truth_fault_free() {
         calendar: true,
         workers: 1,
         chaos: false,
+        adaptive: false,
+        sla: SimDuration::from_secs(20),
     }
     .run();
     assert_eq!(r.mv, r.expected, "columnar MV diverged from ground truth");
@@ -247,6 +269,8 @@ fn modes_agree_under_chaos_with_recovery_exercised() {
         calendar: true,
         workers: 4,
         chaos: true,
+        adaptive: false,
+        sla: SimDuration::from_secs(20),
     }
     .run();
     assert!(
@@ -259,6 +283,8 @@ fn modes_agree_under_chaos_with_recovery_exercised() {
         calendar: true,
         workers: 4,
         chaos: true,
+        adaptive: false,
+        sla: SimDuration::from_secs(20),
     }
     .run();
     assert_identical(&legacy, &columnar, "chaos workers=4");
@@ -277,6 +303,8 @@ fn calendar_equals_scan_across_workers_and_faults() {
                 calendar: false,
                 workers,
                 chaos,
+                adaptive: false,
+                sla: SimDuration::from_secs(20),
             }
             .run();
             let calendar = Scenario {
@@ -284,6 +312,8 @@ fn calendar_equals_scan_across_workers_and_faults() {
                 calendar: true,
                 workers,
                 chaos,
+                adaptive: false,
+                sla: SimDuration::from_secs(20),
             }
             .run();
             assert_identical(
@@ -301,4 +331,49 @@ fn calendar_equals_scan_across_workers_and_faults() {
             }
         }
     }
+}
+
+#[test]
+fn adaptive_axis_is_worker_deterministic_and_preserves_semantics() {
+    // The actuation axis: a tight SLA under chaos pages the burn-rate
+    // monitor, and the adaptive control loop re-plans and live-migrates
+    // the alerted sharing. Every control decision is made coordinator-side
+    // from deterministic state, so the full observable surface — action
+    // and alert streams included — must be byte-identical at any worker
+    // count; and because the actuator only moves work (never changes the
+    // query), the sharing's ground truth must match the static run's.
+    let cell = |workers: usize, adaptive: bool| {
+        Scenario {
+            columnar: true,
+            calendar: true,
+            workers,
+            chaos: true,
+            adaptive,
+            sla: SimDuration::from_secs(1),
+        }
+        .run()
+    };
+    let static_run = cell(1, false);
+    let base = cell(1, true);
+    for workers in [2usize, 8] {
+        let other = cell(workers, true);
+        assert_identical(
+            &base,
+            &other,
+            &format!("adaptive workers={workers} vs workers=1"),
+        );
+    }
+    // The axis is not vacuous: the monitor paged and the actuator acted.
+    assert_ne!(base.alerts, "[]", "tight-SLA chaos run raised no alert");
+    assert!(
+        base.actions.contains("MigrationStarted"),
+        "adaptive run never attempted a migration: {}",
+        base.actions
+    );
+    assert_eq!(static_run.actions, "[]", "static run must take no actions");
+    // Actuation moves the MV; it must not change what the sharing computes.
+    assert_eq!(
+        base.expected, static_run.expected,
+        "adaptive run changed the sharing's ground truth"
+    );
 }

@@ -1,0 +1,323 @@
+//! Integration coverage for the adaptive runtime actuator: live MV
+//! migration (happy path, chaos mid-handoff, operator drain) and
+//! dollar-budgeted fleet elasticity (scale-up, budget denial, idle
+//! shrink). Every scenario is fully deterministic — crash schedules are
+//! pure functions of the fault seed, and all actuator decisions are made
+//! coordinator-side — so each assertion pins one concrete protocol path.
+
+use smile::core::catalog::BaseStats;
+use smile::core::platform::{ActionKind, Smile, SmileConfig};
+use smile::sim::{FaultProfile, MachineState};
+use smile::storage::delta::{DeltaBatch, DeltaEntry};
+use smile::storage::join::JoinOn;
+use smile::storage::{Predicate, SpjQuery};
+use smile::types::{
+    tuple, Column, ColumnType, MachineId, RelationId, Schema, SharingId, SimDuration,
+};
+
+fn schema(cols: &[(&str, ColumnType)], key: Vec<usize>) -> Schema {
+    Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(), key)
+}
+
+fn stats(width: usize) -> BaseStats {
+    BaseStats {
+        update_rate: 5.0,
+        cardinality: 100.0,
+        tuple_bytes: 16.0,
+        distinct: vec![100.0; width],
+    }
+}
+
+/// Bases `a` on `m0` and `b` on `m1`, one joined sharing with the MV
+/// optionally pinned; installs and returns the platform ready to feed.
+fn build(
+    config: SmileConfig,
+    sla: SimDuration,
+    pin: Option<MachineId>,
+) -> (Smile, RelationId, RelationId, SharingId) {
+    let mut smile = Smile::new(config);
+    let a = smile
+        .register_base(
+            "a",
+            schema(&[("k", ColumnType::I64)], vec![0]),
+            MachineId::new(0),
+            stats(1),
+        )
+        .unwrap();
+    let b = smile
+        .register_base(
+            "b",
+            schema(&[("k", ColumnType::I64), ("v", ColumnType::I64)], vec![0]),
+            MachineId::new(1),
+            stats(2),
+        )
+        .unwrap();
+    let q = SpjQuery::scan(a).join(b, JoinOn::on(0, 0), Predicate::True);
+    let id = smile.submit_pinned("mig", q, sla, 0.01, pin).unwrap();
+    smile.install().unwrap();
+    (smile, a, b, id)
+}
+
+fn feed(smile: &mut Smile, a: RelationId, b: RelationId, ticks: u64) {
+    for s in 0..ticks {
+        let now = smile.now();
+        let k = (s % 20) as i64;
+        smile
+            .ingest(
+                a,
+                DeltaBatch {
+                    entries: vec![DeltaEntry::insert(tuple![k], now)],
+                },
+            )
+            .unwrap();
+        smile
+            .ingest(
+                b,
+                DeltaBatch {
+                    entries: vec![DeltaEntry::insert(tuple![k, s as i64], now)],
+                },
+            )
+            .unwrap();
+        smile.step().unwrap();
+    }
+}
+
+fn labels(smile: &Smile) -> Vec<String> {
+    smile.actions().iter().map(|a| a.kind.label()).collect()
+}
+
+fn mv_bytes(smile: &Smile, id: SharingId) -> String {
+    format!("{:?}", smile.mv_contents(id).unwrap().sorted_entries())
+}
+
+fn truth_bytes(smile: &Smile, id: SharingId) -> String {
+    format!("{:?}", smile.expected_mv_contents(id).unwrap().sorted_entries())
+}
+
+/// Crash-only profile: schedule-driven machine down windows, zero
+/// message-level draws — so two runs that plan different batches (one
+/// migrates, one does not) still observe the *same* fault history.
+fn crash_only(seed: u64) -> FaultProfile {
+    FaultProfile {
+        seed,
+        crash_period: SimDuration::from_secs(10),
+        crash_downtime: SimDuration::from_secs(2),
+        ..FaultProfile::disabled()
+    }
+}
+
+/// Crash windows plus a heavy delta-drop rate. The scheduler defers a
+/// sharing's pushes while any of its machines is inside a known crash
+/// window, so crashes alone rarely fail a dual write — but a dropped
+/// shadow *shipment* fails it outright and must abort the handoff,
+/// while the real chain's retry layer heals the same drops.
+fn handoff_chaos(seed: u64) -> FaultProfile {
+    FaultProfile {
+        seed,
+        crash_period: SimDuration::from_secs(10),
+        crash_downtime: SimDuration::from_secs(2),
+        delta_drop: 0.25,
+        ..FaultProfile::disabled()
+    }
+}
+
+#[test]
+fn live_migration_completes_and_mv_serves_from_new_machine() {
+    let (mut smile, a, b, id) = build(
+        SmileConfig::with_machines(2),
+        SimDuration::from_secs(20),
+        None,
+    );
+    feed(&mut smile, a, b, 50);
+    assert!(smile.explain(id).unwrap().contains("live on m0"));
+
+    assert!(smile.migrate_sharing(id, Some(MachineId::new(1))).unwrap());
+    // A second request while the handoff is in flight is a no-op.
+    assert!(!smile.migrate_sharing(id, Some(MachineId::new(1))).unwrap());
+
+    feed(&mut smile, a, b, 150);
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    let acts = labels(&smile);
+    assert!(acts.contains(&"migration_started m0->m1".to_string()), "{acts:?}");
+    assert!(acts.contains(&"migration_completed m0->m1".to_string()), "{acts:?}");
+    // The report shows the new placement and the migration history.
+    let report = smile.explain(id).unwrap();
+    assert!(report.contains("live on m1"), "{report}");
+    assert!(report.contains("migration_completed m0->m1"), "{report}");
+    // The handoff preserved semantics: the served MV equals ground truth.
+    assert_eq!(mv_bytes(&smile, id), truth_bytes(&smile, id));
+    // Migrating onto the machine the MV already lives on is a no-op.
+    assert!(!smile.migrate_sharing(id, Some(MachineId::new(1))).unwrap());
+}
+
+/// Chaos during migration: live-migrate the MV back and forth while
+/// crashes take machines down and delta shipments drop. A handoff whose
+/// shadow shipment is lost must abort cleanly; one that completes must
+/// cut over; and after the dust settles the MV bytes are identical to a
+/// never-migrated twin run (both equal ground truth), because an aborted
+/// shadow chain leaves no trace in the served MV and the retry layer
+/// heals every dropped real shipment.
+#[test]
+fn crash_mid_handoff_aborts_cleanly_and_mv_matches_never_migrated() {
+    let run = |migrate: bool| {
+        let mut config = SmileConfig::with_machines(2);
+        config.faults = handoff_chaos(20260807);
+        let (mut smile, a, b, id) = build(config, SimDuration::from_secs(2), None);
+        for _ in 0..12 {
+            if migrate {
+                // Flip the MV to whichever machine it is not on; a request
+                // racing an in-flight handoff is a no-op (returns false).
+                let cur = smile
+                    .actions()
+                    .iter()
+                    .rev()
+                    .find_map(|act| match act.kind {
+                        ActionKind::MigrationCompleted { sharing, to, .. } if sharing == id => {
+                            Some(to)
+                        }
+                        _ => None,
+                    })
+                    .unwrap_or(MachineId::new(0));
+                let target = MachineId::new(1 - cur.0);
+                let _ = smile.migrate_sharing(id, Some(target)).unwrap();
+            }
+            feed(&mut smile, a, b, 40);
+        }
+        smile.run_idle(SimDuration::from_secs(120)).unwrap();
+        (mv_bytes(&smile, id), truth_bytes(&smile, id), labels(&smile))
+    };
+
+    let (mv_migrated, truth_migrated, acts) = run(true);
+    let (mv_baseline, truth_baseline, baseline_acts) = run(false);
+
+    // The chaos schedule actually exercised both protocol outcomes.
+    assert!(
+        acts.iter().any(|l| l.starts_with("migration_completed")),
+        "no handoff completed: {acts:?}"
+    );
+    assert!(
+        acts.iter().any(|l| l.starts_with("migration_aborted")),
+        "no handoff aborted under crash chaos: {acts:?}"
+    );
+    assert!(baseline_acts.is_empty(), "baseline took actions: {baseline_acts:?}");
+
+    // Faults delay but never lose data: both runs converge to ground
+    // truth, so the migrated MV is byte-identical to never-migrated.
+    assert_eq!(truth_migrated, truth_baseline, "ground truth diverged");
+    assert_eq!(mv_baseline, truth_baseline, "baseline did not converge");
+    assert_eq!(mv_migrated, mv_baseline, "migration left residue in the MV");
+}
+
+#[test]
+fn drain_machine_moves_mvs_off_and_retires_it() {
+    // Three machines, MV pinned to m2 (which hosts no base relations).
+    let (mut smile, a, b, id) = build(
+        SmileConfig::with_machines(3),
+        SimDuration::from_secs(20),
+        Some(MachineId::new(2)),
+    );
+    feed(&mut smile, a, b, 50);
+    assert!(smile.explain(id).unwrap().contains("live on m2"));
+
+    // Base-hosting machines refuse to drain.
+    assert!(smile.drain_machine(MachineId::new(0)).is_err());
+
+    let moved = smile.drain_machine(MachineId::new(2)).unwrap();
+    assert_eq!(moved, vec![id]);
+    feed(&mut smile, a, b, 200);
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+
+    let acts = labels(&smile);
+    assert!(
+        acts.iter().any(|l| l.starts_with("migration_completed m2->")),
+        "drain never completed its migration: {acts:?}"
+    );
+    assert!(
+        acts.iter().any(|l| l.starts_with("scale_down m2")),
+        "drained machine was not retired: {acts:?}"
+    );
+    assert_eq!(smile.cluster.machine_state(MachineId::new(2)), MachineState::Retired);
+    assert!(!smile.explain(id).unwrap().contains("live on m2"));
+    assert_eq!(mv_bytes(&smile, id), truth_bytes(&smile, id));
+}
+
+/// Builds the single-machine saturation scenario: both bases and the MV
+/// on m0, a 1-second SLA, and crash-only faults whose down windows make
+/// every covered push miss — so the burn-rate monitor pages and the
+/// adaptive loop must decide between scaling up and denying.
+fn saturated_single_machine(budget: f64) -> (Smile, RelationId, RelationId, SharingId) {
+    let mut config = SmileConfig::with_machines(1);
+    config.faults = crash_only(99);
+    config.adaptive.enabled = true;
+    config.adaptive.budget_dollars_per_hour = budget;
+    config.adaptive.idle_retire_after = SimDuration::from_secs(2);
+    let mut smile = Smile::new(config);
+    let a = smile
+        .register_base(
+            "a",
+            schema(&[("k", ColumnType::I64)], vec![0]),
+            MachineId::new(0),
+            stats(1),
+        )
+        .unwrap();
+    let b = smile
+        .register_base(
+            "b",
+            schema(&[("k", ColumnType::I64), ("v", ColumnType::I64)], vec![0]),
+            MachineId::new(0),
+            stats(2),
+        )
+        .unwrap();
+    let q = SpjQuery::scan(a).join(b, JoinOn::on(0, 0), Predicate::True);
+    let id = smile
+        .submit("hot", q, SimDuration::from_secs(1), 0.01)
+        .unwrap();
+    smile.install().unwrap();
+    (smile, a, b, id)
+}
+
+#[test]
+fn scale_up_beyond_budget_is_denied() {
+    // $0.40/h covers one $0.34/h machine but not two.
+    let (mut smile, a, b, _id) = saturated_single_machine(0.40);
+    feed(&mut smile, a, b, 400);
+    let acts = labels(&smile);
+    assert!(
+        acts.contains(&"scale_denied at 1 machines".to_string()),
+        "budget denial never logged: {acts:?}"
+    );
+    assert!(
+        !acts.iter().any(|l| l.starts_with("scale_up")),
+        "fleet grew past the budget: {acts:?}"
+    );
+    assert_eq!(smile.cluster.reserved_count(), 1);
+}
+
+#[test]
+fn fleet_scales_up_within_budget_migrates_then_shrinks_when_idle() {
+    // $1.00/h covers two machines: the page triggers a scale-up and the
+    // MV live-migrates onto the new machine.
+    let (mut smile, a, b, id) = saturated_single_machine(1.00);
+    feed(&mut smile, a, b, 400);
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+    let acts = labels(&smile);
+    assert!(acts.contains(&"scale_up m1".to_string()), "{acts:?}");
+    assert!(acts.contains(&"migration_started m0->m1".to_string()), "{acts:?}");
+    assert!(acts.contains(&"migration_completed m0->m1".to_string()), "{acts:?}");
+    assert_eq!(smile.cluster.reserved_count(), 2);
+    assert!(smile.explain(id).unwrap().contains("live on m1"));
+
+    // Hand the MV back to m0: the elastic machine goes idle, and the
+    // shrink half of the loop drains and retires it within the budget
+    // window — logged as a scale-down.
+    assert!(smile.migrate_sharing(id, Some(MachineId::new(0))).unwrap());
+    feed(&mut smile, a, b, 400);
+    smile.run_idle(SimDuration::from_secs(60)).unwrap();
+    let acts = labels(&smile);
+    assert!(acts.contains(&"migration_completed m1->m0".to_string()), "{acts:?}");
+    assert!(acts.contains(&"scale_down m1".to_string()), "{acts:?}");
+    assert_eq!(smile.cluster.reserved_count(), 1);
+    assert_eq!(smile.cluster.machine_state(MachineId::new(1)), MachineState::Retired);
+    assert_eq!(mv_bytes(&smile, id), truth_bytes(&smile, id));
+}

@@ -98,6 +98,7 @@ fn explain_matches_pinned_golden() {
 == sharing 1 \"obs\" ==
 sla: 20000000us  penalty_per_tuple: $0.010000  cohort: 4
 critical_path: 9902us  mv: v10 on m0
+placement: mv v10 live on m0
 plan: 2 source(s), 7 push vertices, 0 shared with other sharings
   v0 relation m1 shr=1 sig=r1
   v2 relation m0 shr=1 sig=r0
@@ -113,6 +114,7 @@ headroom: pushes=18 misses=0 min=18964665us p50<=18984000us p90<=18984000us max=
 burn: fast=0ppm slow=0ppm fast_window_pushes=2
 alerts: 0 fleet-wide, 0 naming this sharing
 flight: 0 incident(s) captured for this sharing
+actions: 0 fleet-wide, 0 for this sharing
 dollars: total=$0.000033950 penalty=$0.000000000
 ";
     assert_eq!(smile.explain(id).unwrap(), expected);
